@@ -1,0 +1,51 @@
+// Command conhandleck runs ConHandleCk: it violates extracted
+// configuration dependencies against the live simulated ecosystem and
+// classifies how each violation is handled. A silent corruption —
+// the paper found exactly one, the Figure-1 resize2fs case — exits
+// nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsdep/internal/conhandleck"
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
+)
+
+func main() {
+	flag.Parse()
+
+	comps := corpus.Components()
+	union := depmodel.NewSet()
+	for _, sc := range corpus.Scenarios() {
+		res, err := core.Analyze(comps, sc, core.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conhandleck:", err)
+			os.Exit(1)
+		}
+		union.AddAll(res.Deps.Deps())
+	}
+	rep := conhandleck.Run(union)
+	fmt.Printf("%-62s %-18s %s\n", "VIOLATION", "OUTCOME", "DETAIL")
+	for _, tr := range rep.Trials {
+		detail := tr.Detail
+		if len(detail) > 60 {
+			detail = detail[:57] + "..."
+		}
+		fmt.Printf("%-62s %-18s %s\n", tr.Desc, tr.Outcome, detail)
+	}
+	fmt.Printf("\n%d violations: %d rejected gracefully, %d benign, %d silent corruptions\n",
+		len(rep.Trials), rep.Counts[conhandleck.Rejected],
+		rep.Counts[conhandleck.Benign], rep.Counts[conhandleck.SilentCorruption])
+	if n := rep.Counts[conhandleck.SilentCorruption]; n > 0 {
+		fmt.Println("\nBAD CONFIGURATION HANDLING FOUND:")
+		for _, tr := range rep.Corruptions() {
+			fmt.Printf("  %s → %s\n", tr.Desc, tr.Detail)
+		}
+		os.Exit(1)
+	}
+}

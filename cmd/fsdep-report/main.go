@@ -1,0 +1,47 @@
+// Command fsdep-report regenerates every table of the paper from the
+// live systems in this repository.
+//
+// Usage:
+//
+//	fsdep-report [-table N]
+//
+// Without -table, all five tables print in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fsdep/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print a single table (1-5); 0 = all")
+	flag.Parse()
+
+	fns := map[int]func(io.Writer) error{
+		1: report.Table1, 2: report.Table2, 3: report.Table3,
+		4: report.Table4, 5: report.Table5,
+	}
+	if *table == 0 {
+		if err := report.All(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fn, ok := fns[*table]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fsdep-report: no table %d (valid: 1-5)\n", *table)
+		os.Exit(2)
+	}
+	if err := fn(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsdep-report:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command fsdep runs the static analyzer over the Ext4 ecosystem
+// corpus and extracts multi-level configuration dependencies.
+//
+// Usage:
+//
+//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-v]
+//
+// Without -scenario, every Table-5 scenario runs and the evaluation
+// table is printed. With -json, the extracted dependencies are written
+// as the analyzer's JSON document (§4.1 of the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
+	"fsdep/internal/report"
+	"fsdep/internal/taint"
+)
+
+func main() {
+	scenario := flag.String("scenario", "", "run a single scenario (e.g. mke2fs-mount-ext4)")
+	dump := flag.String("dump", "", "print the IR/CFG of a component (mke2fs, mount, ext4, e4defrag, resize2fs, e2fsck) and exit")
+	mode := flag.String("mode", "intra", "taint mode: intra (paper prototype) or inter (extension)")
+	jsonOut := flag.String("json", "", "write extracted dependencies to this JSON file")
+	verbose := flag.Bool("v", false, "list every extracted dependency")
+	flag.Parse()
+
+	var tm taint.Mode
+	switch *mode {
+	case "intra":
+		tm = taint.Intra
+	case "inter":
+		tm = taint.Inter
+	default:
+		fmt.Fprintf(os.Stderr, "fsdep: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	if *dump != "" {
+		comp, ok := corpus.Components()[*dump]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fsdep: unknown component %q\n", *dump)
+			os.Exit(2)
+		}
+		prog, err := comp.Program()
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range prog.FuncOrder {
+			fmt.Println(prog.Funcs[name].Dump())
+		}
+		return
+	}
+
+	if *scenario == "" {
+		res, err := report.RunTable5(tm)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			listDeps(res.Union.Deps)
+		}
+		if *jsonOut != "" {
+			writeJSON(*jsonOut, "all-scenarios", res.Union.Deps)
+		}
+		return
+	}
+
+	var sc *core.Scenario
+	for _, s := range corpus.Scenarios() {
+		if s.Name == *scenario {
+			ss := s
+			sc = &ss
+		}
+	}
+	if sc == nil {
+		fmt.Fprintf(os.Stderr, "fsdep: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	res, err := core.Analyze(corpus.Components(), *sc, core.Options{Mode: tm})
+	if err != nil {
+		fatal(err)
+	}
+	tp, fp := corpus.Score(res.Deps.Deps())
+	cnt := res.Deps.CountByCategory()
+	fmt.Printf("scenario %s (%s): SD=%d CPD=%d CCD=%d — %d extracted, %d true, %d false positives\n",
+		sc.Name, tm, cnt[depmodel.SD], cnt[depmodel.CPD], cnt[depmodel.CCD],
+		res.Deps.Len(), len(tp), len(fp))
+	if *verbose {
+		listDeps(res.Deps)
+	}
+	if *jsonOut != "" {
+		writeJSON(*jsonOut, sc.Name, res.Deps)
+	}
+}
+
+func listDeps(set *depmodel.Set) {
+	for _, d := range set.Sorted() {
+		marker := " "
+		if !corpus.TrueDeps[d.Key()] {
+			marker = "!" // false positive
+		}
+		fmt.Printf("  %s %-14s %-40s %s\n", marker, d.Kind, d.Source, d.Constraint.Expr)
+	}
+}
+
+func writeJSON(path, scenario string, set *depmodel.Set) {
+	f := &depmodel.File{
+		Ecosystem:    "ext4",
+		Scenario:     scenario,
+		Dependencies: set.Sorted(),
+	}
+	blob, err := f.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d dependencies to %s\n", set.Len(), path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsdep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,256 @@
+// Command fsim drives the simulated Ext4 ecosystem against an image
+// file — enough to reproduce Figure 1 by hand:
+//
+//	fsim mkfs  -img fs.img -size-mb 16 -features sparse_super2
+//	fsim resize -img fs.img -blocks 24576        # buggy path: corrupts
+//	fsim fsck  -img fs.img -f                    # detects + repairs
+//
+// Subcommands: mkfs, mount, resize, fsck, defrag, audit, stat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fsdep/internal/e2fsck"
+	"fsdep/internal/e4defrag"
+	"fsdep/internal/fsim"
+	"fsdep/internal/mke2fs"
+	"fsdep/internal/mountsim"
+	"fsdep/internal/resize2fs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "mkfs":
+		err = cmdMkfs(args)
+	case "mount":
+		err = cmdMount(args)
+	case "resize":
+		err = cmdResize(args)
+	case "fsck":
+		err = cmdFsck(args)
+	case "defrag":
+		err = cmdDefrag(args)
+	case "audit":
+		err = cmdAudit(args)
+	case "stat":
+		err = cmdStat(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fsim:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fsim <mkfs|mount|resize|fsck|defrag|audit|stat> [flags]")
+	os.Exit(2)
+}
+
+func openDev(path string) (*fsim.FileDevice, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -img")
+	}
+	return fsim.OpenFileDevice(path)
+}
+
+func cmdMkfs(args []string) error {
+	fs := flag.NewFlagSet("mkfs", flag.ExitOnError)
+	img := fs.String("img", "", "image file")
+	sizeMB := fs.Int64("size-mb", 16, "image size in MiB")
+	bs := fs.Uint("b", 1024, "block size")
+	features := fs.String("features", "", "comma-separated -O feature list")
+	label := fs.String("L", "", "volume label")
+	force := fs.Bool("F", false, "force")
+	_ = fs.Parse(args)
+	dev, err := openDev(*img)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dev.Close() }()
+	if err := dev.Resize(*sizeMB << 20); err != nil {
+		return err
+	}
+	var feats []string
+	if *features != "" {
+		feats = strings.Split(*features, ",")
+	}
+	res, err := mke2fs.Run(dev, mke2fs.Params{
+		BlockSize: uint32(*bs), Features: feats, Label: *label, Force: *force,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created %d-block file system, features: %s\n",
+		res.Fs.SB.BlocksCount, strings.Join(res.EnabledFeatures, ","))
+	return nil
+}
+
+func cmdMount(args []string) error {
+	fs := flag.NewFlagSet("mount", flag.ExitOnError)
+	img := fs.String("img", "", "image file")
+	ro := fs.Bool("ro", false, "read-only")
+	dax := fs.Bool("dax", false, "enable DAX")
+	data := fs.String("data", "", "journalling mode")
+	_ = fs.Parse(args)
+	dev, err := openDev(*img)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dev.Close() }()
+	m, err := mountsim.Do(dev, mountsim.Options{
+		ReadOnly: *ro, Dax: *dax, DeviceDax: *dax, Data: *data,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("mount validation passed; unmounting cleanly")
+	return m.Unmount()
+}
+
+func cmdResize(args []string) error {
+	fs := flag.NewFlagSet("resize", flag.ExitOnError)
+	img := fs.String("img", "", "image file")
+	blocks := fs.Uint("blocks", 0, "new size in blocks (0 = fill device)")
+	force := fs.Bool("f", false, "force")
+	fixed := fs.Bool("fixed", false, "use the upstream-fixed free-count path")
+	minimum := fs.Bool("M", false, "shrink to minimum")
+	_ = fs.Parse(args)
+	dev, err := openDev(*img)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dev.Close() }()
+	rep, err := resize2fs.Run(dev, resize2fs.Options{
+		Size: uint32(*blocks), Force: *force,
+		FixedFreeBlocks: *fixed, MinimumOnly: *minimum,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resized %d → %d blocks (+%d/-%d groups)\n",
+		rep.OldBlocks, rep.NewBlocks, rep.GroupsAdded, rep.GroupsRemoved)
+	return nil
+}
+
+func cmdFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	img := fs.String("img", "", "image file")
+	force := fs.Bool("f", false, "force check")
+	noChange := fs.Bool("n", false, "report only")
+	preen := fs.Bool("p", false, "preen")
+	backup := fs.Uint("b", 0, "recover from backup superblock at block N")
+	_ = fs.Parse(args)
+	dev, err := openDev(*img)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dev.Close() }()
+	rep, err := e2fsck.Run(dev, e2fsck.Options{
+		Force: *force, NoChange: *noChange, Preen: *preen, Yes: true,
+		SuperblockAt: uint32(*backup),
+	})
+	if err != nil {
+		return err
+	}
+	if rep.Skipped {
+		fmt.Println("clean, not checking (use -f to force)")
+		return nil
+	}
+	fmt.Printf("problems found: %d, fixed: %d, remaining: %d (exit %d)\n",
+		len(rep.Problems), rep.Fixed, len(rep.Remaining), rep.ExitCode)
+	for _, p := range rep.Problems {
+		fmt.Println("  ", p)
+	}
+	os.Exit(rep.ExitCode)
+	return nil
+}
+
+func cmdDefrag(args []string) error {
+	fs := flag.NewFlagSet("defrag", flag.ExitOnError)
+	img := fs.String("img", "", "image file")
+	dry := fs.Bool("c", false, "report fragmentation only")
+	_ = fs.Parse(args)
+	dev, err := openDev(*img)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dev.Close() }()
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		return err
+	}
+	rep, err := e4defrag.Run(m, e4defrag.Options{DryRun: *dry, Verbose: true})
+	if err != nil {
+		_ = m.Unmount()
+		return err
+	}
+	fmt.Printf("fragmentation score: %.2f → %.2f (%d files reported)\n",
+		rep.ScoreBefore, rep.ScoreAfter, len(rep.Files))
+	return m.Unmount()
+}
+
+func cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	img := fs.String("img", "", "image file")
+	_ = fs.Parse(args)
+	dev, err := openDev(*img)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dev.Close() }()
+	f, err := fsim.Open(dev)
+	if err != nil {
+		return err
+	}
+	probs := f.Audit()
+	if len(probs) == 0 {
+		fmt.Println("file system is consistent")
+		return nil
+	}
+	for _, p := range probs {
+		fmt.Println(" ", p)
+	}
+	return fmt.Errorf("%d consistency problems", len(probs))
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	img := fs.String("img", "", "image file")
+	_ = fs.Parse(args)
+	dev, err := openDev(*img)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dev.Close() }()
+	f, err := fsim.Open(dev)
+	if err != nil {
+		return err
+	}
+	sb := f.SB
+	fmt.Printf("blocks: %d (block size %d), groups: %d\n",
+		sb.BlocksCount, sb.BlockSize(), sb.GroupCount())
+	fmt.Printf("free blocks: %d, inodes: %d (free %d)\n",
+		sb.FreeBlocksCount, sb.InodesCount, sb.FreeInodesCount)
+	var feats []string
+	for name := range fsim.Features {
+		if sb.HasFeature(name) {
+			feats = append(feats, name)
+		}
+	}
+	sort.Strings(feats)
+	fmt.Printf("state: %d, mounts since fsck: %d, features: %s\n",
+		sb.State, sb.MntCount, strings.Join(feats, ","))
+	return nil
+}

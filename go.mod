@@ -1,0 +1,3 @@
+module fsdep
+
+go 1.22

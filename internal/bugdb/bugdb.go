@@ -1,0 +1,204 @@
+// Package bugdb encodes the paper's study dataset (§3): 67
+// configuration-related bug patches from the Ext4 ecosystem, each
+// annotated with the usage scenario it belongs to and the critical
+// multi-level configuration dependencies that determine its
+// manifestation. Tables 3 and 4 are aggregate statistics computed over
+// this dataset.
+//
+// The paper's patch set itself is not public; the dataset here is a
+// structured stand-in with the same marginals (see DESIGN.md §2):
+// 67 bugs across the four scenarios (13/1/17/36), 132 critical
+// dependencies (33 SD data-type, 30 SD value-range, 4 CPD control,
+// 1 CCD control, 64 CCD behavioral), and the same per-scenario
+// SD/CPD/CCD involvement percentages.
+package bugdb
+
+import (
+	"fmt"
+
+	"fsdep/internal/depmodel"
+)
+
+// Scenario names, matching the corpus scenarios and Table 3 rows.
+const (
+	ScenarioCreateMount = "mke2fs-mount-ext4"
+	ScenarioDefrag      = "mke2fs-mount-ext4-e4defrag"
+	ScenarioResize      = "mke2fs-mount-ext4-umount-resize2fs"
+	ScenarioFsck        = "mke2fs-mount-ext4-umount-e2fsck"
+)
+
+// ScenarioOrder lists the Table 3 rows in order.
+var ScenarioOrder = []string{
+	ScenarioCreateMount, ScenarioDefrag, ScenarioResize, ScenarioFsck,
+}
+
+// CriticalDep is one manually derived critical dependency: a
+// dependency that directly determines the manifestation of at least
+// one bug case.
+type CriticalDep struct {
+	// ID is the dataset identifier ("D001"...).
+	ID string
+	// Kind is the Table 4 sub-category.
+	Kind depmodel.Kind
+	// Params names the involved parameters (one for SD, two for
+	// CPD/CCD).
+	Params []depmodel.ParamRef
+	// Desc describes the constraint.
+	Desc string
+}
+
+// Bug is one configuration-related bug patch.
+type Bug struct {
+	// ID is the dataset identifier ("B001"...).
+	ID string
+	// Scenario is the usage scenario the bug belongs to.
+	Scenario string
+	// Title summarizes the bug.
+	Title string
+	// Patch is the (synthesized) patch reference.
+	Patch string
+	// DepIDs lists the critical dependencies whose satisfaction
+	// triggers the bug.
+	DepIDs []string
+	// SimReproducible marks bugs the fsim ecosystem reproduces
+	// end-to-end (the Figure-1 resize corruption).
+	SimReproducible bool
+}
+
+// DB is the loaded dataset.
+type DB struct {
+	Bugs []Bug
+	Deps map[string]CriticalDep
+}
+
+// Load returns the dataset. The returned value is freshly built and
+// safe to mutate.
+func Load() *DB {
+	deps := buildDeps()
+	bugs := buildBugs(deps)
+	m := make(map[string]CriticalDep, len(deps))
+	for _, d := range deps {
+		m[d.ID] = d
+	}
+	return &DB{Bugs: bugs, Deps: m}
+}
+
+// Kinds returns the set of dependency categories bug b involves.
+func (db *DB) Kinds(b Bug) map[depmodel.Category]bool {
+	out := make(map[depmodel.Category]bool, 3)
+	for _, id := range b.DepIDs {
+		if d, ok := db.Deps[id]; ok {
+			out[d.Kind.Category()] = true
+		}
+	}
+	return out
+}
+
+// Table3Row is one row of Table 3.
+type Table3Row struct {
+	Scenario string
+	Bugs     int
+	// SD, CPD, CCD count bugs involving at least one dependency of
+	// that category.
+	SD, CPD, CCD int
+}
+
+// Table3 computes the per-scenario distribution.
+func (db *DB) Table3() []Table3Row {
+	rows := make([]Table3Row, 0, len(ScenarioOrder))
+	for _, sc := range ScenarioOrder {
+		row := Table3Row{Scenario: sc}
+		for _, b := range db.Bugs {
+			if b.Scenario != sc {
+				continue
+			}
+			row.Bugs++
+			ks := db.Kinds(b)
+			if ks[depmodel.SD] {
+				row.SD++
+			}
+			if ks[depmodel.CPD] {
+				row.CPD++
+			}
+			if ks[depmodel.CCD] {
+				row.CCD++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3Total sums the rows.
+func (db *DB) Table3Total() Table3Row {
+	total := Table3Row{Scenario: "Total"}
+	for _, r := range db.Table3() {
+		total.Bugs += r.Bugs
+		total.SD += r.SD
+		total.CPD += r.CPD
+		total.CCD += r.CCD
+	}
+	return total
+}
+
+// Table4Row is one row of Table 4.
+type Table4Row struct {
+	Kind depmodel.Kind
+	// Exists reports whether the sub-category was observed in the
+	// dataset.
+	Exists bool
+	// Count is the number of critical dependencies of this kind.
+	Count int
+}
+
+// Table4 computes the taxonomy counts over the critical dependencies.
+func (db *DB) Table4() []Table4Row {
+	counts := make(map[depmodel.Kind]int)
+	for _, d := range db.Deps {
+		counts[d.Kind]++
+	}
+	rows := make([]Table4Row, 0, 7)
+	for _, k := range depmodel.AllKinds() {
+		rows = append(rows, Table4Row{Kind: k, Exists: counts[k] > 0, Count: counts[k]})
+	}
+	return rows
+}
+
+// TotalCriticalDeps returns the number of critical dependencies (the
+// paper's 132).
+func (db *DB) TotalCriticalDeps() int { return len(db.Deps) }
+
+// Validate checks the dataset's internal consistency: every referenced
+// dependency exists, every bug involves at least one SD dependency
+// (Table 3's 100% SD column), and parameters match kinds.
+func (db *DB) Validate() error {
+	for _, b := range db.Bugs {
+		if len(b.DepIDs) == 0 {
+			return fmt.Errorf("bugdb: %s has no critical dependencies", b.ID)
+		}
+		hasSD := false
+		for _, id := range b.DepIDs {
+			d, ok := db.Deps[id]
+			if !ok {
+				return fmt.Errorf("bugdb: %s references unknown dependency %s", b.ID, id)
+			}
+			if d.Kind.Category() == depmodel.SD {
+				hasSD = true
+			}
+		}
+		if !hasSD {
+			return fmt.Errorf("bugdb: %s involves no SD dependency", b.ID)
+		}
+	}
+	for _, d := range db.Deps {
+		want := 2
+		if d.Kind.Category() == depmodel.SD {
+			want = 1
+		}
+		if len(d.Params) != want {
+			return fmt.Errorf("bugdb: dependency %s (%s) names %d params, want %d",
+				d.ID, d.Kind, len(d.Params), want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package bugdb
+
+import (
+	"testing"
+
+	"fsdep/internal/depmodel"
+)
+
+func TestDatasetValidates(t *testing.T) {
+	db := Load()
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable3MatchesPaper(t *testing.T) {
+	db := Load()
+	rows := db.Table3()
+	want := []Table3Row{
+		{Scenario: ScenarioCreateMount, Bugs: 13, SD: 13, CPD: 1, CCD: 13},
+		{Scenario: ScenarioDefrag, Bugs: 1, SD: 1, CPD: 0, CCD: 1},
+		{Scenario: ScenarioResize, Bugs: 17, SD: 17, CPD: 0, CCD: 17},
+		{Scenario: ScenarioFsck, Bugs: 36, SD: 36, CPD: 4, CCD: 34},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+	total := db.Table3Total()
+	if total.Bugs != 67 || total.SD != 67 || total.CPD != 5 || total.CCD != 65 {
+		t.Errorf("total = %+v", total)
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	db := Load()
+	want := map[depmodel.Kind]int{
+		depmodel.SDDataType:    33,
+		depmodel.SDValueRange:  30,
+		depmodel.CPDControl:    4,
+		depmodel.CPDValue:      0,
+		depmodel.CCDControl:    1,
+		depmodel.CCDValue:      0,
+		depmodel.CCDBehavioral: 64,
+	}
+	for _, r := range db.Table4() {
+		if r.Count != want[r.Kind] {
+			t.Errorf("%s count = %d, want %d", r.Kind, r.Count, want[r.Kind])
+		}
+		if r.Exists != (want[r.Kind] > 0) {
+			t.Errorf("%s exists = %v", r.Kind, r.Exists)
+		}
+	}
+	if got := db.TotalCriticalDeps(); got != 132 {
+		t.Errorf("total critical deps = %d, want 132", got)
+	}
+}
+
+func TestFigure1BugIsReproducible(t *testing.T) {
+	db := Load()
+	var found *Bug
+	for i := range db.Bugs {
+		if db.Bugs[i].SimReproducible {
+			if found != nil {
+				t.Fatalf("multiple reproducible bugs")
+			}
+			found = &db.Bugs[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("no reproducible bug")
+	}
+	if found.Scenario != ScenarioResize {
+		t.Errorf("reproducible bug in %s", found.Scenario)
+	}
+}
+
+func TestBugIDsUniqueAndOrdered(t *testing.T) {
+	db := Load()
+	seen := map[string]bool{}
+	for _, b := range db.Bugs {
+		if seen[b.ID] {
+			t.Errorf("duplicate bug ID %s", b.ID)
+		}
+		seen[b.ID] = true
+	}
+	if len(db.Bugs) != 67 {
+		t.Fatalf("bugs = %d", len(db.Bugs))
+	}
+}

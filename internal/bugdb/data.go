@@ -1,0 +1,347 @@
+package bugdb
+
+import (
+	"fmt"
+
+	"fsdep/internal/depmodel"
+)
+
+func pr(comp, param string) depmodel.ParamRef {
+	return depmodel.ParamRef{Component: comp, Param: param}
+}
+
+// sdDataTypeParams are the 33 parameters whose data-type constraint is
+// critical for at least one bug case.
+var sdDataTypeParams = []depmodel.ParamRef{
+	pr("mke2fs", "blocksize"), pr("mke2fs", "inode_size"),
+	pr("mke2fs", "inode_ratio"), pr("mke2fs", "blocks_count"),
+	pr("mke2fs", "cluster_size"), pr("mke2fs", "reserved_percent"),
+	pr("mke2fs", "label"), pr("mke2fs", "backup_bg0"),
+	pr("mke2fs", "backup_bg1"), pr("mke2fs", "journal_size"),
+	pr("mke2fs", "mmp_interval"), pr("mke2fs", "flex_bg_size"),
+	pr("mke2fs", "sparse_super"), pr("mke2fs", "sparse_super2"),
+	pr("mke2fs", "resize_inode"), pr("mke2fs", "meta_bg"),
+	pr("mke2fs", "bigalloc"), pr("mke2fs", "extent"),
+	pr("mke2fs", "inline_data"), pr("mke2fs", "dir_index"),
+	pr("mke2fs", "has_journal"), pr("mount", "ro"),
+	pr("mount", "dax"), pr("mount", "noload"),
+	pr("mount", "data"), pr("mount", "errors"),
+	pr("ext4", "commit"), pr("ext4", "stripe"),
+	pr("resize2fs", "new_size"), pr("resize2fs", "force"),
+	pr("e2fsck", "superblock"), pr("e2fsck", "blocksize_opt"),
+	pr("e2fsck", "preen"),
+}
+
+// sdValueRangeParams are the 30 parameters whose value-range
+// constraint is critical for at least one bug case.
+var sdValueRangeParams = []depmodel.ParamRef{
+	pr("mke2fs", "blocksize"), pr("mke2fs", "inode_size"),
+	pr("mke2fs", "blocks_count"), pr("mke2fs", "reserved_percent"),
+	pr("mke2fs", "label"), pr("mke2fs", "cluster_size"),
+	pr("mke2fs", "inode_ratio"), pr("mke2fs", "backup_bg1"),
+	pr("mke2fs", "journal_size"), pr("mke2fs", "mmp_interval"),
+	pr("mke2fs", "flex_bg_size"), pr("mount", "data"),
+	pr("mount", "errors"), pr("ext4", "commit"),
+	pr("ext4", "stripe"), pr("resize2fs", "new_size"),
+	pr("e2fsck", "superblock"), pr("e2fsck", "blocksize_opt"),
+	pr("e4defrag", "threshold"), pr("mke2fs", "force"),
+	pr("mount", "dax"), pr("mount", "noload"),
+	pr("mke2fs", "uninit_bg"), pr("mke2fs", "mmp"),
+	pr("mke2fs", "flex_bg"), pr("mke2fs", "journal_dev"),
+	pr("mke2fs", "filetype"), pr("mke2fs", "large_file"),
+	pr("mke2fs", "64bit"), pr("resize2fs", "minimum"),
+}
+
+// cpdControlDeps are the 4 critical cross-parameter dependencies.
+var cpdControlDeps = []CriticalDep{
+	{Kind: depmodel.CPDControl,
+		Params: []depmodel.ParamRef{pr("mke2fs", "meta_bg"), pr("mke2fs", "resize_inode")},
+		Desc:   "meta_bg and resize_inode cannot be used together"},
+	{Kind: depmodel.CPDControl,
+		Params: []depmodel.ParamRef{pr("mke2fs", "bigalloc"), pr("mke2fs", "extent")},
+		Desc:   "bigalloc requires the extent feature"},
+	{Kind: depmodel.CPDControl,
+		Params: []depmodel.ParamRef{pr("e2fsck", "no_change"), pr("e2fsck", "yes")},
+		Desc:   "-n and -y are mutually exclusive"},
+	{Kind: depmodel.CPDControl,
+		Params: []depmodel.ParamRef{pr("e2fsck", "preen"), pr("e2fsck", "no_change")},
+		Desc:   "-p and -n are mutually exclusive"},
+}
+
+// ccdControlDep is the single observed cross-component control
+// dependency.
+var ccdControlDep = CriticalDep{
+	Kind: depmodel.CCDControl,
+	Params: []depmodel.ParamRef{
+		pr("mount", "dax"), pr("mke2fs", "inline_data"),
+	},
+	Desc: "dax can only be enabled when the fs was created without inline_data",
+}
+
+// behavioralTargets supplies (source component, target parameter)
+// pairs for the 64 behavioral cross-component dependencies; they are
+// combined with bug records 1:1.
+var behavioralTargets = []struct {
+	src    string
+	target depmodel.ParamRef
+}{
+	// Scenario 1 (13): ext4/mount behaviour depends on creation-time
+	// parameters.
+	{"ext4", pr("mke2fs", "blocksize")},
+	{"ext4", pr("mke2fs", "inline_data")},
+	{"ext4", pr("mke2fs", "meta_bg")},
+	{"ext4", pr("mke2fs", "bigalloc")},
+	{"ext4", pr("mke2fs", "64bit")},
+	{"ext4", pr("mke2fs", "has_journal")},
+	{"ext4", pr("mke2fs", "extent")},
+	{"mount", pr("mke2fs", "has_journal")},
+	{"ext4", pr("mke2fs", "dir_index")},
+	{"ext4", pr("mke2fs", "inode_size")},
+	{"ext4", pr("mke2fs", "flex_bg")},
+	{"ext4", pr("mke2fs", "uninit_bg")},
+	// Scenario 2 (1): e4defrag depends on the extent feature.
+	{"e4defrag", pr("mke2fs", "extent")},
+	// Scenario 3 (17): resize2fs behaviour depends on creation/mount
+	// state.
+	{"resize2fs", pr("mke2fs", "sparse_super2")},
+	{"resize2fs", pr("mke2fs", "resize_inode")},
+	{"resize2fs", pr("mke2fs", "blocks_count")},
+	{"resize2fs", pr("mke2fs", "backup_bg1")},
+	{"resize2fs", pr("mke2fs", "meta_bg")},
+	{"resize2fs", pr("mke2fs", "bigalloc")},
+	{"resize2fs", pr("mke2fs", "cluster_size")},
+	{"resize2fs", pr("mke2fs", "64bit")},
+	{"resize2fs", pr("mke2fs", "blocksize")},
+	{"resize2fs", pr("mke2fs", "inode_ratio")},
+	{"resize2fs", pr("mke2fs", "flex_bg")},
+	{"resize2fs", pr("mke2fs", "uninit_bg")},
+	{"resize2fs", pr("mount", "ro")},
+	{"resize2fs", pr("e2fsck", "force")},
+	{"resize2fs", pr("mke2fs", "sparse_super")},
+	{"resize2fs", pr("mke2fs", "inode_size")},
+	{"resize2fs", pr("mke2fs", "journal_size")},
+	// Scenario 4 (34): e2fsck behaviour depends on creation/mount
+	// state.
+	{"e2fsck", pr("mke2fs", "blocksize")},
+	{"e2fsck", pr("mke2fs", "inode_size")},
+	{"e2fsck", pr("mke2fs", "sparse_super")},
+	{"e2fsck", pr("mke2fs", "sparse_super2")},
+	{"e2fsck", pr("mke2fs", "backup_bg0")},
+	{"e2fsck", pr("mke2fs", "backup_bg1")},
+	{"e2fsck", pr("mke2fs", "meta_bg")},
+	{"e2fsck", pr("mke2fs", "bigalloc")},
+	{"e2fsck", pr("mke2fs", "cluster_size")},
+	{"e2fsck", pr("mke2fs", "extent")},
+	{"e2fsck", pr("mke2fs", "inline_data")},
+	{"e2fsck", pr("mke2fs", "dir_index")},
+	{"e2fsck", pr("mke2fs", "has_journal")},
+	{"e2fsck", pr("mke2fs", "journal_dev")},
+	{"e2fsck", pr("mke2fs", "journal_size")},
+	{"e2fsck", pr("mke2fs", "filetype")},
+	{"e2fsck", pr("mke2fs", "large_file")},
+	{"e2fsck", pr("mke2fs", "64bit")},
+	{"e2fsck", pr("mke2fs", "mmp")},
+	{"e2fsck", pr("mke2fs", "mmp_interval")},
+	{"e2fsck", pr("mke2fs", "flex_bg")},
+	{"e2fsck", pr("mke2fs", "flex_bg_size")},
+	{"e2fsck", pr("mke2fs", "uninit_bg")},
+	{"e2fsck", pr("mke2fs", "resize_inode")},
+	{"e2fsck", pr("mke2fs", "inode_ratio")},
+	{"e2fsck", pr("mke2fs", "blocks_count")},
+	{"e2fsck", pr("mount", "ro")},
+	{"e2fsck", pr("mount", "noload")},
+	{"e2fsck", pr("mount", "data")},
+	{"e2fsck", pr("mount", "errors")},
+	{"e2fsck", pr("mount", "dax")},
+	{"e2fsck", pr("ext4", "commit")},
+	{"e2fsck", pr("ext4", "stripe")},
+	{"e2fsck", pr("mke2fs", "label")},
+}
+
+// buildDeps constructs the 132 critical dependencies with stable IDs.
+func buildDeps() []CriticalDep {
+	var out []CriticalDep
+	id := 0
+	add := func(d CriticalDep) {
+		id++
+		d.ID = fmt.Sprintf("D%03d", id)
+		out = append(out, d)
+	}
+	for _, p := range sdDataTypeParams {
+		add(CriticalDep{Kind: depmodel.SDDataType,
+			Params: []depmodel.ParamRef{p},
+			Desc:   fmt.Sprintf("%s must have the documented data type", p)})
+	}
+	for _, p := range sdValueRangeParams {
+		add(CriticalDep{Kind: depmodel.SDValueRange,
+			Params: []depmodel.ParamRef{p},
+			Desc:   fmt.Sprintf("%s must stay within its valid range", p)})
+	}
+	for _, d := range cpdControlDeps {
+		add(d)
+	}
+	add(ccdControlDep)
+	for _, bt := range behavioralTargets {
+		add(CriticalDep{Kind: depmodel.CCDBehavioral,
+			Params: []depmodel.ParamRef{pr(bt.src, ""), bt.target},
+			Desc:   fmt.Sprintf("%s's behaviour depends on %s", bt.src, bt.target)})
+	}
+	return out
+}
+
+// scenarioBugTitles carries the 67 bug titles per scenario.
+var scenarioBugTitles = map[string][]string{
+	ScenarioCreateMount: {
+		"mount panics on 64KB-block fs created with -b 65536",
+		"inline_data fs unmountable after dir grows past inode",
+		"meta_bg fs mounts with stale group descriptor cache",
+		"bigalloc fs over-reports free space at mount",
+		"64bit fs mounted by old kernel corrupts high block numbers",
+		"data=journal mount on journal-less fs oopses",
+		"extent-mapped root dir rejected by mount path lookup",
+		"noload mount replays journal anyway after crash",
+		"dax mount on inline_data fs reads stale pages",
+		"dir_index htree depth miscomputed for 1K blocks",
+		"large inode_size fs shows negative free inode count",
+		"flex_bg first-meta lookup off-by-one at mount",
+		"uninit_bg group initialized twice on first mount",
+	},
+	ScenarioDefrag: {
+		"e4defrag silently skips files on non-extent fs and reports success",
+	},
+	ScenarioResize: {
+		"resize2fs corrupts free block count growing sparse_super2 fs",
+		"grow past reserved gdt blocks leaves descriptor table torn",
+		"shrink below last used block loses extent data",
+		"backup superblock not moved when last group changes",
+		"meta_bg resize writes descriptors to wrong groups",
+		"bigalloc resize miscounts clusters in last group",
+		"cluster-unaligned new size accepted, bitmap padding wrong",
+		"64bit fs shrink truncates high bits of block count",
+		"1K-block fs grow misplaces first data block",
+		"inode-ratio derived inode table overflows grown group",
+		"flex_bg metadata relocation skipped on grow",
+		"uninit_bg groups not initialized after grow",
+		"resize of read-only-mounted fs corrupts mount state",
+		"resize skips fsck-required check when forced twice",
+		"sparse_super backups stale after non-power grow",
+		"reserved gdt accounting double-counts on repeated grow",
+		"journal blocks relocated over data during shrink",
+	},
+	ScenarioFsck: {
+		"e2fsck miscomputes group checksum for 64KB blocks",
+		"preen mode clears valid large inode extra fields",
+		"sparse_super backup search misses group 49",
+		"sparse_super2 backup list ignored with -b",
+		"-b with backup_bg0 backup reads wrong offset",
+		"backup group beyond last group crashes pass 0",
+		"meta_bg descriptor walk reads past table end",
+		"bigalloc bitmap check uses block not cluster units",
+		"cluster size mismatch with backup super unreported",
+		"extent tree depth check rejects valid 5-level tree",
+		"inline_data dir treated as corrupt regular file",
+		"htree index rebuilt incorrectly for hash seed 0",
+		"journal replay skipped when inode count disagrees",
+		"external journal device check dereferences null",
+		"journal size check overflows for 4T journals",
+		"filetype-less dirent scan misparses names",
+		"large_file flag cleared for sparse 2G file",
+		"64bit fs pass 5 compares truncated counters",
+		"mmp sequence not reset after crashed writer",
+		"mmp interval of zero spins pass 0 forever",
+		"flex_bg inode table overlap falsely reported",
+		"flex_bg_size one reports every group misaligned",
+		"uninit_bg groups zeroed losing lazy inode tables",
+		"resize_inode reservation freed as orphan blocks",
+		"inode ratio edge fs reports wrong inode count",
+		"tiny fs pass 1 underflows block accounting",
+		"fsck of ro-mounted fs still replays journal",
+		"noload-mounted fs marked clean without replay",
+		"data=writeback crash leaves undetected stale data",
+		"errors=continue masks superblock error flag",
+		"dax-mounted fs checked while pages still dirty",
+		"commit interval stamp confuses lastcheck logic",
+		"stripe-aligned allocator check false positives",
+		"volume label with trailing NUL flagged corrupt",
+		"orphan list repair loops on self-referencing inode",
+		"preen aborts leave mount count unreset",
+	},
+}
+
+// buildBugs constructs the 67 bug records, wiring each to its critical
+// dependencies. Behavioral CCD deps are assigned 1:1 in dataset order;
+// SD deps are assigned round-robin; the CPD and CCD-control deps go to
+// designated bugs, reproducing Table 3's involvement percentages.
+func buildBugs(deps []CriticalDep) []Bug {
+	// Index dependency IDs by kind for assignment.
+	var sdIDs, behavioralIDs []string
+	var cpdIDs []string
+	ccdControlID := ""
+	for _, d := range deps {
+		switch d.Kind {
+		case depmodel.SDDataType, depmodel.SDValueRange:
+			sdIDs = append(sdIDs, d.ID)
+		case depmodel.CPDControl:
+			cpdIDs = append(cpdIDs, d.ID)
+		case depmodel.CCDControl:
+			ccdControlID = d.ID
+		case depmodel.CCDBehavioral:
+			behavioralIDs = append(behavioralIDs, d.ID)
+		}
+	}
+
+	var bugs []Bug
+	bugNo := 0
+	sdCursor := 0
+	ccdCursor := 0
+	nextSD := func() string {
+		id := sdIDs[sdCursor%len(sdIDs)]
+		sdCursor++
+		return id
+	}
+	for _, sc := range ScenarioOrder {
+		titles := scenarioBugTitles[sc]
+		for i, title := range titles {
+			bugNo++
+			b := Bug{
+				ID:       fmt.Sprintf("B%03d", bugNo),
+				Scenario: sc,
+				Title:    title,
+				Patch:    fmt.Sprintf("commit %04x%04x", 0x1a2b+bugNo*7919, 0x3c4d+bugNo*104729),
+			}
+			b.DepIDs = append(b.DepIDs, nextSD())
+			// CCD involvement: all bugs except the last two of the
+			// fsck scenario (34 of 36).
+			hasCCD := !(sc == ScenarioFsck && i >= len(titles)-2)
+			if hasCCD {
+				if sc == ScenarioCreateMount && i == 8 {
+					// The dax/inline_data bug carries the single
+					// CCD-control dependency.
+					b.DepIDs = append(b.DepIDs, ccdControlID)
+				} else {
+					b.DepIDs = append(b.DepIDs, behavioralIDs[ccdCursor])
+					ccdCursor++
+				}
+			}
+			// CPD involvement: 1 bug in the create scenario, 4 in the
+			// fsck scenario (Table 3: 7.7% and 11.1%).
+			switch {
+			case sc == ScenarioCreateMount && i == 2:
+				b.DepIDs = append(b.DepIDs, cpdIDs[0])
+			case sc == ScenarioFsck && i == 1:
+				b.DepIDs = append(b.DepIDs, cpdIDs[2])
+			case sc == ScenarioFsck && i == 7:
+				b.DepIDs = append(b.DepIDs, cpdIDs[1])
+			case sc == ScenarioFsck && i == 19:
+				b.DepIDs = append(b.DepIDs, cpdIDs[3])
+			case sc == ScenarioFsck && i == 23:
+				b.DepIDs = append(b.DepIDs, cpdIDs[0])
+			}
+			if sc == ScenarioResize && i == 0 {
+				b.SimReproducible = true // Figure 1
+			}
+			bugs = append(bugs, b)
+		}
+	}
+	return bugs
+}

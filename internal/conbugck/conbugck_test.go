@@ -1,0 +1,127 @@
+package conbugck
+
+import (
+	"testing"
+
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
+	"fsdep/internal/testsuite"
+)
+
+func extractedDeps(t *testing.T) *depmodel.Set {
+	t.Helper()
+	comps := corpus.Components()
+	union := depmodel.NewSet()
+	for _, sc := range corpus.Scenarios() {
+		res, err := core.Analyze(comps, sc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union.AddAll(res.Deps.Deps())
+	}
+	return union
+}
+
+func TestGeneratedConfigsPassValidation(t *testing.T) {
+	// The whole point of ConBugCk: dependency-respecting configs
+	// never die on shallow validation, so the workload drives deep.
+	g := NewGenerator(extractedDeps(t), 42)
+	cfgs := g.Plan(20)
+	if len(cfgs) != 20 {
+		t.Fatalf("planned %d configs", len(cfgs))
+	}
+	rep := Execute(cfgs)
+	if rep.Shallow != 0 {
+		for _, r := range rep.Results {
+			if r.ShallowReject {
+				t.Logf("shallow reject: %s: %v", r.Config.Label, r.Err)
+			}
+		}
+		t.Fatalf("shallow rejections = %d, want 0", rep.Shallow)
+	}
+	if rep.Deep != 0 {
+		for _, r := range rep.Results {
+			if r.DeepFailure {
+				t.Logf("deep failure: %s: %v", r.Config.Label, r.Err)
+			}
+		}
+		t.Fatalf("deep failures = %d, want 0 on the fixed ecosystem", rep.Deep)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	deps := extractedDeps(t)
+	a := NewGenerator(deps, 7).Plan(10)
+	b := NewGenerator(deps, 7).Plan(10)
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatalf("config %d differs for same seed: %q vs %q", i, a[i].Label, b[i].Label)
+		}
+	}
+	c := NewGenerator(deps, 8).Plan(10)
+	same := true
+	for i := range a {
+		if a[i].Label != c[i].Label {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestRangeOfUsesExtractedBounds(t *testing.T) {
+	deps := depmodel.NewSet()
+	min, max := int64(2048), int64(8192)
+	deps.Add(depmodel.Dependency{
+		Kind:       depmodel.SDValueRange,
+		Source:     depmodel.ParamRef{Component: "mke2fs", Param: "blocksize"},
+		Constraint: depmodel.Constraint{Min: &min, Max: &max},
+	})
+	g := NewGenerator(deps, 1)
+	lo, hi := g.rangeOf("mke2fs", "blocksize", 1024, 65536)
+	if lo != 2048 || hi != 8192 {
+		t.Errorf("range = [%d,%d], want [2048,8192]", lo, hi)
+	}
+	lo, hi = g.rangeOf("mke2fs", "unknown", 1, 9)
+	if lo != 1 || hi != 9 {
+		t.Errorf("fallback range = [%d,%d]", lo, hi)
+	}
+}
+
+func TestCoverageGainOverXfstest(t *testing.T) {
+	g := NewGenerator(extractedDeps(t), 42)
+	rep := Execute(g.Plan(20))
+	baseline := testsuite.Xfstest().UsedParams()
+	base, enhanced, newParams := rep.CoverageGain(baseline)
+	if base != len(baseline) {
+		t.Errorf("baseline count = %d", base)
+	}
+	if enhanced <= base {
+		t.Errorf("no coverage gain: %d -> %d (new: %v)", base, enhanced, newParams)
+	}
+	if len(newParams) == 0 {
+		t.Error("no new parameters exercised")
+	}
+}
+
+func TestConfigsRespectConflicts(t *testing.T) {
+	// No generated config may enable both meta_bg and resize_inode.
+	g := NewGenerator(extractedDeps(t), 3)
+	for _, cfg := range g.Plan(50) {
+		hasMetaBG, clearsResize := false, false
+		for _, f := range cfg.Mkfs.Features {
+			if f == "meta_bg" {
+				hasMetaBG = true
+			}
+			if f == "^resize_inode" {
+				clearsResize = true
+			}
+		}
+		if hasMetaBG && !clearsResize {
+			t.Errorf("config enables meta_bg without clearing resize_inode: %v",
+				cfg.Mkfs.Features)
+		}
+	}
+}

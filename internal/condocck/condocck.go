@@ -1,0 +1,181 @@
+// Package condocck implements ConDocCk (§4.2): it cross-checks the
+// dependencies the analyzer extracted from the source code against the
+// user manuals (the Doc strings of the corpus parameter manifest) and
+// reports constraints the documentation fails to state — the paper
+// found 12 such inaccurate documentation issues, including the
+// meta_bg/resize_inode conflict missing from the mke2fs manual.
+package condocck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fsdep/internal/core"
+	"fsdep/internal/depmodel"
+)
+
+// IssueKind classifies a documentation finding.
+type IssueKind uint8
+
+// Documentation issue kinds.
+const (
+	// MissingConstraint: the manual never mentions the related
+	// parameter of a cross-parameter dependency.
+	MissingConstraint IssueKind = iota + 1
+	// MissingRange: the manual does not state the code's value range.
+	MissingRange
+	// MissingCrossComponent: the manual of the parameter never warns
+	// that another component's behaviour depends on it.
+	MissingCrossComponent
+)
+
+// String names the issue kind.
+func (k IssueKind) String() string {
+	switch k {
+	case MissingConstraint:
+		return "missing-constraint"
+	case MissingRange:
+		return "missing-range"
+	case MissingCrossComponent:
+		return "missing-cross-component"
+	default:
+		return fmt.Sprintf("IssueKind(%d)", uint8(k))
+	}
+}
+
+// Issue is one documentation inconsistency.
+type Issue struct {
+	Kind IssueKind
+	// Dep is the code-derived dependency the manual fails to state.
+	Dep depmodel.Dependency
+	// Param is the parameter whose documentation is deficient.
+	Param depmodel.ParamRef
+	// Detail explains what the manual should say.
+	Detail string
+}
+
+// String renders the issue.
+func (i Issue) String() string {
+	return fmt.Sprintf("[%s] %s: %s", i.Kind, i.Param, i.Detail)
+}
+
+// docIndex maps component.param → documentation text.
+type docIndex map[string]string
+
+func buildIndex(comps map[string]*core.Component) docIndex {
+	idx := make(docIndex)
+	for _, c := range comps {
+		for _, p := range c.Params {
+			idx[c.Name+"."+p.Name] = strings.ToLower(p.Doc)
+		}
+	}
+	return idx
+}
+
+// mentions reports whether the doc text names the given parameter.
+// Underscore names are also matched with spaces ("inode_size" vs
+// "inode size").
+func (idx docIndex) mentions(owner depmodel.ParamRef, name string) bool {
+	doc, ok := idx[owner.String()]
+	if !ok || doc == "" {
+		return false
+	}
+	name = strings.ToLower(name)
+	if strings.Contains(doc, name) {
+		return true
+	}
+	if strings.Contains(doc, strings.ReplaceAll(name, "_", " ")) {
+		return true
+	}
+	// "block size" in prose matches the parameter name "blocksize".
+	return strings.Contains(strings.ReplaceAll(doc, " ", ""), name)
+}
+
+// statesNumber reports whether the doc contains the decimal rendering
+// of v.
+func (idx docIndex) statesNumber(owner depmodel.ParamRef, v int64) bool {
+	doc := idx[owner.String()]
+	return containsNumber(doc, v)
+}
+
+func containsNumber(doc string, v int64) bool {
+	s := strconv.FormatInt(v, 10)
+	for i := 0; i+len(s) <= len(doc); i++ {
+		if doc[i:i+len(s)] != s {
+			continue
+		}
+		beforeOK := i == 0 || !isDigit(doc[i-1])
+		after := i + len(s)
+		afterOK := after == len(doc) || !isDigit(doc[after])
+		if beforeOK && afterOK {
+			return true
+		}
+	}
+	return false
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Check audits the manuals against the given (true) dependencies and
+// returns the documentation issues found, in deterministic order.
+func Check(comps map[string]*core.Component, deps []depmodel.Dependency) []Issue {
+	idx := buildIndex(comps)
+	var issues []Issue
+	seen := map[string]bool{}
+	add := func(i Issue) {
+		k := i.Kind.String() + "|" + i.Param.String() + "|" + i.Dep.Key()
+		if !seen[k] {
+			seen[k] = true
+			issues = append(issues, i)
+		}
+	}
+	for _, d := range deps {
+		switch d.Kind {
+		case depmodel.SDValueRange:
+			// Enum-style ranges document mode names, not numbers;
+			// only numeric bounds are checked.
+			if len(d.Constraint.Enum) > 0 {
+				continue
+			}
+			missing := false
+			if d.Constraint.Min != nil && !idx.statesNumber(d.Source, *d.Constraint.Min) {
+				missing = true
+			}
+			if d.Constraint.Max != nil && !idx.statesNumber(d.Source, *d.Constraint.Max) {
+				missing = true
+			}
+			if missing {
+				add(Issue{Kind: MissingRange, Dep: d, Param: d.Source,
+					Detail: fmt.Sprintf("manual does not state the valid range (%s)", d.Constraint.Expr)})
+			}
+		case depmodel.CPDControl, depmodel.CPDValue:
+			if idx.mentions(d.Source, d.Target.Param) || idx.mentions(d.Target, d.Source.Param) {
+				continue
+			}
+			add(Issue{Kind: MissingConstraint, Dep: d, Param: d.Source,
+				Detail: fmt.Sprintf("manual does not mention the dependency on %s (%s)",
+					d.Target.Param, d.Constraint.Expr)})
+		case depmodel.CCDControl, depmodel.CCDValue, depmodel.CCDBehavioral:
+			// The manual of the creating parameter should warn that
+			// the other component's behaviour depends on it.
+			if idx.mentions(d.Target, d.Source.Component) {
+				continue
+			}
+			add(Issue{Kind: MissingCrossComponent, Dep: d, Param: d.Target,
+				Detail: fmt.Sprintf("manual does not mention that %s depends on this parameter",
+					d.Source.Component)})
+		}
+	}
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].Kind != issues[j].Kind {
+			return issues[i].Kind < issues[j].Kind
+		}
+		if issues[i].Param != issues[j].Param {
+			return issues[i].Param.Less(issues[j].Param)
+		}
+		return issues[i].Dep.Key() < issues[j].Dep.Key()
+	})
+	return issues
+}

@@ -1,0 +1,110 @@
+package condocck
+
+import (
+	"strings"
+	"testing"
+
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
+	"fsdep/internal/taint"
+)
+
+// trueDeps extracts the analyzer's true dependencies over all
+// scenarios.
+func trueDeps(t *testing.T) []depmodel.Dependency {
+	t.Helper()
+	comps := corpus.Components()
+	union := depmodel.NewSet()
+	for _, sc := range corpus.Scenarios() {
+		res, err := core.Analyze(comps, sc, core.Options{Mode: taint.Intra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union.AddAll(res.Deps.Deps())
+	}
+	tp, _ := corpus.Score(union.Deps())
+	return tp
+}
+
+func TestFindsTwelveDocIssues(t *testing.T) {
+	issues := Check(corpus.Components(), trueDeps(t))
+	if len(issues) != 12 {
+		for _, i := range issues {
+			t.Logf("  %s", i)
+		}
+		t.Fatalf("found %d documentation issues, want 12 (paper §4.3)", len(issues))
+	}
+}
+
+func TestMetaBgResizeInodeIssuePresent(t *testing.T) {
+	// The paper's example: the meta_bg/resize_inode conflict is
+	// missing from the mke2fs manual.
+	issues := Check(corpus.Components(), trueDeps(t))
+	found := false
+	for _, i := range issues {
+		if i.Kind == MissingConstraint &&
+			strings.Contains(i.Dep.Key(), "resize_inode") &&
+			strings.Contains(i.Dep.Key(), "meta_bg") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("meta_bg/resize_inode documentation issue not detected")
+	}
+}
+
+func TestWellDocumentedDepNotFlagged(t *testing.T) {
+	// cluster_size's manual names bigalloc, so that CPD must not be
+	// flagged.
+	issues := Check(corpus.Components(), trueDeps(t))
+	for _, i := range issues {
+		if strings.Contains(i.Dep.Key(), "cluster_size") &&
+			strings.Contains(i.Dep.Key(), "bigalloc") {
+			t.Errorf("documented dependency flagged: %s", i)
+		}
+	}
+}
+
+func TestRangeCheckedAgainstDocNumbers(t *testing.T) {
+	comps := corpus.Components()
+	min, max := int64(1024), int64(65536)
+	dep := depmodel.Dependency{
+		Kind:   depmodel.SDValueRange,
+		Source: depmodel.ParamRef{Component: "mke2fs", Param: "blocksize"},
+		Constraint: depmodel.Constraint{
+			Min: &min, Max: &max, Expr: "1024 <= blocksize <= 65536",
+		},
+	}
+	if issues := Check(comps, []depmodel.Dependency{dep}); len(issues) != 0 {
+		t.Errorf("documented range flagged: %v", issues)
+	}
+	badMax := int64(131072)
+	dep.Constraint.Max = &badMax
+	if issues := Check(comps, []depmodel.Dependency{dep}); len(issues) != 1 {
+		t.Errorf("undocumented bound not flagged: %v", issues)
+	}
+}
+
+func TestContainsNumberWordBoundaries(t *testing.T) {
+	if containsNumber("valid values are 10240 bytes", 1024) {
+		t.Error("1024 should not match inside 10240")
+	}
+	if !containsNumber("between 128 and 1024.", 1024) {
+		t.Error("1024 should match before punctuation")
+	}
+}
+
+func TestIssuesDeterministicOrder(t *testing.T) {
+	deps := trueDeps(t)
+	a := Check(corpus.Components(), deps)
+	b := Check(corpus.Components(), deps)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic issue count")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("issue %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package conhandleck
+
+import (
+	"strings"
+	"testing"
+
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
+)
+
+func extractedDeps(t *testing.T) *depmodel.Set {
+	t.Helper()
+	comps := corpus.Components()
+	union := depmodel.NewSet()
+	for _, sc := range corpus.Scenarios() {
+		res, err := core.Analyze(comps, sc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		union.AddAll(res.Deps.Deps())
+	}
+	return union
+}
+
+func TestExactlyOneSilentCorruption(t *testing.T) {
+	rep := Run(nil) // all drivers
+	bad := rep.Corruptions()
+	if len(bad) != 1 {
+		for _, tr := range rep.Trials {
+			t.Logf("%-60s %s", tr.Desc, tr.Outcome)
+		}
+		t.Fatalf("silent corruptions = %d, want 1 (paper §4.3)", len(bad))
+	}
+	if !strings.Contains(bad[0].Desc, "sparse_super2") {
+		t.Errorf("unexpected corruption case: %+v", bad[0])
+	}
+}
+
+func TestMostViolationsHandledGracefully(t *testing.T) {
+	rep := Run(nil)
+	if rep.Counts[Rejected] < 10 {
+		t.Errorf("rejected = %d, expected most violations to be refused", rep.Counts[Rejected])
+	}
+	total := 0
+	for _, n := range rep.Counts {
+		total += n
+	}
+	if total != len(rep.Trials) {
+		t.Errorf("counts %v do not sum to %d trials", rep.Counts, len(rep.Trials))
+	}
+}
+
+func TestDriversMatchExtractedDependencies(t *testing.T) {
+	// Every driver must violate a dependency the analyzer actually
+	// extracts — ConHandleCk is driven by the extraction output.
+	deps := extractedDeps(t)
+	for _, d := range drivers() {
+		if d.fromStudy {
+			continue // sourced from the bugdb study, not extraction
+		}
+		if !deps.ContainsKey(d.depKey) {
+			t.Errorf("driver targets unextracted dependency %q", d.depKey)
+		}
+	}
+}
+
+func TestRunFiltersByDependencySet(t *testing.T) {
+	// With an empty dependency set nothing runs.
+	empty := depmodel.NewSet()
+	rep := Run(empty)
+	if len(rep.Trials) != 2 {
+		// Only the two study-sourced drivers run without extraction.
+		t.Errorf("trials = %d with empty dependency set, want 2", len(rep.Trials))
+	}
+	full := Run(extractedDeps(t))
+	if len(full.Trials) != len(drivers()) {
+		t.Errorf("trials = %d, want %d", len(full.Trials), len(drivers()))
+	}
+}
+
+func TestFigure1TrialDetails(t *testing.T) {
+	rep := Run(nil)
+	for _, tr := range rep.Trials {
+		if tr.Outcome == SilentCorruption {
+			if !strings.Contains(tr.Detail, "audit problems") {
+				t.Errorf("corruption detail lacks audit evidence: %q", tr.Detail)
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"testing"
+
+	"fsdep/internal/depmodel"
+	"fsdep/internal/taint"
+)
+
+// miniComponent builds a small component for focused rule tests.
+func miniComponent(name, src string, params ...Param) *Component {
+	return &Component{Name: name, Source: src, Params: params}
+}
+
+func analyze(t *testing.T, comps map[string]*Component, sc Scenario, opts Options) *Result {
+	t.Helper()
+	res, err := Analyze(comps, sc, opts)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return res
+}
+
+func TestSDDataTypeFromParser(t *testing.T) {
+	c := miniComponent("tool", `
+struct opts { long size; };
+void parse(struct opts *opts, char **argv) {
+	opts->size = strtoul(argv[1], 0, 10);
+}`, Param{Name: "size", Var: "opts.size", CType: "int"})
+	res := analyze(t, map[string]*Component{"tool": c}, Scenario{
+		Name: "t", Components: []string{"tool"},
+		Funcs: map[string][]string{"tool": {"parse"}},
+	}, Options{})
+	found := false
+	for _, d := range res.Deps.Deps() {
+		if d.Kind == depmodel.SDDataType && d.Source.Param == "size" &&
+			d.Constraint.DataType == "int" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no SD data-type extracted: %v", res.Deps.Deps())
+	}
+}
+
+func TestSDValueRangeBounds(t *testing.T) {
+	c := miniComponent("tool", `
+#define MIN_V 16
+#define MAX_V 256
+struct opts { long size; };
+int check(struct opts *opts) {
+	if (opts->size < MIN_V || opts->size > MAX_V) {
+		return fail();
+	}
+	return 0;
+}`, Param{Name: "size", Var: "opts.size", CType: "int"})
+	res := analyze(t, map[string]*Component{"tool": c}, Scenario{
+		Name: "t", Components: []string{"tool"},
+		Funcs: map[string][]string{"tool": {"check"}},
+	}, Options{})
+	var dep *depmodel.Dependency
+	for _, d := range res.Deps.Deps() {
+		if d.Kind == depmodel.SDValueRange {
+			dd := d
+			dep = &dd
+		}
+	}
+	if dep == nil {
+		t.Fatalf("no value range extracted: %v", res.Deps.Deps())
+	}
+	if dep.Constraint.Min == nil || *dep.Constraint.Min != 16 {
+		t.Errorf("min = %v, want 16", dep.Constraint.Min)
+	}
+	if dep.Constraint.Max == nil || *dep.Constraint.Max != 256 {
+		t.Errorf("max = %v, want 256", dep.Constraint.Max)
+	}
+}
+
+func TestCPDControlFromFeatureConflict(t *testing.T) {
+	c := miniComponent("tool", `
+struct opts { int a; int b; };
+int check(struct opts *opts) {
+	if (opts->a && opts->b) {
+		return fail();
+	}
+	return 0;
+}`,
+		Param{Name: "feat_a", Var: "opts.a", CType: "bool"},
+		Param{Name: "feat_b", Var: "opts.b", CType: "bool"})
+	res := analyze(t, map[string]*Component{"tool": c}, Scenario{
+		Name: "t", Components: []string{"tool"},
+		Funcs: map[string][]string{"tool": {"check"}},
+	}, Options{})
+	found := false
+	for _, d := range res.Deps.Deps() {
+		if d.Kind == depmodel.CPDControl &&
+			d.Source.Param == "feat_a" && d.Target.Param == "feat_b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no CPD control extracted: %v", res.Deps.Deps())
+	}
+}
+
+func TestCPDValueFromComparison(t *testing.T) {
+	c := miniComponent("tool", `
+struct opts { long a; long b; };
+int check(struct opts *opts) {
+	if (opts->a < opts->b) {
+		return fail();
+	}
+	return 0;
+}`,
+		Param{Name: "a", Var: "opts.a", CType: "int"},
+		Param{Name: "b", Var: "opts.b", CType: "int"})
+	res := analyze(t, map[string]*Component{"tool": c}, Scenario{
+		Name: "t", Components: []string{"tool"},
+		Funcs: map[string][]string{"tool": {"check"}},
+	}, Options{})
+	found := false
+	for _, d := range res.Deps.Deps() {
+		if d.Kind == depmodel.CPDValue && d.Constraint.Relation == "lt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no CPD value extracted: %v", res.Deps.Deps())
+	}
+}
+
+func TestCCDThroughMetadataBridge(t *testing.T) {
+	shared := `
+struct super { u32 s_field; };
+`
+	writer := miniComponent("writer", shared+`
+struct wopts { long v; };
+void setup(struct wopts *opts, struct super *sb) {
+	sb->s_field = opts->v;
+}`, Param{Name: "v", Var: "opts.v", CType: "int"})
+	reader := miniComponent("reader", shared+`
+struct ropts { long limit; };
+int check(struct ropts *opts, struct super *sb) {
+	if (opts->limit > sb->s_field) {
+		return fail();
+	}
+	return 0;
+}`, Param{Name: "limit", Var: "opts.limit", CType: "int"})
+	res := analyze(t, map[string]*Component{"writer": writer, "reader": reader}, Scenario{
+		Name: "t", Components: []string{"writer", "reader"},
+		Funcs: map[string][]string{
+			"writer": {"setup"},
+			"reader": {"check"},
+		},
+	}, Options{})
+	found := false
+	for _, d := range res.Deps.Deps() {
+		if d.Kind.Category() == depmodel.CCD &&
+			d.Source.Component == "reader" && d.Target.Param == "v" {
+			found = true
+			if len(d.Via) == 0 || d.Via[0] != "super.s_field" {
+				t.Errorf("via = %v", d.Via)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no CCD extracted: %v", res.Deps.Deps())
+	}
+}
+
+func TestCCDRequiresSelectedWriter(t *testing.T) {
+	// Without the writer function in the pre-selected list, the
+	// bridge has no tainted writes and CCD extraction yields nothing
+	// (the paper's scenario-1 behaviour).
+	shared := "struct super { u32 s_field; };\n"
+	writer := miniComponent("writer", shared+`
+struct wopts { long v; };
+void setup(struct wopts *opts, struct super *sb) {
+	sb->s_field = opts->v;
+}
+void unrelated(struct wopts *opts) { opts->v = opts->v; }`,
+		Param{Name: "v", Var: "opts.v", CType: "int"})
+	reader := miniComponent("reader", shared+`
+struct ropts { long limit; };
+int check(struct ropts *opts, struct super *sb) {
+	if (opts->limit > sb->s_field) {
+		return fail();
+	}
+	return 0;
+}`, Param{Name: "limit", Var: "opts.limit", CType: "int"})
+	res := analyze(t, map[string]*Component{"writer": writer, "reader": reader}, Scenario{
+		Name: "t", Components: []string{"writer", "reader"},
+		Funcs: map[string][]string{
+			"writer": {"unrelated"},
+			"reader": {"check"},
+		},
+	}, Options{})
+	for _, d := range res.Deps.Deps() {
+		if d.Kind.Category() == depmodel.CCD {
+			t.Errorf("unexpected CCD without selected writer: %v", d)
+		}
+	}
+}
+
+func TestSanitizerSuppressesRange(t *testing.T) {
+	c := miniComponent("tool", `
+struct opts { long size; };
+int check(struct opts *opts) {
+	long v = clamp(opts->size);
+	if (v < 16 || v > 256) {
+		return fail();
+	}
+	return 0;
+}`, Param{Name: "size", Var: "opts.size", CType: "int"})
+	res := analyze(t, map[string]*Component{"tool": c}, Scenario{
+		Name: "t", Components: []string{"tool"},
+		Funcs: map[string][]string{"tool": {"check"}},
+	}, Options{Sanitizers: []string{"clamp"}})
+	for _, d := range res.Deps.Deps() {
+		if d.Kind == depmodel.SDValueRange {
+			t.Errorf("sanitized value produced a range dep: %v", d)
+		}
+	}
+}
+
+func TestUnknownComponentRejected(t *testing.T) {
+	_, err := Analyze(map[string]*Component{}, Scenario{
+		Name: "t", Components: []string{"ghost"},
+		Funcs: map[string][]string{"ghost": {"f"}},
+	}, Options{})
+	if err == nil {
+		t.Fatal("expected error for unknown component")
+	}
+}
+
+func TestBadSourceRejected(t *testing.T) {
+	c := miniComponent("broken", "int f( {", Param{Name: "x", Var: "x"})
+	_, err := Analyze(map[string]*Component{"broken": c}, Scenario{
+		Name: "t", Components: []string{"broken"},
+		Funcs: map[string][]string{"broken": {"f"}},
+	}, Options{})
+	if err == nil {
+		t.Fatal("expected compile error")
+	}
+}
+
+func TestInterModeFindsCalleeDeps(t *testing.T) {
+	c := miniComponent("tool", `
+struct opts { long size; };
+int check_range(long v) {
+	if (v < 16 || v > 256) {
+		return fail();
+	}
+	return 0;
+}
+int check(struct opts *opts) {
+	return check_range(opts->size);
+}`, Param{Name: "size", Var: "opts.size", CType: "int"})
+	mk := func(mode taint.Mode) int {
+		res := analyze(t, map[string]*Component{"tool": c}, Scenario{
+			Name: "t", Components: []string{"tool"},
+			Funcs: map[string][]string{"tool": {"check", "check_range"}},
+		}, Options{Mode: mode})
+		n := 0
+		for _, d := range res.Deps.Deps() {
+			if d.Kind == depmodel.SDValueRange {
+				n++
+			}
+		}
+		return n
+	}
+	if got := mk(taint.Intra); got != 0 {
+		t.Errorf("intra mode found %d ranges through the call, want 0", got)
+	}
+	if got := mk(taint.Inter); got != 1 {
+		t.Errorf("inter mode found %d ranges, want 1", got)
+	}
+}

@@ -1,0 +1,171 @@
+package corpus
+
+import (
+	"testing"
+
+	"fsdep/internal/core"
+	"fsdep/internal/depmodel"
+	"fsdep/internal/taint"
+)
+
+func TestAllComponentsCompile(t *testing.T) {
+	for name, c := range Components() {
+		if err := c.Compile(); err != nil {
+			t.Errorf("component %s: %v", name, err)
+		}
+	}
+}
+
+func TestParamVarsResolve(t *testing.T) {
+	// Every manifest Var must correspond to a struct field actually
+	// present in the component's source (catching manifest drift).
+	for name, c := range Components() {
+		prog, err := c.Program()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, p := range c.Params {
+			var root, field string
+			if i := indexByte(p.Var, '.'); i >= 0 {
+				root, field = p.Var[:i], p.Var[i+1:]
+			} else {
+				root = p.Var
+			}
+			_ = root
+			if field == "" {
+				continue
+			}
+			found := false
+			for _, st := range prog.Structs {
+				if st.FieldIndex(field) >= 0 {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: param %s references missing field %q", name, p.Name, field)
+			}
+		}
+	}
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestScenarioFunctionsExist(t *testing.T) {
+	comps := Components()
+	for _, sc := range Scenarios() {
+		for compName, funcs := range sc.Funcs {
+			c := comps[compName]
+			if c == nil {
+				t.Fatalf("scenario %s references unknown component %s", sc.Name, compName)
+			}
+			prog, err := c.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range funcs {
+				if _, ok := prog.Funcs[f]; !ok {
+					t.Errorf("scenario %s: %s has no function %q", sc.Name, compName, f)
+				}
+			}
+		}
+	}
+}
+
+func TestGroundTruthKeysAreExtractable(t *testing.T) {
+	// Every ground-truth label must actually be extracted by some
+	// scenario — stale labels would silently distort FP rates.
+	comps := Components()
+	extracted := depmodel.NewSet()
+	for _, sc := range Scenarios() {
+		res, err := core.Analyze(comps, sc, core.Options{Mode: taint.Intra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		extracted.AddAll(res.Deps.Deps())
+	}
+	for key := range TrueDeps {
+		if !extracted.ContainsKey(key) {
+			t.Errorf("ground-truth key never extracted: %s", key)
+		}
+	}
+}
+
+func TestDesignedFalsePositives(t *testing.T) {
+	// The five known over-approximations must be extracted AND
+	// labeled false.
+	fps := []string{
+		"cpd-control|mke2fs.backup_bg0|mke2fs.backup_bg1|control",
+		"sd-value-range|resize2fs.new_size",
+		"sd-value-range|resize2fs.force",
+		"sd-value-range|resize2fs.print_min",
+		"ccd-behavioral|resize2fs.|mke2fs.has_journal|behavioral",
+	}
+	comps := Components()
+	extracted := depmodel.NewSet()
+	for _, sc := range Scenarios() {
+		res, err := core.Analyze(comps, sc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		extracted.AddAll(res.Deps.Deps())
+	}
+	for _, key := range fps {
+		if !extracted.ContainsKey(key) {
+			t.Errorf("designed FP not extracted: %s", key)
+		}
+		if TrueDeps[key] {
+			t.Errorf("designed FP wrongly labeled true: %s", key)
+		}
+	}
+}
+
+func TestScoreSplitsTrueAndFalse(t *testing.T) {
+	deps := []depmodel.Dependency{
+		{Kind: depmodel.SDValueRange,
+			Source: depmodel.ParamRef{Component: "mke2fs", Param: "blocksize"}},
+		{Kind: depmodel.SDValueRange,
+			Source: depmodel.ParamRef{Component: "resize2fs", Param: "force"}},
+	}
+	tp, fp := Score(deps)
+	if len(tp) != 1 || len(fp) != 1 {
+		t.Fatalf("tp=%d fp=%d, want 1/1", len(tp), len(fp))
+	}
+	if tp[0].Source.Param != "blocksize" || fp[0].Source.Param != "force" {
+		t.Errorf("wrong split: tp=%v fp=%v", tp, fp)
+	}
+}
+
+func TestParamsHaveDocs(t *testing.T) {
+	for name, c := range Components() {
+		for _, p := range c.Params {
+			if p.Doc == "" {
+				t.Errorf("%s.%s has no documentation", name, p.Name)
+			}
+		}
+	}
+}
+
+func TestScenarioNamesMatchPaperRows(t *testing.T) {
+	want := []string{
+		"mke2fs-mount-ext4",
+		"mke2fs-mount-ext4-e4defrag",
+		"mke2fs-mount-ext4-umount-resize2fs",
+		"mke2fs-mount-ext4-umount-e2fsck",
+	}
+	scs := Scenarios()
+	if len(scs) != len(want) {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	for i, sc := range scs {
+		if sc.Name != want[i] {
+			t.Errorf("scenario %d = %q, want %q", i, sc.Name, want[i])
+		}
+	}
+}

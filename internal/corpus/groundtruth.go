@@ -1,0 +1,96 @@
+package corpus
+
+// TrueDeps is the ground-truth label set: dependency keys (see
+// depmodel.Dependency.Key) that are real constraints of the
+// ecosystem, audited against the simulated utilities in
+// internal/mke2fs, internal/mountsim, internal/resize2fs,
+// internal/e2fsck, and internal/e4defrag. Extracted dependencies
+// absent from this set are false positives - each arises from a
+// genuine over-approximation of the intra-procedural prototype:
+//
+//   - mke2fs.backup_bg0 vs backup_bg1: the two backup groups are
+//     tested in one branch, so the analyzer pairs them although
+//     only their relation to sparse_super2 is a real constraint.
+//   - resize2fs.new_size value range: "size == 0" is a sentinel
+//     for "fill the device", not a range constraint.
+//   - resize2fs.force value range: force is a repeat-counted flag;
+//     "force > 1" selects verbosity, not a valid range.
+//   - resize2fs.print_min value range: "print_min == 1" is a plain
+//     boolean dispatch.
+//   - resize2fs behavior on mke2fs.has_journal: has_journal shares
+//     the compat feature word that resize2fs tests for
+//     sparse_super2, so the field-granular bridge over-approximates.
+var TrueDeps = map[string]bool{
+	"ccd-behavioral|resize2fs.|mke2fs.resize_inode|behavioral":     true,
+	"ccd-behavioral|resize2fs.|mke2fs.sparse_super2|behavioral":    true,
+	"ccd-value|resize2fs.new_size|mke2fs.backup_bg1|behavioral":    true,
+	"ccd-value|resize2fs.new_size|mke2fs.blocks_count|behavioral":  true,
+	"ccd-value|resize2fs.new_size|mke2fs.resize_inode|behavioral":  true,
+	"cpd-control|e2fsck.no_change|e2fsck.yes|control":              true,
+	"cpd-control|e2fsck.preen|e2fsck.no_change|control":            true,
+	"cpd-control|e2fsck.preen|e2fsck.yes|control":                  true,
+	"cpd-control|e2fsck.superblock|e2fsck.blocksize_opt|control":   true,
+	"cpd-control|e4defrag.dry_run|e4defrag.force_defrag|control":   true,
+	"cpd-control|e4defrag.verbose|e4defrag.dry_run|control":        true,
+	"cpd-control|ext4.dax|ext4.data|control":                       true,
+	"cpd-control|mke2fs.backup_bg0|mke2fs.sparse_super2|control":   true,
+	"cpd-control|mke2fs.bigalloc|mke2fs.extent|control":            true,
+	"cpd-control|mke2fs.cluster_size|mke2fs.bigalloc|control":      true,
+	"cpd-control|mke2fs.dir_index|mke2fs.filetype|control":         true,
+	"cpd-control|mke2fs.extent|mke2fs.64bit|control":               true,
+	"cpd-control|mke2fs.flex_bg|mke2fs.flex_bg_size|control":       true,
+	"cpd-control|mke2fs.has_journal|mke2fs.journal_dev|control":    true,
+	"cpd-control|mke2fs.has_journal|mke2fs.journal_size|control":   true,
+	"cpd-control|mke2fs.inline_data|mke2fs.dir_index|control":      true,
+	"cpd-control|mke2fs.mmp|mke2fs.mmp_interval|control":           true,
+	"cpd-control|mke2fs.resize_inode|mke2fs.bigalloc|control":      true,
+	"cpd-control|mke2fs.resize_inode|mke2fs.meta_bg|control":       true,
+	"cpd-control|mke2fs.sparse_super|mke2fs.resize_inode|control":  true,
+	"cpd-control|mke2fs.sparse_super|mke2fs.sparse_super2|control": true,
+	"cpd-control|mount.dax|mount.data|control":                     true,
+	"cpd-control|mount.noload|mount.data|control":                  true,
+	"cpd-control|resize2fs.force|resize2fs.print_min|control":      true,
+	"cpd-control|resize2fs.minimum|resize2fs.print_min|control":    true,
+	"cpd-control|resize2fs.new_size|resize2fs.minimum|control":     true,
+	"cpd-control|resize2fs.new_size|resize2fs.print_min|control":   true,
+	"cpd-control|resize2fs.print_min|resize2fs.progress|control":   true,
+	"cpd-value|mke2fs.backup_bg1|mke2fs.blocks_count|gt":           true,
+	"cpd-value|mke2fs.blocks_count|mke2fs.blocksize|lt":            true,
+	"cpd-value|mke2fs.blocksize|mke2fs.cluster_size|derived-bound": true,
+	"cpd-value|mke2fs.inode_ratio|mke2fs.blocksize|lt":             true,
+	"cpd-value|mke2fs.inode_ratio|mke2fs.inode_size|lt":            true,
+	"cpd-value|mke2fs.inode_size|mke2fs.blocksize|gt":              true,
+	"sd-data-type|e2fsck.superblock":                               true,
+	"sd-data-type|ext4.commit":                                     true,
+	"sd-data-type|ext4.data":                                       true,
+	"sd-data-type|ext4.dax":                                        true,
+	"sd-data-type|ext4.stripe":                                     true,
+	"sd-data-type|mke2fs.backup_bg0":                               true,
+	"sd-data-type|mke2fs.backup_bg1":                               true,
+	"sd-data-type|mke2fs.blocks_count":                             true,
+	"sd-data-type|mke2fs.blocksize":                                true,
+	"sd-data-type|mke2fs.cluster_size":                             true,
+	"sd-data-type|mke2fs.flex_bg_size":                             true,
+	"sd-data-type|mke2fs.inode_ratio":                              true,
+	"sd-data-type|mke2fs.inode_size":                               true,
+	"sd-data-type|mke2fs.journal_size":                             true,
+	"sd-data-type|mke2fs.label":                                    true,
+	"sd-data-type|mke2fs.mmp_interval":                             true,
+	"sd-data-type|mke2fs.reserved_percent":                         true,
+	"sd-data-type|mount.data":                                      true,
+	"sd-data-type|mount.dax":                                       true,
+	"sd-data-type|mount.errors":                                    true,
+	"sd-data-type|mount.noload":                                    true,
+	"sd-data-type|mount.ro":                                        true,
+	"sd-data-type|resize2fs.new_size":                              true,
+	"sd-value-range|ext4.commit":                                   true,
+	"sd-value-range|ext4.data":                                     true,
+	"sd-value-range|ext4.stripe":                                   true,
+	"sd-value-range|mke2fs.blocks_count":                           true,
+	"sd-value-range|mke2fs.blocksize":                              true,
+	"sd-value-range|mke2fs.inode_size":                             true,
+	"sd-value-range|mke2fs.label":                                  true,
+	"sd-value-range|mke2fs.reserved_percent":                       true,
+	"sd-value-range|mount.data":                                    true,
+	"sd-value-range|mount.errors":                                  true,
+}

@@ -1,0 +1,324 @@
+// Package corpus embeds the mini-C sources of the Ext4 ecosystem
+// components the analyzer runs on, together with the parameter
+// manifest, the per-scenario pre-selected function lists, and the
+// ground-truth dependency labels used to score false positives.
+//
+// The sources are modeled on the configuration-handling logic of the
+// real e2fsprogs utilities and the ext4 kernel module: option parsing
+// with typed parsers, explicit value-range and feature-conflict
+// validation, and superblock field accesses through the shared
+// struct ext2_super_block — the metadata structures that §4.1 of the
+// paper uses to bridge parameters across components.
+package corpus
+
+// SharedHeader declares the metadata structures and constants every
+// component includes. Matching struct tags across components are what
+// make the analyzer's metadata bridge work.
+const SharedHeader = `
+/* ext2_fs.h (corpus subset): shared on-disk metadata structures. */
+
+#define EXT2_SUPER_MAGIC 0xEF53
+#define EXT2_MIN_BLOCK_SIZE 1024
+#define EXT2_MAX_BLOCK_SIZE 65536
+#define EXT2_GOOD_OLD_INODE_SIZE 128
+#define EXT2_MAX_INODE_SIZE 1024
+#define EXT2_LABEL_MAX 16
+#define EXT2_MIN_BLOCKS 64
+#define EXT2_MAX_CLUSTER_RATIO 16
+#define EXT2_MAX_RESERVED_PERCENT 50
+
+#define EXT2_VALID_FS 1
+#define EXT2_ERROR_FS 2
+#define EXT2_MOUNTED_FS 4
+
+#define EXT2_FEATURE_COMPAT_HAS_JOURNAL 0x0004
+#define EXT2_FEATURE_COMPAT_RESIZE_INODE 0x0010
+#define EXT2_FEATURE_COMPAT_DIR_INDEX 0x0020
+#define EXT2_FEATURE_COMPAT_SPARSE_SUPER2 0x0200
+#define EXT2_FEATURE_INCOMPAT_FILETYPE 0x0002
+#define EXT2_FEATURE_INCOMPAT_META_BG 0x0010
+#define EXT4_FEATURE_INCOMPAT_EXTENTS 0x0040
+#define EXT4_FEATURE_INCOMPAT_64BIT 0x0080
+#define EXT4_FEATURE_INCOMPAT_INLINE_DATA 0x8000
+#define EXT2_FEATURE_RO_COMPAT_SPARSE_SUPER 0x0001
+#define EXT2_FEATURE_RO_COMPAT_LARGE_FILE 0x0002
+#define EXT4_FEATURE_RO_COMPAT_BIGALLOC 0x0200
+
+#define JMODE_ORDERED 1
+#define JMODE_JOURNAL 2
+#define JMODE_WRITEBACK 3
+
+#define ERRORS_CONTINUE 1
+#define ERRORS_RO 2
+#define ERRORS_PANIC 3
+
+struct ext2_super_block {
+	u32 s_inodes_count;
+	u32 s_blocks_count;
+	u32 s_free_blocks_count;
+	u32 s_free_inodes_count;
+	u32 s_first_data_block;
+	u32 s_log_block_size;
+	u32 s_log_cluster_size;
+	u32 s_blocks_per_group;
+	u32 s_inodes_per_group;
+	u16 s_magic;
+	u16 s_state;
+	u16 s_inode_size;
+	u16 s_reserved_gdt_blocks;
+	u32 s_feature_compat;
+	u32 s_feature_incompat;
+	u32 s_feature_ro_compat;
+	u16 s_mnt_count;
+	s16 s_max_mnt_count;
+	u32 s_backup_bgs[2];
+	u32 s_commit_interval;
+	u32 s_stripe_width;
+};
+`
+
+// Mke2fsSource is the mke2fs component: option parsing, value
+// validation, feature-conflict checking, and superblock setup.
+const Mke2fsSource = SharedHeader + `
+/* mke2fs.c (corpus): configuration handling of mke2fs(8). */
+
+struct mkfs_opts {
+	long blocksize;
+	long inode_size;
+	long inode_ratio;
+	long blocks_count;
+	long cluster_size;
+	long reserved_percent;
+	char *label;
+	long backup_bg0;
+	long backup_bg1;
+	int feat_sparse_super;
+	int feat_sparse_super2;
+	int feat_resize_inode;
+	int feat_meta_bg;
+	int feat_bigalloc;
+	int feat_extent;
+	int feat_inline_data;
+	int feat_dir_index;
+	int feat_has_journal;
+	int feat_journal_dev;
+	int feat_filetype;
+	int feat_large_file;
+	int feat_64bit;
+	int feat_mmp;
+	int feat_flex_bg;
+	int feat_uninit_bg;
+	long journal_size;
+	long mmp_interval;
+	long flex_bg_size;
+	int force;
+};
+
+/* parse_mkfs_options loads the numeric and string parameters from
+ * argv with typed parsers, as PRS() does in the real mke2fs. */
+void parse_mkfs_options(struct mkfs_opts *opts, char **argv) {
+	opts->blocksize = strtoul(argv[1], 0, 10);
+	opts->inode_size = strtoul(argv[2], 0, 10);
+	opts->inode_ratio = strtoul(argv[3], 0, 10);
+	opts->blocks_count = parse_size(argv[4]);
+	opts->cluster_size = strtoul(argv[5], 0, 10);
+	opts->reserved_percent = strtoul(argv[6], 0, 10);
+	opts->label = parse_string(argv[7]);
+	opts->backup_bg0 = strtoul(argv[8], 0, 10);
+	opts->backup_bg1 = strtoul(argv[9], 0, 10);
+	opts->journal_size = parse_size(argv[10]);
+	opts->mmp_interval = strtoul(argv[11], 0, 10);
+	opts->flex_bg_size = strtoul(argv[12], 0, 10);
+}
+
+/* parse_mkfs_features handles the -O feature list (edit_feature in
+ * the real tool); the prototype's pre-selected function lists do not
+ * include it, mirroring the paper's incomplete coverage. */
+void parse_mkfs_features(struct mkfs_opts *opts, char **argv) {
+	opts->feat_sparse_super = parse_bool(argv[13]);
+	opts->feat_sparse_super2 = parse_bool(argv[14]);
+	opts->feat_resize_inode = parse_bool(argv[15]);
+	opts->feat_meta_bg = parse_bool(argv[16]);
+	opts->feat_bigalloc = parse_bool(argv[17]);
+	opts->feat_extent = parse_bool(argv[18]);
+	opts->feat_inline_data = parse_bool(argv[19]);
+	opts->feat_dir_index = parse_bool(argv[20]);
+	opts->feat_has_journal = parse_bool(argv[21]);
+	opts->feat_journal_dev = parse_bool(argv[22]);
+	opts->feat_filetype = parse_bool(argv[23]);
+	opts->feat_large_file = parse_bool(argv[24]);
+	opts->feat_64bit = parse_bool(argv[25]);
+	opts->feat_mmp = parse_bool(argv[26]);
+	opts->feat_flex_bg = parse_bool(argv[27]);
+	opts->feat_uninit_bg = parse_bool(argv[28]);
+	opts->force = parse_bool(argv[29]);
+}
+
+/* check_mkfs_values enforces the self dependencies (value ranges) and
+ * the relative value constraints between parameters. */
+int check_mkfs_values(struct mkfs_opts *opts) {
+	if (opts->blocksize < EXT2_MIN_BLOCK_SIZE || opts->blocksize > EXT2_MAX_BLOCK_SIZE) {
+		return usage_error("invalid block size");
+	}
+	if (opts->inode_size < EXT2_GOOD_OLD_INODE_SIZE || opts->inode_size > EXT2_MAX_INODE_SIZE) {
+		return usage_error("invalid inode size");
+	}
+	if (opts->blocks_count < EXT2_MIN_BLOCKS) {
+		return usage_error("file system too small");
+	}
+	if (opts->reserved_percent < 0 || opts->reserved_percent > EXT2_MAX_RESERVED_PERCENT) {
+		return usage_error("invalid reserved blocks percentage");
+	}
+	long label_len = str_len(opts->label);
+	if (label_len > EXT2_LABEL_MAX) {
+		return usage_error("label too long");
+	}
+	if (opts->inode_ratio < opts->blocksize) {
+		return usage_error("inode ratio smaller than block size");
+	}
+	if (opts->inode_size > opts->blocksize) {
+		return usage_error("inode size larger than block size");
+	}
+	long min_blocks = 8 * opts->blocksize;
+	if (opts->blocks_count < min_blocks) {
+		return usage_error("fewer blocks than one group");
+	}
+	long cluster_ratio = opts->cluster_size / opts->blocksize;
+	if (cluster_ratio > EXT2_MAX_CLUSTER_RATIO) {
+		return usage_error("cluster too large for block size");
+	}
+	if (opts->inode_ratio < opts->inode_size) {
+		return usage_error("inode ratio smaller than the inode size");
+	}
+	long groups = opts->blocks_count / 8192;
+	if (opts->backup_bg1 > groups) {
+		return usage_error("backup group beyond the last group");
+	}
+	return 0;
+}
+
+/* check_feature_conflicts enforces the cross-parameter dependencies
+ * between features (ok_features / conflict table in the real tool). */
+int check_feature_conflicts(struct mkfs_opts *opts) {
+	if (opts->feat_meta_bg && opts->feat_resize_inode) {
+		return usage_error("meta_bg and resize_inode cannot be used together");
+	}
+	if (opts->feat_bigalloc && !opts->feat_extent) {
+		return usage_error("bigalloc requires extent");
+	}
+	if (opts->feat_bigalloc && opts->feat_resize_inode) {
+		return usage_error("bigalloc and resize_inode are incompatible");
+	}
+	if (opts->feat_inline_data && !opts->feat_dir_index) {
+		return usage_error("inline_data requires dir_index");
+	}
+	if (opts->feat_sparse_super2 && opts->feat_sparse_super) {
+		return usage_error("sparse_super2 replaces sparse_super");
+	}
+	if (opts->feat_resize_inode && !opts->feat_sparse_super) {
+		return usage_error("resize_inode requires sparse_super");
+	}
+	if (opts->feat_64bit && !opts->feat_extent) {
+		return usage_error("64bit requires extent");
+	}
+	if (opts->feat_journal_dev && opts->feat_has_journal) {
+		return usage_error("external journal device conflicts with internal journal");
+	}
+	if (opts->feat_dir_index && !opts->feat_filetype) {
+		return usage_error("dir_index requires filetype");
+	}
+	if (opts->cluster_size && !opts->feat_bigalloc) {
+		return usage_error("cluster size requires bigalloc");
+	}
+	if (opts->journal_size && !opts->feat_has_journal) {
+		return usage_error("journal size requires a journal");
+	}
+	if (opts->mmp_interval && !opts->feat_mmp) {
+		return usage_error("mmp interval requires the mmp feature");
+	}
+	if (opts->flex_bg_size && !opts->feat_flex_bg) {
+		return usage_error("flex_bg size requires the flex_bg feature");
+	}
+	return 0;
+}
+
+/* check_backup_bgs validates the sparse_super2 backup group list. */
+int check_backup_bgs(struct mkfs_opts *opts) {
+	if ((opts->backup_bg0 || opts->backup_bg1) && !opts->feat_sparse_super2) {
+		return usage_error("backup_bgs requires sparse_super2");
+	}
+	return 0;
+}
+
+/* setup_superblock writes the validated configuration into the shared
+ * metadata structure — the bridge the analyzer uses to connect
+ * components. */
+void setup_superblock(struct mkfs_opts *opts, struct ext2_super_block *sb) {
+	sb->s_magic = EXT2_SUPER_MAGIC;
+	sb->s_state = EXT2_VALID_FS;
+	sb->s_log_block_size = log2_size(opts->blocksize);
+	sb->s_log_cluster_size = log2_size(opts->cluster_size);
+	sb->s_blocks_count = opts->blocks_count;
+	sb->s_inode_size = opts->inode_size;
+	sb->s_blocks_per_group = 8 * opts->blocksize;
+	sb->s_reserved_gdt_blocks = reserve_gdt_blocks(opts->feat_resize_inode);
+	sb->s_backup_bgs[1] = opts->backup_bg1;
+	u32 compat = 0;
+	compat = set_feature_flag(compat, EXT2_FEATURE_COMPAT_SPARSE_SUPER2, opts->feat_sparse_super2);
+	compat = set_feature_flag(compat, EXT2_FEATURE_COMPAT_RESIZE_INODE, opts->feat_resize_inode);
+	compat = set_feature_flag(compat, EXT2_FEATURE_COMPAT_HAS_JOURNAL, opts->feat_has_journal);
+	sb->s_feature_compat = compat;
+	u32 incompat = 0;
+	incompat = set_feature_flag(incompat, EXT4_FEATURE_INCOMPAT_EXTENTS, opts->feat_extent);
+	incompat = set_feature_flag(incompat, EXT2_FEATURE_INCOMPAT_META_BG, opts->feat_meta_bg);
+	sb->s_feature_incompat = incompat;
+	u32 ro = 0;
+	ro = set_feature_flag(ro, EXT4_FEATURE_RO_COMPAT_BIGALLOC, opts->feat_bigalloc);
+	sb->s_feature_ro_compat = ro;
+}
+`
+
+// MountSource is the mount(8) component.
+const MountSource = SharedHeader + `
+/* mount.c (corpus): mount-time configuration handling. */
+
+struct mount_opts {
+	int ro;
+	int dax;
+	int noload;
+	int data_mode;
+	int errors_mode;
+};
+
+/* parse_mount_options tokenizes -o option strings. */
+void parse_mount_options(struct mount_opts *mo, char **argv) {
+	mo->ro = parse_bool(argv[1]);
+	mo->dax = parse_bool(argv[2]);
+	mo->noload = parse_bool(argv[3]);
+	mo->data_mode = parse_mode(argv[4]);
+	mo->errors_mode = parse_mode(argv[5]);
+}
+
+/* validate_mount_options enforces mount's own constraints. */
+int validate_mount_options(struct mount_opts *mo) {
+	if (mo->data_mode != JMODE_ORDERED && mo->data_mode != JMODE_JOURNAL && mo->data_mode != JMODE_WRITEBACK) {
+		return mount_error("unknown data mode");
+	}
+	if (mo->errors_mode != ERRORS_CONTINUE && mo->errors_mode != ERRORS_RO && mo->errors_mode != ERRORS_PANIC) {
+		return mount_error("unknown errors mode");
+	}
+	if (mo->dax && mo->data_mode == JMODE_JOURNAL) {
+		return mount_error("dax is incompatible with data=journal");
+	}
+	if (mo->noload && mo->data_mode == JMODE_JOURNAL) {
+		return mount_error("noload cannot replay for data=journal");
+	}
+	return 0;
+}
+
+/* mount_record_state stamps the superblock at mount time. */
+void mount_record_state(struct mount_opts *mo, struct ext2_super_block *sb) {
+	sb->s_state = EXT2_MOUNTED_FS;
+	sb->s_mnt_count = sb->s_mnt_count + 1;
+}
+`

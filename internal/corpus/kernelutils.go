@@ -1,0 +1,245 @@
+package corpus
+
+// Ext4Source is the kernel-side component: ext4's mount-parameter
+// parsing and the superblock validation in ext4_fill_super, where
+// user-level choices from mke2fs and mount are re-validated across
+// the user/kernel boundary.
+const Ext4Source = SharedHeader + `
+/* ext4.c (corpus): kernel module configuration handling. */
+
+struct ext4_opts {
+	int dax_flag;
+	int data_mode;
+	long commit_interval;
+	long stripe_width;
+};
+
+/* ext4_parse_param handles the fs_parameter table entries. */
+void ext4_parse_param(struct ext4_opts *o, char **argv) {
+	o->dax_flag = match_bool(argv[1]);
+	o->data_mode = match_token(argv[2]);
+	o->commit_interval = match_int(argv[3]);
+	o->stripe_width = match_int(argv[4]);
+}
+
+/* ext4_check_params validates parameter values kernel-side. */
+int ext4_check_params(struct ext4_opts *o) {
+	if (o->commit_interval < 0 || o->commit_interval > 300) {
+		return kernel_error("commit interval out of range");
+	}
+	if (o->stripe_width > 4096) {
+		return kernel_error("implausible stripe width");
+	}
+	if (o->dax_flag && o->data_mode == JMODE_JOURNAL) {
+		return kernel_error("dax incompatible with journalled data");
+	}
+	return 0;
+}
+
+/* ext4_fill_super re-validates the on-disk configuration state. */
+int ext4_fill_super(struct ext4_opts *o, struct ext2_super_block *sb) {
+	if (sb->s_magic != EXT2_SUPER_MAGIC) {
+		return kernel_error("bad magic");
+	}
+	if (sb->s_log_block_size > 6) {
+		return kernel_error("unsupported block size");
+	}
+	if (sb->s_feature_incompat & EXT4_FEATURE_INCOMPAT_INLINE_DATA) {
+		if (o->dax_flag) {
+			return kernel_error("dax incompatible with inline data");
+		}
+	}
+	sb->s_commit_interval = o->commit_interval;
+	sb->s_stripe_width = o->stripe_width;
+	return 0;
+}
+`
+
+// E4defragSource is the online defragmenter.
+const E4defragSource = SharedHeader + `
+/* e4defrag.c (corpus): online defragmentation options. */
+
+struct defrag_opts {
+	int verbose;
+	int dry_run;
+	int force_defrag;
+	long threshold;
+};
+
+void parse_defrag_options(struct defrag_opts *opts, char **argv) {
+	opts->verbose = parse_bool(argv[1]);
+	opts->dry_run = parse_bool(argv[2]);
+	opts->force_defrag = parse_bool(argv[3]);
+	opts->threshold = strtoul(argv[4], 0, 10);
+}
+
+int validate_defrag_options(struct defrag_opts *opts) {
+	if (opts->dry_run && opts->force_defrag) {
+		return usage_error("-c cannot be combined with forced defrag");
+	}
+	if (opts->verbose && opts->dry_run) {
+		return usage_error("-v has no effect in -c statistics mode");
+	}
+	return 0;
+}
+
+int check_defrag_threshold(struct defrag_opts *opts) {
+	if (opts->threshold < 1 || opts->threshold > 10000) {
+		return usage_error("fragmentation threshold out of range");
+	}
+	return 0;
+}
+
+/* defrag_check_fs refuses file systems without extent support. */
+int defrag_check_fs(struct defrag_opts *opts, struct ext2_super_block *sb) {
+	if (!(sb->s_feature_incompat & EXT4_FEATURE_INCOMPAT_EXTENTS)) {
+		return usage_error("file system is not extents-based");
+	}
+	return 0;
+}
+`
+
+// Resize2fsSource is the offline resizer — the component at the heart
+// of Figure 1.
+const Resize2fsSource = SharedHeader + `
+/* resize2fs.c (corpus): offline resize configuration handling. */
+
+struct resize_opts {
+	long new_size;
+	int force;
+	int minimum;
+	int print_min;
+	int progress;
+};
+
+void parse_resize_size(struct resize_opts *opts, char **argv) {
+	opts->new_size = parse_size(argv[1]);
+}
+
+void parse_resize_flags(struct resize_opts *opts, char **argv) {
+	opts->force = parse_bool(argv[2]);
+	opts->minimum = parse_bool(argv[3]);
+	opts->print_min = parse_bool(argv[4]);
+	opts->progress = parse_bool(argv[5]);
+}
+
+int validate_resize_options(struct resize_opts *opts) {
+	if (opts->minimum && opts->new_size) {
+		return usage_error("-M cannot be combined with an explicit size");
+	}
+	if (opts->print_min && opts->new_size) {
+		return usage_error("-P ignores the size argument");
+	}
+	if (opts->print_min && opts->minimum) {
+		return usage_error("-P already implies the minimum computation");
+	}
+	if (opts->progress && opts->print_min) {
+		return usage_error("progress bar is pointless with -P");
+	}
+	if (opts->force && opts->print_min) {
+		return usage_error("-f has no effect on the -P computation");
+	}
+	/* Sentinel check: 0 means "fill the device". The analyzer
+	 * over-approximates this into a value-range constraint. */
+	if (opts->new_size == 0) {
+		use_device_size();
+	}
+	/* force is a counter in the real tool (-f -f). */
+	if (opts->force > 1) {
+		disable_all_checks();
+	}
+	if (opts->print_min == 1) {
+		print_minimum_and_exit();
+	}
+	return 0;
+}
+
+/* resize_check_fs validates the target against on-disk state. */
+int resize_check_fs(struct resize_opts *opts, struct ext2_super_block *sb) {
+	if (sb->s_magic != EXT2_SUPER_MAGIC) {
+		return usage_error("not an ext2/3/4 file system");
+	}
+	if (opts->new_size > sb->s_blocks_count) {
+		return prepare_grow(opts->new_size);
+	}
+	return prepare_shrink(opts->new_size);
+}
+
+/* resize_grow performs the expansion (Figure 1's code path). */
+int resize_grow(struct resize_opts *opts, struct ext2_super_block *sb) {
+	long need_gdt = gdt_blocks_for(opts->new_size);
+	if (need_gdt > sb->s_reserved_gdt_blocks) {
+		return usage_error("not enough reserved GDT blocks");
+	}
+	if (sb->s_feature_compat & EXT2_FEATURE_COMPAT_SPARSE_SUPER2) {
+		long new_groups = group_count_for(opts->new_size);
+		if (sb->s_backup_bgs[1] > new_groups) {
+			return usage_error("backup group beyond new size");
+		}
+	}
+	sb->s_blocks_count = opts->new_size;
+	return 0;
+}
+`
+
+// E2fsckSource is the offline checker.
+const E2fsckSource = SharedHeader + `
+/* e2fsck.c (corpus): checker configuration handling. */
+
+struct fsck_opts {
+	int force;
+	int preen;
+	int no_change;
+	int yes;
+	long superblock;
+	long blocksize_opt;
+};
+
+void parse_fsck_options(struct fsck_opts *opts, char **argv) {
+	opts->force = parse_bool(argv[1]);
+	opts->preen = parse_bool(argv[2]);
+	opts->no_change = parse_bool(argv[3]);
+	opts->yes = parse_bool(argv[4]);
+	opts->blocksize_opt = strtoul(argv[6], 0, 10);
+}
+
+/* parse_fsck_superblock handles -b separately (PRS in the real tool). */
+void parse_fsck_superblock(struct fsck_opts *opts, char **argv) {
+	opts->superblock = strtoul(argv[5], 0, 10);
+}
+
+int check_fsck_conflicts(struct fsck_opts *opts) {
+	if (opts->no_change && opts->yes) {
+		return usage_error("-n and -y are incompatible");
+	}
+	if (opts->no_change && opts->preen) {
+		return usage_error("-n and -p are incompatible");
+	}
+	if (opts->preen && opts->yes) {
+		return usage_error("-p and -y are incompatible");
+	}
+	if (opts->blocksize_opt && !opts->superblock) {
+		return usage_error("-B requires -b");
+	}
+	return 0;
+}
+
+/* fsck_check_fs decides whether a full check is needed. */
+int fsck_check_fs(struct fsck_opts *opts, struct ext2_super_block *sb) {
+	if (sb->s_state & EXT2_MOUNTED_FS) {
+		if (!opts->force) {
+			return usage_error("device is mounted");
+		}
+	}
+	if (sb->s_state & EXT2_ERROR_FS) {
+		return run_full_check();
+	}
+	if (sb->s_mnt_count > sb->s_max_mnt_count) {
+		return run_full_check();
+	}
+	if (opts->force) {
+		return run_full_check();
+	}
+	return 0;
+}
+`

@@ -1,0 +1,246 @@
+package corpus
+
+import (
+	"fsdep/internal/core"
+	"fsdep/internal/depmodel"
+)
+
+// Component names.
+const (
+	Mke2fs    = "mke2fs"
+	Mount     = "mount"
+	Ext4      = "ext4"
+	E4defrag  = "e4defrag"
+	Resize2fs = "resize2fs"
+	E2fsck    = "e2fsck"
+)
+
+// Components returns the full ecosystem manifest: every component with
+// its source and parameter list. The returned components are fresh
+// (not yet compiled); callers may mutate them freely.
+func Components() map[string]*core.Component {
+	return map[string]*core.Component{
+		Mke2fs: {
+			Name:   Mke2fs,
+			Source: Mke2fsSource,
+			Params: []core.Param{
+				{Name: "blocksize", Var: "opts.blocksize", CType: "int",
+					Doc: "Specify the size of blocks in bytes. Valid values are 1024 to 65536 bytes."},
+				{Name: "inode_size", Var: "opts.inode_size", CType: "int",
+					Doc: "Specify the size of each inode in bytes, a power of 2 between 128 and 1024, and no larger than the block size."},
+				{Name: "inode_ratio", Var: "opts.inode_ratio", CType: "int",
+					Doc: "Create an inode for every inode-ratio bytes; must not be smaller than the block size."},
+				{Name: "blocks_count", Var: "opts.blocks_count", CType: "int",
+					Doc: "The number of blocks of the file system; at least 64 and at least one full block group (8 x blocksize blocks)."},
+				{Name: "cluster_size", Var: "opts.cluster_size", CType: "int",
+					Doc: "Cluster size in bytes for bigalloc file systems; at most 16 times the block size."},
+				{Name: "reserved_percent", Var: "opts.reserved_percent", CType: "int",
+					Doc: "Percentage of blocks reserved for the super-user, between 0 and 50."},
+				{Name: "label", Var: "opts.label", CType: "string",
+					Doc: "Volume label, at most 16 bytes."},
+				{Name: "backup_bg0", Var: "opts.backup_bg0", CType: "int",
+					Doc: "First backup block group for sparse_super2."},
+				{Name: "backup_bg1", Var: "opts.backup_bg1", CType: "int",
+					Doc: "Second backup block group for sparse_super2."},
+				{Name: "sparse_super", Var: "opts.feat_sparse_super", CType: "bool",
+					Doc: "Store superblock backups only in selected groups; required by resize_inode."},
+				{Name: "sparse_super2", Var: "opts.feat_sparse_super2", CType: "bool",
+					Doc: "Store at most two superblock backups; resize2fs relocates them when the file system grows."},
+				{Name: "resize_inode", Var: "opts.feat_resize_inode", CType: "bool",
+					Doc: "Reserve space so the block group descriptor table may grow; used by resize2fs when growing the file system."},
+				{Name: "meta_bg", Var: "opts.feat_meta_bg", CType: "bool",
+					Doc: "Place group descriptors in meta block groups."},
+				{Name: "bigalloc", Var: "opts.feat_bigalloc", CType: "bool",
+					Doc: "Enable clustered block allocation; requires the extent feature."},
+				{Name: "extent", Var: "opts.feat_extent", CType: "bool",
+					Doc: "Use extent trees to map files."},
+				{Name: "inline_data", Var: "opts.feat_inline_data", CType: "bool",
+					Doc: "Store small files in the inode; requires dir_index."},
+				{Name: "dir_index", Var: "opts.feat_dir_index", CType: "bool",
+					Doc: "Use hashed b-trees for large directories."},
+				{Name: "has_journal", Var: "opts.feat_has_journal", CType: "bool",
+					Doc: "Create a journal."},
+				{Name: "journal_dev", Var: "opts.feat_journal_dev", CType: "bool",
+					Doc: "Use an external journal device."},
+				{Name: "filetype", Var: "opts.feat_filetype", CType: "bool",
+					Doc: "Store file types in directory entries."},
+				{Name: "large_file", Var: "opts.feat_large_file", CType: "bool",
+					Doc: "Allow files larger than 2 GiB."},
+				{Name: "64bit", Var: "opts.feat_64bit", CType: "bool",
+					Doc: "Use 64-bit block numbers."},
+				{Name: "journal_size", Var: "opts.journal_size", CType: "int",
+					Doc: "Size of the journal in blocks; requires the has_journal feature."},
+				{Name: "mmp", Var: "opts.feat_mmp", CType: "bool",
+					Doc: "Enable multiple mount protection."},
+				{Name: "mmp_interval", Var: "opts.mmp_interval", CType: "int",
+					Doc: "MMP update interval in seconds; requires the mmp feature."},
+				{Name: "flex_bg", Var: "opts.feat_flex_bg", CType: "bool",
+					Doc: "Group block-group metadata into flex groups."},
+				{Name: "flex_bg_size", Var: "opts.flex_bg_size", CType: "int",
+					Doc: "Number of groups per flex group; requires the flex_bg feature."},
+				{Name: "uninit_bg", Var: "opts.feat_uninit_bg", CType: "bool",
+					Doc: "Allow uninitialized block groups."},
+				{Name: "force", Var: "opts.force", CType: "bool",
+					Doc: "Force creation even when the device looks in use."},
+			},
+		},
+		Mount: {
+			Name:   Mount,
+			Source: MountSource,
+			Params: []core.Param{
+				{Name: "ro", Var: "mo.ro", CType: "bool",
+					Doc: "Mount the file system read-only."},
+				{Name: "dax", Var: "mo.dax", CType: "bool",
+					Doc: "Enable direct access to persistent memory; requires a DAX-capable device and is incompatible with data=journal."},
+				{Name: "noload", Var: "mo.noload", CType: "bool",
+					Doc: "Do not replay the journal at mount time; unsafe with data=journal."},
+				{Name: "data", Var: "mo.data_mode", CType: "enum",
+					Doc: "Journalling mode: one of journal, ordered, writeback."},
+				{Name: "errors", Var: "mo.errors_mode", CType: "enum",
+					Doc: "Behaviour on errors: continue, remount-ro, or panic."},
+			},
+		},
+		Ext4: {
+			Name:   Ext4,
+			Source: Ext4Source,
+			Params: []core.Param{
+				{Name: "dax", Var: "o.dax_flag", CType: "bool",
+					Doc: "Kernel-side DAX state for the mount; incompatible with data=journal."},
+				{Name: "data", Var: "o.data_mode", CType: "enum",
+					Doc: "Kernel-side journalling mode."},
+				{Name: "commit", Var: "o.commit_interval", CType: "int",
+					Doc: "Journal commit interval in seconds, between 0 and 300."},
+				{Name: "stripe", Var: "o.stripe_width", CType: "int",
+					Doc: "RAID stripe width in blocks, at most 4096."},
+			},
+		},
+		E4defrag: {
+			Name:   E4defrag,
+			Source: E4defragSource,
+			Params: []core.Param{
+				{Name: "verbose", Var: "opts.verbose", CType: "bool",
+					Doc: "Print per-file fragmentation details."},
+				{Name: "dry_run", Var: "opts.dry_run", CType: "bool",
+					Doc: "Only report the fragmentation score (-c); cannot be combined with force_defrag."},
+				{Name: "force_defrag", Var: "opts.force_defrag", CType: "bool",
+					Doc: "Defragment even nearly-contiguous files."},
+				{Name: "threshold", Var: "opts.threshold", CType: "int",
+					Doc: "Fragmentation score threshold, between 1 and 10000."},
+			},
+		},
+		Resize2fs: {
+			Name:   Resize2fs,
+			Source: Resize2fsSource,
+			Params: []core.Param{
+				{Name: "new_size", Var: "opts.new_size", CType: "int",
+					Doc: "The requested size of the file system in blocks; 0 fills the device."},
+				{Name: "force", Var: "opts.force", CType: "bool",
+					Doc: "Force the resize, overriding safety checks."},
+				{Name: "minimum", Var: "opts.minimum", CType: "bool",
+					Doc: "Shrink to the minimum size (-M); cannot be combined with an explicit new_size."},
+				{Name: "print_min", Var: "opts.print_min", CType: "bool",
+					Doc: "Print the minimum size and exit (-P); the new_size argument is ignored."},
+				{Name: "progress", Var: "opts.progress", CType: "bool",
+					Doc: "Display a progress bar; has no effect with print_min."},
+			},
+		},
+		E2fsck: {
+			Name:   E2fsck,
+			Source: E2fsckSource,
+			Params: []core.Param{
+				{Name: "force", Var: "opts.force", CType: "bool",
+					Doc: "Check the file system even when it appears clean."},
+				{Name: "preen", Var: "opts.preen", CType: "bool",
+					Doc: "Automatically repair safe problems (-p); incompatible with no_change and yes."},
+				{Name: "no_change", Var: "opts.no_change", CType: "bool",
+					Doc: "Open read-only and answer no to all prompts (-n); incompatible with preen and yes."},
+				{Name: "yes", Var: "opts.yes", CType: "bool",
+					Doc: "Answer yes to all prompts (-y); incompatible with no_change and preen."},
+				{Name: "superblock", Var: "opts.superblock", CType: "int",
+					Doc: "Use the backup superblock at this block number (-b)."},
+				{Name: "blocksize_opt", Var: "opts.blocksize_opt", CType: "int",
+					Doc: "Block size to use with -b (-B); requires the superblock option."},
+			},
+		},
+	}
+}
+
+// Scenario names, matching Table 3/5 rows.
+const (
+	ScenarioCreateMount = "mke2fs-mount-ext4"
+	ScenarioDefrag      = "mke2fs-mount-ext4-e4defrag"
+	ScenarioResize      = "mke2fs-mount-ext4-umount-resize2fs"
+	ScenarioFsck        = "mke2fs-mount-ext4-umount-e2fsck"
+	ScenarioCombined    = "total-unique"
+)
+
+// Scenarios returns the four Table-5 usage scenarios with their
+// pre-selected function lists. The intra-procedural prototype can only
+// extract dependencies inside these functions (§4.1), and each
+// scenario's list focuses on the utilities that define it — mirroring
+// how the paper selected functions per scenario.
+func Scenarios() []core.Scenario {
+	return []core.Scenario{
+		{
+			Name:       ScenarioCreateMount,
+			Components: []string{Mke2fs, Mount, Ext4},
+			Funcs: map[string][]string{
+				Mke2fs: {"parse_mkfs_options", "check_mkfs_values",
+					"check_feature_conflicts", "check_backup_bgs"},
+				Mount: {"parse_mount_options", "validate_mount_options"},
+				Ext4:  {"ext4_parse_param", "ext4_check_params"},
+			},
+		},
+		{
+			Name:       ScenarioDefrag,
+			Components: []string{Mke2fs, Mount, Ext4, E4defrag},
+			Funcs: map[string][]string{
+				Mke2fs: {"parse_mkfs_options", "check_mkfs_values",
+					"check_feature_conflicts"},
+				Mount:    {"parse_mount_options", "validate_mount_options"},
+				Ext4:     {"ext4_parse_param", "ext4_check_params"},
+				E4defrag: {"validate_defrag_options", "defrag_check_fs"},
+			},
+		},
+		{
+			Name:       ScenarioResize,
+			Components: []string{Mke2fs, Mount, Ext4, Resize2fs},
+			Funcs: map[string][]string{
+				Mke2fs: {"parse_mkfs_options", "check_mkfs_values",
+					"check_feature_conflicts", "setup_superblock"},
+				Mount: {"parse_mount_options", "validate_mount_options"},
+				Ext4:  {"ext4_parse_param"},
+				Resize2fs: {"parse_resize_size", "validate_resize_options",
+					"resize_check_fs", "resize_grow"},
+			},
+		},
+		{
+			Name:       ScenarioFsck,
+			Components: []string{Mke2fs, Mount, Ext4, E2fsck},
+			Funcs: map[string][]string{
+				Mke2fs: {"parse_mkfs_options", "check_mkfs_values",
+					"check_feature_conflicts"},
+				Mount:  {"parse_mount_options", "validate_mount_options"},
+				Ext4:   {"ext4_parse_param", "ext4_check_params"},
+				E2fsck: {"parse_fsck_superblock", "check_fsck_conflicts"},
+			},
+		},
+	}
+}
+
+// Combined returns the Total-Unique run: the union of the scenarios'
+// dependency sets is computed by deduplicating their extractions.
+func Combined() []core.Scenario { return Scenarios() }
+
+// Score compares extracted dependencies against the ground-truth
+// labels, returning true/false-positive partitions.
+func Score(deps []depmodel.Dependency) (tp, fp []depmodel.Dependency) {
+	for _, d := range deps {
+		if TrueDeps[d.Key()] {
+			tp = append(tp, d)
+		} else {
+			fp = append(fp, d)
+		}
+	}
+	return tp, fp
+}

@@ -1,0 +1,212 @@
+// Package e2fsck simulates e2fsck(8): it audits an fsim file system
+// with the fsim consistency passes and optionally repairs what it
+// finds. Its parameter surface (preen, force, -n, -y, -b) matches the
+// subset of e2fsck(8) the paper's corpus models, including the
+// cross-component behaviours: a clean file system is skipped unless
+// forced (depends on the state mount left behind), and -b restores the
+// superblock from a backup whose location depends on mke2fs's
+// sparse_super/sparse_super2 choice.
+package e2fsck
+
+import (
+	"errors"
+	"fmt"
+
+	"fsdep/internal/fsim"
+)
+
+// Exit codes, matching e2fsck(8).
+const (
+	// ExitClean: no errors.
+	ExitClean = 0
+	// ExitFixed: errors were found and corrected.
+	ExitFixed = 1
+	// ExitUnfixed: errors remain (ran with -n, or unfixable).
+	ExitUnfixed = 4
+	// ExitOpError: operational failure.
+	ExitOpError = 8
+)
+
+// Options is the e2fsck parameter surface.
+type Options struct {
+	// Force is -f: check even when the superblock looks clean.
+	Force bool
+	// Preen is -p: fix "safe" problems automatically, bail on hard
+	// ones.
+	Preen bool
+	// NoChange is -n: report only, never write.
+	NoChange bool
+	// Yes is -y: answer every fix prompt with yes.
+	Yes bool
+	// SuperblockAt is -b: block number of a backup superblock to
+	// recover from (0 = use the primary).
+	SuperblockAt uint32
+}
+
+// Report is the outcome of a check.
+type Report struct {
+	// Skipped marks the clean-fast-path ("clean, not checking").
+	Skipped bool
+	// Problems lists everything the audit found before repair.
+	Problems []fsim.Problem
+	// Fixed counts repaired problems.
+	Fixed int
+	// Remaining lists problems left after repair (NoChange keeps all).
+	Remaining []fsim.Problem
+	// ExitCode is the e2fsck-compatible exit status.
+	ExitCode int
+	// UsedBackupSuper marks recovery via -b.
+	UsedBackupSuper bool
+}
+
+// Run checks (and unless -n, repairs) the file system on dev.
+func Run(dev fsim.Device, opts Options) (*Report, error) {
+	rep := &Report{}
+	fs, err := open(dev, opts, rep)
+	if err != nil {
+		rep.ExitCode = ExitOpError
+		return rep, err
+	}
+	sb := fs.SB
+	if sb.State&fsim.StateMounted != 0 && !opts.Force {
+		rep.ExitCode = ExitOpError
+		return rep, errors.New("e2fsck: device is mounted; refusing to check")
+	}
+
+	// The clean fast path: without -f, a clean fs below its mount-count
+	// threshold is not checked. This is the behavioural dependency on
+	// mount's s_mnt_count/s_max_mnt_count handling.
+	clean := sb.State&fsim.StateClean != 0 && sb.State&fsim.StateErrors == 0
+	underThreshold := sb.MaxMntCount < 0 || int16(sb.MntCount) <= sb.MaxMntCount
+	if clean && underThreshold && !opts.Force && !rep.UsedBackupSuper {
+		rep.Skipped = true
+		rep.ExitCode = ExitClean
+		return rep, nil
+	}
+
+	rep.Problems = fs.Audit()
+	if len(rep.Problems) == 0 {
+		rep.ExitCode = ExitClean
+		finishClean(fs, opts)
+		return rep, nil
+	}
+	if opts.NoChange {
+		rep.Remaining = rep.Problems
+		rep.ExitCode = ExitUnfixed
+		return rep, nil
+	}
+	if opts.Preen {
+		// Preen mode only fixes count-style problems; structural
+		// damage aborts, telling the admin to run e2fsck manually.
+		for _, p := range rep.Problems {
+			switch p.Code {
+			case fsim.PFreeBlocksCount, fsim.PFreeInodesCount, fsim.PUsedDirs, fsim.PBackupSuper:
+			default:
+				rep.ExitCode = ExitUnfixed
+				rep.Remaining = rep.Problems
+				return rep, fmt.Errorf("e2fsck: unexpected inconsistency (%s); run without -p", p.Code)
+			}
+		}
+	}
+
+	fixed, err := repair(fs, rep.Problems)
+	if err != nil {
+		rep.ExitCode = ExitOpError
+		return rep, err
+	}
+	rep.Fixed = fixed
+	rep.Remaining = fs.Audit()
+	if len(rep.Remaining) == 0 {
+		rep.ExitCode = ExitFixed
+		finishClean(fs, opts)
+	} else {
+		rep.ExitCode = ExitUnfixed
+	}
+	return rep, nil
+}
+
+// open loads the fs, falling back to the -b backup superblock.
+func open(dev fsim.Device, opts Options, rep *Report) (*fsim.Fs, error) {
+	fs, err := fsim.Open(dev)
+	if err == nil && opts.SuperblockAt == 0 {
+		return fs, nil
+	}
+	if opts.SuperblockAt == 0 {
+		return nil, fmt.Errorf("e2fsck: cannot read superblock (%v); retry with a backup (-b)", err)
+	}
+	fs, rerr := fsim.OpenWithBackup(dev, opts.SuperblockAt)
+	if rerr != nil {
+		return nil, fmt.Errorf("e2fsck: backup superblock at %d unusable: %w", opts.SuperblockAt, rerr)
+	}
+	rep.UsedBackupSuper = true
+	return fs, nil
+}
+
+// finishClean marks the fs clean and resets the mount counter (the
+// state resize2fs's shrink precondition depends on).
+func finishClean(fs *fsim.Fs, opts Options) {
+	if opts.NoChange {
+		return
+	}
+	fs.SB.State = fsim.StateClean
+	fs.SB.MntCount = 0
+	_ = fs.Flush()
+}
+
+// repair fixes problems in dependency order: bitmaps first, then
+// counts derived from them, then link counts and connectivity.
+func repair(fs *fsim.Fs, probs []fsim.Problem) (int, error) {
+	fixed := 0
+	// Order matters: rebuilding bitmaps invalidates count findings,
+	// so counts are recomputed afterwards regardless.
+	needBitmapRebuild := false
+	for _, p := range probs {
+		switch p.Code {
+		case fsim.PBlockBitmap, fsim.PInodeBitmap, fsim.PExtentOverlap, fsim.PExtentRange:
+			needBitmapRebuild = true
+		}
+	}
+	if needBitmapRebuild {
+		n, err := fs.RebuildBitmaps()
+		if err != nil {
+			return fixed, fmt.Errorf("e2fsck: rebuilding bitmaps: %w", err)
+		}
+		fixed += n
+	}
+	for _, p := range probs {
+		switch p.Code {
+		case fsim.PLinkCount:
+			in, err := fs.ReadInode(p.Ino)
+			if err != nil {
+				return fixed, err
+			}
+			in.LinksCount = uint16(p.Want)
+			if err := fs.WriteInode(p.Ino, in); err != nil {
+				return fixed, err
+			}
+			fixed++
+		case fsim.PUnreachable:
+			if err := fs.Reconnect(p.Ino); err != nil {
+				return fixed, err
+			}
+			fixed++
+		case fsim.PDirStructure:
+			// Clearing a broken directory is the simulator's
+			// equivalent of e2fsck's salvage; entries are lost.
+			if err := fs.ClearDir(p.Ino); err != nil {
+				return fixed, err
+			}
+			fixed++
+		}
+	}
+	// Counts and backups are recomputed from repaired reality.
+	n, err := fs.RecountAll()
+	if err != nil {
+		return fixed, err
+	}
+	fixed += n
+	if err := fs.Flush(); err != nil {
+		return fixed, err
+	}
+	return fixed, nil
+}

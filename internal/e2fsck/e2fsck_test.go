@@ -1,0 +1,255 @@
+package e2fsck
+
+import (
+	"bytes"
+	"testing"
+
+	"fsdep/internal/fsim"
+	"fsdep/internal/mke2fs"
+	"fsdep/internal/mountsim"
+)
+
+func format(t *testing.T, features []string) *fsim.MemDevice {
+	t.Helper()
+	dev := fsim.NewMemDevice(16 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: features}); err != nil {
+		t.Fatalf("mke2fs: %v", err)
+	}
+	return dev
+}
+
+func TestCleanFsSkippedWithoutForce(t *testing.T) {
+	dev := format(t, nil)
+	rep, err := Run(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Skipped || rep.ExitCode != ExitClean {
+		t.Errorf("rep = %+v, want skipped clean", rep)
+	}
+}
+
+func TestForceChecksCleanFs(t *testing.T) {
+	dev := format(t, nil)
+	rep, err := Run(dev, Options{Force: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped || rep.ExitCode != ExitClean || len(rep.Problems) != 0 {
+		t.Errorf("rep = %+v", rep)
+	}
+}
+
+func TestDetectAndFixFreeCounts(t *testing.T) {
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	fs.SB.FreeBlocksCount -= 100
+	fs.GDs[0].FreeInodesCount += 5
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dev, Options{Force: true, Yes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode != ExitFixed || rep.Fixed == 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	fs2, _ := fsim.Open(dev)
+	if probs := fs2.Audit(); len(probs) != 0 {
+		t.Fatalf("still dirty: %v", probs)
+	}
+}
+
+func TestNoChangeLeavesProblems(t *testing.T) {
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	fs.SB.FreeBlocksCount -= 100
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dev, Options{Force: true, NoChange: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode != ExitUnfixed || len(rep.Remaining) == 0 {
+		t.Fatalf("rep = %+v", rep)
+	}
+	fs2, _ := fsim.Open(dev)
+	if probs := fs2.Audit(); len(probs) == 0 {
+		t.Fatal("-n wrote changes")
+	}
+}
+
+func TestPreenFixesCountsOnly(t *testing.T) {
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	fs.SB.FreeBlocksCount -= 7
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dev, Options{Force: true, Preen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode != ExitFixed {
+		t.Fatalf("preen rep = %+v", rep)
+	}
+}
+
+func TestPreenBailsOnStructuralDamage(t *testing.T) {
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	ino, _ := fs.CreateFile(fsim.RootIno, "f")
+	in, _ := fs.ReadInode(ino)
+	in.LinksCount = 9
+	_ = fs.WriteInode(ino, in)
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dev, Options{Force: true, Preen: true})
+	if err == nil || rep.ExitCode != ExitUnfixed {
+		t.Fatalf("preen did not bail: rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestFixLinkCountAndBitmaps(t *testing.T) {
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	ino, _ := fs.CreateFile(fsim.RootIno, "f")
+	if err := fs.WriteFile(ino, bytes.Repeat([]byte{3}, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	in, _ := fs.ReadInode(ino)
+	in.LinksCount = 4
+	_ = fs.WriteInode(ino, in)
+	// Also corrupt a bitmap bit.
+	fs.SB.FreeBlocksCount += 3
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dev, Options{Force: true, Yes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode != ExitFixed {
+		t.Fatalf("rep = %+v", rep)
+	}
+	fs2, _ := fsim.Open(dev)
+	in2, _ := fs2.ReadInode(ino)
+	if in2.LinksCount != 1 {
+		t.Errorf("link count = %d after fix", in2.LinksCount)
+	}
+}
+
+func TestReconnectOrphanToLostFound(t *testing.T) {
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	ino, _ := fs.CreateFile(fsim.RootIno, "orphan")
+	if err := fs.WriteFile(ino, []byte("orphan data")); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the directory entry without freeing the inode.
+	entries, _ := fs.ReadDir(fsim.RootIno)
+	var kept []fsim.DirEntry
+	for _, e := range entries {
+		if e.Name != "orphan" {
+			kept = append(kept, e)
+		}
+	}
+	if err := fs.WriteDirEntries(fsim.RootIno, kept); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(dev, Options{Force: true, Yes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExitCode != ExitFixed {
+		t.Fatalf("rep = %+v remaining=%v", rep, rep.Remaining)
+	}
+	fs2, _ := fsim.Open(dev)
+	lf, err := fs2.Lookup(fsim.RootIno, "lost+found")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs2.Lookup(lf, "#12"); err != nil {
+		// The exact name depends on inode numbering; search instead.
+		found := false
+		children, _ := fs2.ReadDir(lf)
+		for _, c := range children {
+			if c.Ino == ino {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("orphan %d not reconnected; lost+found = %v", ino, children)
+		}
+	}
+	data, err := fs2.ReadFile(ino)
+	if err != nil || string(data) != "orphan data" {
+		t.Fatalf("orphan data lost: %q %v", data, err)
+	}
+}
+
+func TestRefusesMountedFs(t *testing.T) {
+	dev := format(t, nil)
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Unmount() }()
+	rep, err := Run(dev, Options{})
+	if err == nil || rep.ExitCode != ExitOpError {
+		t.Fatalf("fsck of mounted fs: rep=%+v err=%v", rep, err)
+	}
+}
+
+func TestBackupSuperblockRecovery(t *testing.T) {
+	// Destroy the primary superblock, recover via -b with the backup
+	// whose location follows from sparse_super (group 1 at block
+	// 8193 for 1 KiB blocks).
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	backupBlock := fs.SB.GroupFirstBlock(1)
+	zero := make([]byte, fsim.SuperBlockSize)
+	if err := dev.WriteAt(zero, fsim.SuperOffset); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(dev, Options{Force: true, Yes: true}); err == nil {
+		t.Fatal("fsck without -b succeeded on destroyed superblock")
+	}
+	rep, err := Run(dev, Options{Force: true, Yes: true, SuperblockAt: backupBlock})
+	if err != nil {
+		t.Fatalf("fsck -b %d: %v", backupBlock, err)
+	}
+	if !rep.UsedBackupSuper {
+		t.Error("backup superblock not used")
+	}
+	fs2, err := fsim.Open(dev)
+	if err != nil {
+		t.Fatalf("primary not restored: %v", err)
+	}
+	if probs := fs2.Audit(); len(probs) != 0 {
+		t.Fatalf("recovered fs dirty: %v", probs)
+	}
+}
+
+func TestFsckResetsMountCount(t *testing.T) {
+	dev := format(t, nil)
+	m, _ := mountsim.Do(dev, mountsim.Options{})
+	_ = m.Unmount()
+	fs, _ := fsim.Open(dev)
+	if fs.SB.MntCount == 0 {
+		t.Fatal("precondition: mount count should be nonzero")
+	}
+	if _, err := Run(dev, Options{Force: true, Yes: true}); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _ := fsim.Open(dev)
+	if fs2.SB.MntCount != 0 {
+		t.Errorf("mount count = %d after fsck", fs2.SB.MntCount)
+	}
+}

@@ -1,0 +1,186 @@
+package e4defrag
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fsdep/internal/fsim"
+	"fsdep/internal/mke2fs"
+	"fsdep/internal/mountsim"
+)
+
+// fragmentedMount builds a mounted fs containing a deliberately
+// fragmented file and returns the mount plus the file's inode.
+func fragmentedMount(t *testing.T, features []string) (*mountsim.Mount, uint32) {
+	t.Helper()
+	dev := fsim.NewMemDevice(16 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: features}); err != nil {
+		t.Fatalf("mke2fs: %v", err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	fs := m.Fs()
+	// Build a fragmented file the way an aged fs would: allocate its
+	// blocks one at a time with still-allocated spacers in between, so
+	// the extents cannot be adjacent, then assemble the extent list.
+	target, err := fs.CreateFile(fsim.RootIno, "fragmented")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := bytes.Repeat([]byte("F"), 3*1024)
+	var dataExts, spacerExts []fsim.Extent
+	for i := 0; i < 3; i++ {
+		de, err := fs.AllocExtent(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dataExts = append(dataExts, de)
+		se, err := fs.AllocExtent(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spacerExts = append(spacerExts, se)
+	}
+	bs := fs.SB.BlockSize()
+	for i, e := range dataExts {
+		blk := make([]byte, bs)
+		copy(blk, content[uint32(i)*bs:])
+		if err := fs.WriteBlock(e.Start, blk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, err := fs.ReadInode(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Flags |= fsim.FlagExtents
+	in.ExtentCount = uint16(len(dataExts))
+	copy(in.Extents[:], dataExts)
+	in.Size = uint32(len(content))
+	in.Blocks = uint32(len(dataExts))
+	if err := fs.WriteInode(target, in); err != nil {
+		t.Fatal(err)
+	}
+	// Release the spacers; the holes keep the target fragmented.
+	for _, se := range spacerExts {
+		if err := fs.FreeExtent(se); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.ExtentCount < 2 {
+		t.Fatalf("setup failed to fragment: %d extents", in.ExtentCount)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("fragmented setup not clean: %v", probs)
+	}
+	return m, target
+}
+
+func TestDefragReducesExtents(t *testing.T) {
+	m, target := fragmentedMount(t, nil)
+	defer func() { _ = m.Unmount() }()
+	before, _ := m.Fs().ReadInode(target)
+	dataBefore, _ := m.Fs().ReadFile(target)
+
+	rep, err := Run(m, Options{Verbose: true})
+	if err != nil {
+		t.Fatalf("e4defrag: %v", err)
+	}
+	after, _ := m.Fs().ReadInode(target)
+	if after.ExtentCount >= before.ExtentCount {
+		t.Errorf("extents %d -> %d, expected reduction", before.ExtentCount, after.ExtentCount)
+	}
+	if rep.ScoreAfter > rep.ScoreBefore {
+		t.Errorf("score worsened: %f -> %f", rep.ScoreBefore, rep.ScoreAfter)
+	}
+	dataAfter, err := m.Fs().ReadFile(target)
+	if err != nil || !bytes.Equal(dataBefore, dataAfter) {
+		t.Fatalf("defrag corrupted data: %v", err)
+	}
+	if probs := m.Fs().Audit(); len(probs) != 0 {
+		t.Fatalf("fs dirty after defrag: %v", probs)
+	}
+}
+
+func TestDefragRequiresExtentFeature(t *testing.T) {
+	// CCD: e4defrag's behaviour depends on mke2fs's extent feature.
+	dev := fsim.NewMemDevice(8 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: []string{"^extent"}}); err != nil {
+		t.Fatalf("mke2fs: %v", err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Unmount() }()
+	_, err = Run(m, Options{})
+	var ue *UtilError
+	if !errors.As(err, &ue) || ue.Related != "extent" {
+		t.Fatalf("err = %v, want extent dependency", err)
+	}
+}
+
+func TestDryRunMovesNothing(t *testing.T) {
+	m, target := fragmentedMount(t, nil)
+	defer func() { _ = m.Unmount() }()
+	before, _ := m.Fs().ReadInode(target)
+	rep, err := Run(m, Options{DryRun: true, Verbose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m.Fs().ReadInode(target)
+	if after.ExtentCount != before.ExtentCount {
+		t.Errorf("dry run changed extents: %d -> %d", before.ExtentCount, after.ExtentCount)
+	}
+	for _, f := range rep.Files {
+		if f.Moved {
+			t.Errorf("dry run moved %s", f.Path)
+		}
+	}
+}
+
+func TestReadOnlyMountRefused(t *testing.T) {
+	dev := fsim.NewMemDevice(8 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(m, Options{}); err == nil {
+		t.Fatal("defrag on ro mount succeeded")
+	}
+	// But a dry-run report is fine read-only.
+	if _, err := Run(m, Options{DryRun: true}); err != nil {
+		t.Fatalf("dry run on ro mount: %v", err)
+	}
+}
+
+func TestContiguousFilesSkipped(t *testing.T) {
+	dev := fsim.NewMemDevice(8 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Unmount() }()
+	ino, _ := m.Create(fsim.RootIno, "contig")
+	if err := m.Write(ino, bytes.Repeat([]byte{1}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(m, Options{Verbose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Files {
+		if f.Ino == ino && f.Skipped != "already contiguous" {
+			t.Errorf("contiguous file report = %+v", f)
+		}
+	}
+}

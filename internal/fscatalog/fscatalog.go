@@ -1,0 +1,128 @@
+// Package fscatalog reproduces Table 1 of the paper: the registry of
+// configuration methods across popular file systems. Every file system
+// follows the same modular design — it can be configured at four
+// stages (create, mount, online, offline) through separate utilities —
+// which is why the multi-level dependency problem is not specific to
+// Ext4 or Linux.
+package fscatalog
+
+// Stage is one of the four configuration stages of Figure 2.
+type Stage uint8
+
+// The four configuration stages.
+const (
+	StageCreate Stage = iota + 1
+	StageMount
+	StageOnline
+	StageOffline
+)
+
+// String names the stage as in Table 1's column headers.
+func (s Stage) String() string {
+	switch s {
+	case StageCreate:
+		return "Create"
+	case StageMount:
+		return "Mount"
+	case StageOnline:
+		return "Online"
+	case StageOffline:
+		return "Offline"
+	default:
+		return "Unknown"
+	}
+}
+
+// Stages lists the four stages in table order.
+func Stages() []Stage {
+	return []Stage{StageCreate, StageMount, StageOnline, StageOffline}
+}
+
+// Entry is one row of Table 1.
+type Entry struct {
+	// FS is the file system name.
+	FS string
+	// OS is the operating system it ships with.
+	OS string
+	// Utilities maps each stage to example utilities that can affect
+	// the file system's configuration state at that stage. An empty
+	// slice reproduces the table's "-" cells.
+	Utilities map[Stage][]string
+}
+
+// Catalog returns the Table 1 rows in the paper's order.
+func Catalog() []Entry {
+	return []Entry{
+		{FS: "Ext4", OS: "Linux", Utilities: map[Stage][]string{
+			StageCreate:  {"mke2fs"},
+			StageMount:   {"mount"},
+			StageOnline:  {"e4defrag", "resize2fs"},
+			StageOffline: {"e2fsck", "resize2fs"},
+		}},
+		{FS: "XFS", OS: "Linux", Utilities: map[Stage][]string{
+			StageCreate:  {"mkfs.xfs"},
+			StageMount:   {"mount"},
+			StageOnline:  {"xfs_fsr", "xfs_growfs"},
+			StageOffline: {"xfs_admin", "xfs_repair"},
+		}},
+		{FS: "BtrFS", OS: "Linux", Utilities: map[Stage][]string{
+			StageCreate:  {"mkfs.btrfs"},
+			StageMount:   {"mount"},
+			StageOnline:  {"btrfs-balance", "btrfs-scrub"},
+			StageOffline: {"btrfs-check"},
+		}},
+		{FS: "UFS", OS: "FreeBSD", Utilities: map[Stage][]string{
+			StageCreate:  {"newfs"},
+			StageMount:   {"mount"},
+			StageOnline:  {"growfs", "restore"},
+			StageOffline: {"dump", "fsck_ufs"},
+		}},
+		{FS: "ZFS", OS: "FreeBSD", Utilities: map[Stage][]string{
+			StageCreate:  {"zfs-create"},
+			StageMount:   {"zfs-mount"},
+			StageOnline:  {"zfs-rollback", "zfs-set"},
+			StageOffline: {"zfs-destroy"},
+		}},
+		{FS: "MINIX", OS: "Minix", Utilities: map[Stage][]string{
+			StageCreate:  {"mkfs"},
+			StageMount:   {"mount"},
+			StageOnline:  {},
+			StageOffline: {"fsck"},
+		}},
+		{FS: "NTFS", OS: "Windows", Utilities: map[Stage][]string{
+			StageCreate:  {"format"},
+			StageMount:   {"mountvol"},
+			StageOnline:  {"chkdsk", "defrag"},
+			StageOffline: {"chkdsk", "shrink"},
+		}},
+		{FS: "APFS", OS: "MacOS", Utilities: map[Stage][]string{
+			StageCreate:  {"diskutil"},
+			StageMount:   {"diskutil", "mount_apfs"},
+			StageOnline:  {"diskutil"},
+			StageOffline: {"diskutil", "fsck_apfs"},
+		}},
+	}
+}
+
+// Lookup returns the catalog entry for the named file system, or nil.
+func Lookup(fs string) *Entry {
+	for _, e := range Catalog() {
+		if e.FS == fs {
+			c := e
+			return &c
+		}
+	}
+	return nil
+}
+
+// MultiStage reports whether the file system can be reconfigured at
+// more than one stage (true for every entry — the paper's point).
+func (e *Entry) MultiStage() bool {
+	n := 0
+	for _, us := range e.Utilities {
+		if len(us) > 0 {
+			n++
+		}
+	}
+	return n > 1
+}

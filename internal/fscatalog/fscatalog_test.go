@@ -1,0 +1,95 @@
+package fscatalog
+
+import "testing"
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	entries := Catalog()
+	if len(entries) != 8 {
+		t.Fatalf("rows = %d, want 8", len(entries))
+	}
+	wantFS := []string{"Ext4", "XFS", "BtrFS", "UFS", "ZFS", "MINIX", "NTFS", "APFS"}
+	for i, e := range entries {
+		if e.FS != wantFS[i] {
+			t.Errorf("row %d = %s, want %s", i, e.FS, wantFS[i])
+		}
+	}
+}
+
+func TestEveryFSHasCreateAndMount(t *testing.T) {
+	for _, e := range Catalog() {
+		if len(e.Utilities[StageCreate]) == 0 {
+			t.Errorf("%s has no create utility", e.FS)
+		}
+		if len(e.Utilities[StageMount]) == 0 {
+			t.Errorf("%s has no mount utility", e.FS)
+		}
+	}
+}
+
+func TestMinixHasNoOnlineUtility(t *testing.T) {
+	m := Lookup("MINIX")
+	if m == nil {
+		t.Fatal("MINIX missing")
+	}
+	if len(m.Utilities[StageOnline]) != 0 {
+		t.Errorf("MINIX online utilities = %v, want none (the table's '-')", m.Utilities[StageOnline])
+	}
+}
+
+func TestEveryFSIsMultiStage(t *testing.T) {
+	// The paper's point: the modular multi-stage design is universal.
+	for _, e := range Catalog() {
+		if !e.MultiStage() {
+			t.Errorf("%s is not configurable at multiple stages", e.FS)
+		}
+	}
+}
+
+func TestExt4RowMatchesPaper(t *testing.T) {
+	e := Lookup("Ext4")
+	if e == nil || e.OS != "Linux" {
+		t.Fatalf("Ext4 entry = %+v", e)
+	}
+	want := map[Stage][]string{
+		StageCreate:  {"mke2fs"},
+		StageMount:   {"mount"},
+		StageOnline:  {"e4defrag", "resize2fs"},
+		StageOffline: {"e2fsck", "resize2fs"},
+	}
+	for st, us := range want {
+		got := e.Utilities[st]
+		if len(got) != len(us) {
+			t.Errorf("Ext4 %s = %v, want %v", st, got, us)
+			continue
+		}
+		for i := range us {
+			if got[i] != us[i] {
+				t.Errorf("Ext4 %s[%d] = %s, want %s", st, i, got[i], us[i])
+			}
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if Lookup("FAT32") != nil {
+		t.Error("unknown fs should return nil")
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	names := map[Stage]string{
+		StageCreate: "Create", StageMount: "Mount",
+		StageOnline: "Online", StageOffline: "Offline",
+	}
+	for st, n := range names {
+		if st.String() != n {
+			t.Errorf("%d = %q, want %q", st, st.String(), n)
+		}
+	}
+	if Stage(99).String() != "Unknown" {
+		t.Error("unknown stage string")
+	}
+	if len(Stages()) != 4 {
+		t.Error("Stages should list 4 entries")
+	}
+}

@@ -1,0 +1,492 @@
+package fsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common errors.
+var (
+	// ErrNoSpace reports block or inode exhaustion.
+	ErrNoSpace = errors.New("fsim: no space left on device")
+	// ErrNotFound reports a missing directory entry or inode.
+	ErrNotFound = errors.New("fsim: not found")
+	// ErrExists reports a duplicate directory entry.
+	ErrExists = errors.New("fsim: entry exists")
+	// ErrNotDir reports a non-directory where one is required.
+	ErrNotDir = errors.New("fsim: not a directory")
+	// ErrIsDir reports a directory where a file is required.
+	ErrIsDir = errors.New("fsim: is a directory")
+	// ErrCorrupt reports structurally invalid metadata.
+	ErrCorrupt = errors.New("fsim: corrupt file system")
+	// ErrTooBig reports a file exceeding the extent capacity.
+	ErrTooBig = errors.New("fsim: file too fragmented or large")
+)
+
+// Geometry parameterizes file-system creation. The mke2fs package
+// derives a Geometry from its command-line parameters after
+// validation; fsim.Create is pure mechanism.
+type Geometry struct {
+	// BlockSize in bytes; power of two within [MinBlockSize,
+	// MaxBlockSize].
+	BlockSize uint32
+	// BlocksCount is the total number of blocks.
+	BlocksCount uint32
+	// InodeSize in bytes; power of two within [MinInodeSize,
+	// MaxInodeSize].
+	InodeSize uint32
+	// InodesPerGroup; rounded up so the inode table fills whole
+	// blocks.
+	InodesPerGroup uint32
+	// ClusterSize in bytes for bigalloc (0 or == BlockSize without).
+	ClusterSize uint32
+	// ReservedGdtBlks reserves growth room for resize (resize_inode).
+	ReservedGdtBlks uint16
+	// Compat, Incompat, RoCompat are the initial feature words.
+	Compat, Incompat, RoCompat uint32
+	// BackupBgs selects the two backup groups for sparse_super2.
+	BackupBgs [2]uint32
+	// VolumeName is the label.
+	VolumeName string
+}
+
+// Fs is an open file system.
+type Fs struct {
+	dev Device
+	// SB is the in-memory superblock; Flush persists it.
+	SB *Superblock
+	// GDs holds one descriptor per group.
+	GDs []*GroupDesc
+}
+
+// Create formats dev with the given geometry and returns the opened
+// file system. The root directory and lost+found are created.
+func Create(dev Device, g Geometry) (*Fs, error) {
+	if err := validateGeometry(g); err != nil {
+		return nil, err
+	}
+	bs := g.BlockSize
+	firstData := uint32(0)
+	if bs == MinBlockSize {
+		firstData = 1
+	}
+	logBS := log2(bs / MinBlockSize)
+	clusterSize := g.ClusterSize
+	if clusterSize == 0 {
+		clusterSize = bs
+	}
+	sb := &Superblock{
+		BlocksCount:     g.BlocksCount,
+		FirstDataBlock:  firstData,
+		LogBlockSize:    logBS,
+		LogClusterSize:  log2(clusterSize / MinBlockSize),
+		BlocksPerGroup:  8 * bs,
+		InodesPerGroup:  g.InodesPerGroup,
+		Magic:           Magic,
+		State:           StateClean,
+		InodeSize:       uint16(g.InodeSize),
+		ReservedGdtBlks: g.ReservedGdtBlks,
+		FeatureCompat:   g.Compat,
+		FeatureIncompat: g.Incompat,
+		FeatureRoCompat: g.RoCompat,
+		MaxMntCount:     20,
+		FirstIno:        FirstIno,
+		BackupBgs:       g.BackupBgs,
+	}
+	copy(sb.VolumeName[:], g.VolumeName)
+	// Bigalloc: bitmaps track clusters, so a group can span
+	// 8*bs clusters worth of blocks.
+	ratio := sb.ClusterRatio()
+	sb.BlocksPerGroup = 8 * bs * ratio
+
+	groups := sb.GroupCount()
+	if groups == 0 {
+		return nil, fmt.Errorf("fsim: %d blocks is too small for one group", g.BlocksCount)
+	}
+	if uint32(len(sb.BackupBgs)) > 0 && sb.HasCompat(CompatSparseSuper2) {
+		for _, bg := range sb.BackupBgs {
+			if bg >= groups && bg != 0 {
+				return nil, fmt.Errorf("fsim: sparse_super2 backup group %d beyond last group %d", bg, groups-1)
+			}
+		}
+	}
+	sb.InodesCount = groups * sb.InodesPerGroup
+
+	if err := dev.Resize(int64(g.BlocksCount) * int64(bs)); err != nil {
+		return nil, fmt.Errorf("fsim: sizing device: %w", err)
+	}
+	fs := &Fs{dev: dev, SB: sb}
+
+	// Lay out groups and build descriptors.
+	fs.GDs = make([]*GroupDesc, groups)
+	for gi := uint32(0); gi < groups; gi++ {
+		gd, err := fs.layoutGroup(gi)
+		if err != nil {
+			return nil, err
+		}
+		fs.GDs[gi] = gd
+	}
+	// Global free counts from per-group counts.
+	var freeBlocks, freeInodes uint32
+	for _, gd := range fs.GDs {
+		freeBlocks += gd.FreeBlocksCount
+		freeInodes += gd.FreeInodesCount
+	}
+	sb.FreeBlocksCount = freeBlocks
+	sb.FreeInodesCount = freeInodes
+
+	// Reserve inodes 1..FirstIno-1 (they live in group 0).
+	ibm, err := fs.inodeBitmap(0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(FirstIno)-1; i++ {
+		ibm.Set(i)
+	}
+	if err := fs.writeInodeBitmap(0, ibm); err != nil {
+		return nil, err
+	}
+	fs.GDs[0].FreeInodesCount -= FirstIno - 1
+	sb.FreeInodesCount -= FirstIno - 1
+
+	// Root directory (inode 2) and lost+found.
+	if err := fs.initInode(RootIno, &Inode{Mode: ModeDir, LinksCount: 2}); err != nil {
+		return nil, err
+	}
+	rootSelf := []DirEntry{
+		{Ino: RootIno, Name: ".", FileType: FtDir},
+		{Ino: RootIno, Name: "..", FileType: FtDir},
+	}
+	if err := fs.writeDir(RootIno, rootSelf); err != nil {
+		return nil, fmt.Errorf("fsim: writing root directory: %w", err)
+	}
+	fs.GDs[0].UsedDirsCount++
+	if _, err := fs.Mkdir(RootIno, "lost+found"); err != nil {
+		return nil, fmt.Errorf("fsim: creating lost+found: %w", err)
+	}
+	if err := fs.Flush(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func validateGeometry(g Geometry) error {
+	if g.BlockSize < MinBlockSize || g.BlockSize > MaxBlockSize || !isPow2(g.BlockSize) {
+		return fmt.Errorf("fsim: invalid block size %d", g.BlockSize)
+	}
+	if g.InodeSize < MinInodeSize || g.InodeSize > MaxInodeSize || !isPow2(g.InodeSize) {
+		return fmt.Errorf("fsim: invalid inode size %d", g.InodeSize)
+	}
+	if g.InodesPerGroup == 0 || (g.InodesPerGroup*g.InodeSize)%g.BlockSize != 0 {
+		return fmt.Errorf("fsim: inodes per group %d does not fill whole blocks", g.InodesPerGroup)
+	}
+	if g.ClusterSize != 0 {
+		if g.ClusterSize < g.BlockSize || !isPow2(g.ClusterSize) {
+			return fmt.Errorf("fsim: invalid cluster size %d for block size %d", g.ClusterSize, g.BlockSize)
+		}
+	}
+	return nil
+}
+
+func isPow2(v uint32) bool { return v != 0 && v&(v-1) == 0 }
+
+func log2(v uint32) uint32 {
+	var l uint32
+	for v > 1 {
+		v >>= 1
+		l++
+	}
+	return l
+}
+
+// Open reads the superblock and group descriptors from dev.
+func Open(dev Device) (*Fs, error) {
+	buf := make([]byte, SuperBlockSize)
+	if err := dev.ReadAt(buf, SuperOffset); err != nil {
+		return nil, fmt.Errorf("fsim: reading superblock: %w", err)
+	}
+	sb, err := DecodeSuperblock(buf)
+	if err != nil {
+		return nil, err
+	}
+	fs := &Fs{dev: dev, SB: sb}
+	groups := sb.GroupCount()
+	fs.GDs = make([]*GroupDesc, groups)
+	for gi := uint32(0); gi < groups; gi++ {
+		gd, err := fs.readGroupDesc(gi)
+		if err != nil {
+			return nil, err
+		}
+		fs.GDs[gi] = gd
+	}
+	return fs, nil
+}
+
+// Device exposes the underlying device (for utilities and tests).
+func (fs *Fs) Device() Device { return fs.dev }
+
+// ---------------------------------------------------------------------
+// Geometry: where each group's metadata lives
+// ---------------------------------------------------------------------
+
+// gdTableBlocks returns the number of blocks the full descriptor table
+// occupies at the current group count.
+func (fs *Fs) gdTableBlocks() uint32 {
+	return fs.gdTableBlocksFor(uint32(len(fs.GDs)))
+}
+
+func (fs *Fs) gdTableBlocksFor(groups uint32) uint32 {
+	bs := fs.SB.BlockSize()
+	return (groups*GroupDescSize + bs - 1) / bs
+}
+
+// gdCapacityBlocks returns the blocks reserved for descriptors plus
+// future growth (reserved GDT blocks).
+func (fs *Fs) gdCapacityBlocks() uint32 {
+	return fs.gdTableBlocks() + uint32(fs.SB.ReservedGdtBlks)
+}
+
+// GroupMeta describes the metadata block placement of one group.
+type GroupMeta struct {
+	// HasSuper marks groups carrying a superblock (+GD) backup.
+	HasSuper bool
+	// SuperBlk is the block holding the (primary or backup)
+	// superblock; meaningful when HasSuper.
+	SuperBlk uint32
+	// GDFirst is the first descriptor-table block (when HasSuper).
+	GDFirst uint32
+	// BlockBitmap, InodeBitmap, InodeTable locate the group's
+	// allocation metadata.
+	BlockBitmap uint32
+	InodeBitmap uint32
+	InodeTable  uint32
+	// ITBlocks is the inode-table length in blocks.
+	ITBlocks uint32
+	// DataFirst is the first block available for data.
+	DataFirst uint32
+	// MetaBlocks counts all metadata blocks in the group.
+	MetaBlocks uint32
+}
+
+// groupMeta computes the layout of group gi under the current
+// superblock. With meta_bg, descriptor blocks live one per group
+// (a simplification of ext4's meta-group clusters) and no reserved
+// GDT region exists.
+func (fs *Fs) groupMeta(gi uint32) GroupMeta {
+	sb := fs.SB
+	base := sb.GroupFirstBlock(gi)
+	var m GroupMeta
+	off := uint32(0)
+	m.HasSuper = sb.HasSuperBackup(gi)
+	if sb.HasIncompat(IncompatMetaBG) {
+		if m.HasSuper {
+			m.SuperBlk = base
+			off++
+		}
+		// One descriptor block per group, always present.
+		m.GDFirst = base + off
+		off++
+	} else if m.HasSuper {
+		m.SuperBlk = base
+		off++
+		m.GDFirst = base + off
+		off += fs.gdCapacityBlocks()
+	}
+	m.BlockBitmap = base + off
+	off++
+	m.InodeBitmap = base + off
+	off++
+	m.InodeTable = base + off
+	bs := sb.BlockSize()
+	m.ITBlocks = (sb.InodesPerGroup*uint32(sb.InodeSize) + bs - 1) / bs
+	off += m.ITBlocks
+	m.DataFirst = base + off
+	m.MetaBlocks = off
+	return m
+}
+
+// layoutGroup initializes group gi's bitmaps and returns its
+// descriptor.
+func (fs *Fs) layoutGroup(gi uint32) (*GroupDesc, error) {
+	sb := fs.SB
+	m := fs.groupMeta(gi)
+	gd := &GroupDesc{
+		BlockBitmap: m.BlockBitmap,
+		InodeBitmap: m.InodeBitmap,
+		InodeTable:  m.InodeTable,
+	}
+	bs := sb.BlockSize()
+	ratio := sb.ClusterRatio()
+	nblocks := sb.GroupBlockCount(gi)
+	nclusters := (nblocks + ratio - 1) / ratio
+
+	// Block bitmap: one bit per cluster; metadata clusters used,
+	// padding bits (beyond the short last group) used.
+	bm := make([]byte, bs)
+	bmap := NewBitmap(bm, int(8*bs))
+	metaClusters := (m.MetaBlocks + ratio - 1) / ratio
+	bmap.SetRange(0, int(metaClusters))
+	for c := nclusters; c < 8*bs; c++ {
+		bmap.Set(int(c))
+	}
+	if err := fs.writeBlock(m.BlockBitmap, bm); err != nil {
+		return nil, err
+	}
+	gd.FreeBlocksCount = (nclusters - metaClusters) * ratio
+
+	// Inode bitmap: inodes beyond InodesPerGroup are padding.
+	im := make([]byte, bs)
+	imap := NewBitmap(im, int(8*bs))
+	for i := sb.InodesPerGroup; i < 8*bs; i++ {
+		imap.Set(int(i))
+	}
+	if err := fs.writeBlock(m.InodeBitmap, im); err != nil {
+		return nil, err
+	}
+	gd.FreeInodesCount = sb.InodesPerGroup
+
+	// Zero the inode table.
+	zero := make([]byte, bs)
+	for b := uint32(0); b < m.ITBlocks; b++ {
+		if err := fs.writeBlock(m.InodeTable+b, zero); err != nil {
+			return nil, err
+		}
+	}
+	return gd, nil
+}
+
+// ---------------------------------------------------------------------
+// Raw block and metadata I/O
+// ---------------------------------------------------------------------
+
+// ReadBlock reads block b.
+func (fs *Fs) ReadBlock(b uint32) ([]byte, error) {
+	bs := fs.SB.BlockSize()
+	buf := make([]byte, bs)
+	if err := fs.dev.ReadAt(buf, int64(b)*int64(bs)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (fs *Fs) writeBlock(b uint32, data []byte) error {
+	bs := fs.SB.BlockSize()
+	if uint32(len(data)) != bs {
+		return fmt.Errorf("fsim: writeBlock: %d bytes, want %d", len(data), bs)
+	}
+	return fs.dev.WriteAt(data, int64(b)*int64(bs))
+}
+
+// WriteBlock writes a full block (exported for utilities).
+func (fs *Fs) WriteBlock(b uint32, data []byte) error { return fs.writeBlock(b, data) }
+
+// Flush persists the superblock (primary and backups) and every group
+// descriptor table copy.
+func (fs *Fs) Flush() error {
+	sb := fs.SB
+	enc := sb.Encode()
+	// Primary superblock at byte offset 1024.
+	if err := fs.dev.WriteAt(enc, SuperOffset); err != nil {
+		return err
+	}
+	// Descriptor table payload.
+	gdBlob := make([]byte, len(fs.GDs)*GroupDescSize)
+	for i, gd := range fs.GDs {
+		copy(gdBlob[i*GroupDescSize:], gd.Encode())
+	}
+	groups := uint32(len(fs.GDs))
+	bs := sb.BlockSize()
+	for gi := uint32(0); gi < groups; gi++ {
+		m := fs.groupMeta(gi)
+		if sb.HasIncompat(IncompatMetaBG) {
+			// Per-group descriptor block: this group's own entry.
+			blk := make([]byte, bs)
+			copy(blk, fs.GDs[gi].Encode())
+			if err := fs.writeBlock(m.GDFirst, blk); err != nil {
+				return err
+			}
+			if m.HasSuper && gi != 0 {
+				if err := fs.writeSuperCopy(m.SuperBlk, enc); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if !m.HasSuper {
+			continue
+		}
+		if gi != 0 {
+			if err := fs.writeSuperCopy(m.SuperBlk, enc); err != nil {
+				return err
+			}
+		}
+		// Full descriptor table after the (backup) superblock.
+		for b := uint32(0); b*bs < uint32(len(gdBlob)); b++ {
+			blk := make([]byte, bs)
+			end := (b + 1) * bs
+			if end > uint32(len(gdBlob)) {
+				end = uint32(len(gdBlob))
+			}
+			copy(blk, gdBlob[b*bs:end])
+			if err := fs.writeBlock(m.GDFirst+b, blk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSuperCopy writes a backup superblock at the start of blk.
+func (fs *Fs) writeSuperCopy(blk uint32, enc []byte) error {
+	bs := fs.SB.BlockSize()
+	buf := make([]byte, bs)
+	copy(buf, enc)
+	return fs.writeBlock(blk, buf)
+}
+
+// readGroupDesc reads group gi's descriptor from the primary table.
+func (fs *Fs) readGroupDesc(gi uint32) (*GroupDesc, error) {
+	sb := fs.SB
+	bs := sb.BlockSize()
+	if sb.HasIncompat(IncompatMetaBG) {
+		m := fs.groupMeta(gi)
+		blk, err := fs.ReadBlock(m.GDFirst)
+		if err != nil {
+			return nil, err
+		}
+		return DecodeGroupDesc(blk)
+	}
+	m0 := fs.groupMeta(0)
+	off := int64(m0.GDFirst)*int64(bs) + int64(gi)*GroupDescSize
+	buf := make([]byte, GroupDescSize)
+	if err := fs.dev.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return DecodeGroupDesc(buf)
+}
+
+// blockBitmap loads group gi's block bitmap.
+func (fs *Fs) blockBitmap(gi uint32) (Bitmap, []byte, error) {
+	buf, err := fs.ReadBlock(fs.GDs[gi].BlockBitmap)
+	if err != nil {
+		return Bitmap{}, nil, err
+	}
+	return NewBitmap(buf, int(8*fs.SB.BlockSize())), buf, nil
+}
+
+func (fs *Fs) writeBlockBitmapBuf(gi uint32, buf []byte) error {
+	return fs.writeBlock(fs.GDs[gi].BlockBitmap, buf)
+}
+
+// inodeBitmap loads group gi's inode bitmap.
+func (fs *Fs) inodeBitmap(gi uint32) (Bitmap, error) {
+	buf, err := fs.ReadBlock(fs.GDs[gi].InodeBitmap)
+	if err != nil {
+		return Bitmap{}, err
+	}
+	return NewBitmap(buf, int(8*fs.SB.BlockSize())), nil
+}
+
+func (fs *Fs) writeInodeBitmap(gi uint32, bm Bitmap) error {
+	return fs.writeBlock(fs.GDs[gi].InodeBitmap, bm.bits)
+}

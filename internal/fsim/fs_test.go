@@ -1,0 +1,543 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// testGeometry returns a small default geometry for tests.
+func testGeometry() Geometry {
+	return Geometry{
+		BlockSize:      1024,
+		BlocksCount:    16384, // 2 groups at 8192 blocks/group
+		InodeSize:      128,
+		InodesPerGroup: 1024,
+		RoCompat:       RoCompatSparseSuper,
+		Incompat:       IncompatFiletype,
+	}
+}
+
+func mk(t *testing.T, g Geometry) *Fs {
+	t.Helper()
+	dev := NewMemDevice(0)
+	fs, err := Create(dev, g)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return fs
+}
+
+func TestCreateAndOpen(t *testing.T) {
+	fs := mk(t, testGeometry())
+	if got := fs.SB.GroupCount(); got != 2 {
+		t.Fatalf("groups = %d, want 2", got)
+	}
+	// Reopen from the device and compare key fields.
+	fs2, err := Open(fs.Device())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if fs2.SB.BlocksCount != fs.SB.BlocksCount ||
+		fs2.SB.FreeBlocksCount != fs.SB.FreeBlocksCount ||
+		fs2.SB.InodesCount != fs.SB.InodesCount {
+		t.Errorf("reopened superblock differs: %+v vs %+v", fs2.SB, fs.SB)
+	}
+	if len(fs2.GDs) != len(fs.GDs) {
+		t.Fatalf("reopened GDs = %d", len(fs2.GDs))
+	}
+	for i := range fs.GDs {
+		if *fs2.GDs[i] != *fs.GDs[i] {
+			t.Errorf("group %d descriptor differs: %+v vs %+v", i, fs2.GDs[i], fs.GDs[i])
+		}
+	}
+}
+
+func TestFreshFsIsClean(t *testing.T) {
+	fs := mk(t, testGeometry())
+	probs := fs.Audit()
+	for _, p := range probs {
+		t.Errorf("fresh fs problem: %s", p)
+	}
+}
+
+func TestCreateRejectsBadGeometry(t *testing.T) {
+	bad := []Geometry{
+		{BlockSize: 512, BlocksCount: 4096, InodeSize: 128, InodesPerGroup: 512},
+		{BlockSize: 3000, BlocksCount: 4096, InodeSize: 128, InodesPerGroup: 512},
+		{BlockSize: 1024, BlocksCount: 4096, InodeSize: 100, InodesPerGroup: 512},
+		{BlockSize: 1024, BlocksCount: 4096, InodeSize: 128, InodesPerGroup: 0},
+		{BlockSize: 1024, BlocksCount: 4096, InodeSize: 128, InodesPerGroup: 3}, // 3*128 not multiple of 1024
+		{BlockSize: 4096, BlocksCount: 4096, InodeSize: 256, InodesPerGroup: 16, ClusterSize: 2048},
+	}
+	for i, g := range bad {
+		if _, err := Create(NewMemDevice(0), g); err == nil {
+			t.Errorf("geometry %d accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestFileWriteRead(t *testing.T) {
+	fs := mk(t, testGeometry())
+	ino, err := fs.CreateFile(RootIno, "data.bin")
+	if err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	payload := bytes.Repeat([]byte("configuration dependency "), 200) // ~5 KB
+	if err := fs.WriteFile(ino, payload); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := fs.ReadFile(ino)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read back %d bytes, want %d; content differs", len(got), len(payload))
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit after write: %v", probs)
+	}
+}
+
+func TestFileOverwriteFreesOldBlocks(t *testing.T) {
+	fs := mk(t, testGeometry())
+	ino, _ := fs.CreateFile(RootIno, "f")
+	before := fs.SB.FreeBlocksCount
+	if err := fs.WriteFile(ino, bytes.Repeat([]byte{1}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(ino, bytes.Repeat([]byte{2}, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	used := before - fs.SB.FreeBlocksCount
+	if used != 2 { // 2048 bytes / 1024 block size
+		t.Errorf("blocks in use after overwrite = %d, want 2", used)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestDirOperations(t *testing.T) {
+	fs := mk(t, testGeometry())
+	sub, err := fs.Mkdir(RootIno, "etc")
+	if err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	if _, err := fs.CreateFile(sub, "fstab"); err != nil {
+		t.Fatalf("CreateFile: %v", err)
+	}
+	ino, err := fs.PathLookup("/etc/fstab")
+	if err != nil {
+		t.Fatalf("PathLookup: %v", err)
+	}
+	if ino == 0 {
+		t.Fatal("zero inode")
+	}
+	entries, err := fs.ReadDir(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = true
+	}
+	if !names["."] || !names[".."] || !names["fstab"] {
+		t.Errorf("entries = %v", names)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	fs := mk(t, testGeometry())
+	if _, err := fs.CreateFile(RootIno, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateFile(RootIno, "x"); !errors.Is(err, ErrExists) {
+		t.Fatalf("err = %v, want ErrExists", err)
+	}
+}
+
+func TestUnlinkFileFreesEverything(t *testing.T) {
+	fs := mk(t, testGeometry())
+	freeB := fs.SB.FreeBlocksCount
+	freeI := fs.SB.FreeInodesCount
+	ino, _ := fs.CreateFile(RootIno, "victim")
+	if err := fs.WriteFile(ino, bytes.Repeat([]byte{7}, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(RootIno, "victim"); err != nil {
+		t.Fatalf("Unlink: %v", err)
+	}
+	if fs.SB.FreeBlocksCount != freeB || fs.SB.FreeInodesCount != freeI {
+		t.Errorf("free counts not restored: blocks %d->%d inodes %d->%d",
+			freeB, fs.SB.FreeBlocksCount, freeI, fs.SB.FreeInodesCount)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestUnlinkNonEmptyDirRefused(t *testing.T) {
+	fs := mk(t, testGeometry())
+	sub, _ := fs.Mkdir(RootIno, "d")
+	if _, err := fs.CreateFile(sub, "child"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(RootIno, "d"); err == nil {
+		t.Fatal("unlink of non-empty directory succeeded")
+	}
+	if err := fs.Unlink(sub, "child"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Unlink(RootIno, "d"); err != nil {
+		t.Fatalf("unlink of empty directory: %v", err)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestInlineDataFile(t *testing.T) {
+	g := testGeometry()
+	g.Incompat |= IncompatInlineData
+	fs := mk(t, g)
+	ino, _ := fs.CreateFile(RootIno, "tiny")
+	data := []byte("inline payload")
+	freeBefore := fs.SB.FreeBlocksCount
+	if err := fs.WriteFile(ino, data); err != nil {
+		t.Fatal(err)
+	}
+	if fs.SB.FreeBlocksCount != freeBefore {
+		t.Error("inline file should consume no blocks")
+	}
+	in, _ := fs.ReadInode(ino)
+	if in.Flags&FlagInlineData == 0 {
+		t.Error("inline flag not set")
+	}
+	got, err := fs.ReadFile(ino)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read back %q err %v", got, err)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestSparseSuperBackupPlacement(t *testing.T) {
+	// 16 groups so powers of 3, 5, 7 matter: backups at 1,3,5,7,9.
+	g := testGeometry()
+	g.BlocksCount = 8192 * 16
+	fs := mk(t, g)
+	want := map[uint32]bool{0: true, 1: true, 3: true, 5: true, 7: true, 9: true, 15: false}
+	for gi, w := range want {
+		if got := fs.SB.HasSuperBackup(gi); got != w {
+			t.Errorf("HasSuperBackup(%d) = %v, want %v", gi, got, w)
+		}
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestSparseSuper2Placement(t *testing.T) {
+	g := testGeometry()
+	g.BlocksCount = 8192 * 8
+	g.Compat |= CompatSparseSuper2
+	g.BackupBgs = [2]uint32{1, 7}
+	fs := mk(t, g)
+	for gi := uint32(0); gi < 8; gi++ {
+		want := gi == 0 || gi == 1 || gi == 7
+		if got := fs.SB.HasSuperBackup(gi); got != want {
+			t.Errorf("HasSuperBackup(%d) = %v, want %v", gi, got, want)
+		}
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestBigallocClusterAllocation(t *testing.T) {
+	g := testGeometry()
+	g.BlockSize = 1024
+	g.ClusterSize = 4096 // ratio 4
+	g.RoCompat |= RoCompatBigalloc
+	g.BlocksCount = 8 * 1024 * 4 * 2 // exactly 2 groups... minus first block
+	fs := mk(t, g)
+	if fs.SB.ClusterRatio() != 4 {
+		t.Fatalf("ratio = %d", fs.SB.ClusterRatio())
+	}
+	ino, _ := fs.CreateFile(RootIno, "c")
+	free := fs.SB.FreeBlocksCount
+	if err := fs.WriteFile(ino, []byte("one byte file but a whole cluster")); err != nil {
+		t.Fatal(err)
+	}
+	if free-fs.SB.FreeBlocksCount != 4 {
+		t.Errorf("cluster allocation consumed %d blocks, want 4", free-fs.SB.FreeBlocksCount)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestMetaBGLayout(t *testing.T) {
+	g := testGeometry()
+	g.Incompat |= IncompatMetaBG
+	fs := mk(t, g)
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+	fs2, err := Open(fs.Device())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if probs := fs2.Audit(); len(probs) != 0 {
+		t.Fatalf("reopened audit: %v", probs)
+	}
+}
+
+func TestAuditDetectsFreeCountCorruption(t *testing.T) {
+	fs := mk(t, testGeometry())
+	fs.SB.FreeBlocksCount += 37 // simulate the Figure-1 class of damage
+	probs := fs.Audit()
+	if len(probs) == 0 {
+		t.Fatal("corruption not detected")
+	}
+	found := false
+	for _, p := range probs {
+		if p.Code == PFreeBlocksCount {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no free-blocks-count problem in %v", probs)
+	}
+}
+
+func TestAuditDetectsBitmapCorruption(t *testing.T) {
+	fs := mk(t, testGeometry())
+	bmap, buf, err := fs.blockBitmap(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim a free data cluster as used without an owner.
+	idx := bmap.FirstFree(0)
+	bmap.Set(idx)
+	if err := fs.writeBlockBitmapBuf(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	probs := fs.Audit()
+	var hasBitmap bool
+	for _, p := range probs {
+		if p.Code == PBlockBitmap && p.Group == 1 {
+			hasBitmap = true
+		}
+	}
+	if !hasBitmap {
+		t.Errorf("bitmap corruption not detected: %v", probs)
+	}
+}
+
+func TestAuditDetectsLinkCountCorruption(t *testing.T) {
+	fs := mk(t, testGeometry())
+	ino, _ := fs.CreateFile(RootIno, "f")
+	in, _ := fs.ReadInode(ino)
+	in.LinksCount = 5
+	if err := fs.WriteInode(ino, in); err != nil {
+		t.Fatal(err)
+	}
+	probs := fs.Audit()
+	var hasLink bool
+	for _, p := range probs {
+		if p.Code == PLinkCount && p.Ino == ino {
+			hasLink = true
+		}
+	}
+	if !hasLink {
+		t.Errorf("link count corruption not detected: %v", probs)
+	}
+}
+
+func TestAuditDetectsExtentOverlap(t *testing.T) {
+	fs := mk(t, testGeometry())
+	a, _ := fs.CreateFile(RootIno, "a")
+	b, _ := fs.CreateFile(RootIno, "b")
+	if err := fs.WriteFile(a, bytes.Repeat([]byte{1}, 2048)); err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := fs.ReadInode(a)
+	ib, _ := fs.ReadInode(b)
+	// Point b at a's blocks.
+	ib.Extents[0] = ia.Extents[0]
+	ib.ExtentCount = 1
+	ib.Size = 2048
+	ib.Blocks = 2
+	if err := fs.WriteInode(b, ib); err != nil {
+		t.Fatal(err)
+	}
+	probs := fs.Audit()
+	var overlap bool
+	for _, p := range probs {
+		if p.Code == PExtentOverlap {
+			overlap = true
+		}
+	}
+	if !overlap {
+		t.Errorf("extent overlap not detected: %v", probs)
+	}
+}
+
+func TestSuperblockRoundTrip(t *testing.T) {
+	f := func(blocks, freeB, inodes uint32, state uint16, compat, incompat, rocompat uint32) bool {
+		sb := &Superblock{
+			BlocksCount: blocks, FreeBlocksCount: freeB, InodesCount: inodes,
+			Magic: Magic, State: state, InodeSize: 256,
+			FeatureCompat: compat, FeatureIncompat: incompat, FeatureRoCompat: rocompat,
+			LogBlockSize: 2, LogClusterSize: 2, BlocksPerGroup: 32768, InodesPerGroup: 1024,
+		}
+		dec, err := DecodeSuperblock(sb.Encode())
+		if err != nil {
+			return false
+		}
+		return dec.BlocksCount == blocks && dec.FreeBlocksCount == freeB &&
+			dec.InodesCount == inodes && dec.State == state &&
+			dec.FeatureCompat == compat && dec.FeatureIncompat == incompat &&
+			dec.FeatureRoCompat == rocompat
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupDescRoundTrip(t *testing.T) {
+	f := func(bb, ib, it, fb, fi, ud uint32) bool {
+		gd := &GroupDesc{BlockBitmap: bb, InodeBitmap: ib, InodeTable: it,
+			FreeBlocksCount: fb, FreeInodesCount: fi, UsedDirsCount: ud}
+		dec, err := DecodeGroupDesc(gd.Encode())
+		return err == nil && *dec == *gd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInodeRoundTrip(t *testing.T) {
+	f := func(mode, links uint16, size, blocks, flags uint32, e0s, e0l uint32, inline [8]byte) bool {
+		in := &Inode{Mode: mode, LinksCount: links, Size: size, Blocks: blocks,
+			Flags: flags, ExtentCount: 2}
+		in.Extents[0] = Extent{Start: e0s, Len: e0l}
+		in.Extents[1] = Extent{Start: e0s + e0l, Len: 1}
+		copy(in.Inline[:], inline[:])
+		dec, err := DecodeInode(in.Encode())
+		return err == nil && *dec == *in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirEntriesRoundTrip(t *testing.T) {
+	entries := []DirEntry{
+		{Ino: 2, Name: ".", FileType: FtDir},
+		{Ino: 2, Name: "..", FileType: FtDir},
+		{Ino: 12, Name: "a-much-longer-file-name.txt", FileType: FtFile},
+		{Ino: 13, Name: "x", FileType: FtFile},
+	}
+	raw := encodeDirEntries(entries, 1024)
+	if len(raw)%1024 != 0 {
+		t.Fatalf("encoded dir not block aligned: %d", len(raw))
+	}
+	dec, err := decodeDirEntries(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(dec), len(entries))
+	}
+	for i := range entries {
+		if dec[i] != entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, dec[i], entries[i])
+		}
+	}
+}
+
+func TestDeviceOutOfRange(t *testing.T) {
+	dev := NewFixedMemDevice(1024)
+	if err := dev.ReadAt(make([]byte, 8), 1020); err == nil {
+		t.Error("read past end should fail")
+	}
+	if err := dev.WriteAt(make([]byte, 8), 1020); err == nil {
+		t.Error("write past end of fixed device should fail")
+	}
+	grow := NewMemDevice(1024)
+	if err := grow.WriteAt(make([]byte, 8), 2000); err != nil {
+		t.Errorf("growable device write failed: %v", err)
+	}
+	if grow.Size() != 2008 {
+		t.Errorf("size after growth = %d", grow.Size())
+	}
+}
+
+func TestBitmapProperties(t *testing.T) {
+	f := func(setBits []uint16) bool {
+		buf := make([]byte, 128)
+		bm := NewBitmap(buf, 1024)
+		seen := map[int]bool{}
+		for _, b := range setBits {
+			i := int(b) % 1024
+			bm.Set(i)
+			seen[i] = true
+		}
+		if bm.CountFree() != 1024-len(seen) {
+			return false
+		}
+		for i := range seen {
+			if !bm.Test(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmapFirstFreeRun(t *testing.T) {
+	buf := make([]byte, 4)
+	bm := NewBitmap(buf, 32)
+	bm.SetRange(0, 5)
+	bm.Set(8)
+	if got := bm.FirstFreeRun(0, 3); got != 5 {
+		t.Errorf("FirstFreeRun(0,3) = %d, want 5", got)
+	}
+	if got := bm.FirstFreeRun(0, 4); got != 9 {
+		t.Errorf("FirstFreeRun(0,4) = %d, want 9", got)
+	}
+	if got := bm.FirstFreeRun(0, 64); got != -1 {
+		t.Errorf("FirstFreeRun(0,64) = %d, want -1", got)
+	}
+}
+
+func TestLargerBlockSizeGeometry(t *testing.T) {
+	// 2 KiB blocks, one full group of 16384 blocks (32 MiB image).
+	// Larger block sizes scale the same way; 64 KiB groups would need
+	// a 32 GiB device, which is why GroupDesc counters are uint32.
+	g := Geometry{
+		BlockSize:      2048,
+		BlocksCount:    8 * 2048,
+		InodeSize:      256,
+		InodesPerGroup: 2048,
+		RoCompat:       RoCompatSparseSuper,
+	}
+	fs := mk(t, g)
+	if fs.SB.GroupCount() != 1 {
+		t.Fatalf("groups = %d, want 1", fs.SB.GroupCount())
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}

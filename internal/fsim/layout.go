@@ -1,0 +1,445 @@
+package fsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Geometry and format constants, matching ext2/ext4 where the paper's
+// bugs depend on them.
+const (
+	// SuperOffset is the byte offset of the primary superblock.
+	SuperOffset = 1024
+	// Magic is the ext2/3/4 superblock magic number.
+	Magic = 0xEF53
+	// MinBlockSize and MaxBlockSize bound the blocksize parameter of
+	// mke2fs (1024–65536; the paper's SD value-range example).
+	MinBlockSize = 1024
+	MaxBlockSize = 65536
+	// MinInodeSize and MaxInodeSize bound the inode_size parameter.
+	MinInodeSize = 128
+	MaxInodeSize = 1024
+	// FirstIno is the first non-reserved inode number.
+	FirstIno = 11
+	// RootIno is the root directory's inode number.
+	RootIno = 2
+	// SuperBlockSize is the encoded superblock size in bytes.
+	SuperBlockSize = 256
+	// GroupDescSize is the encoded group descriptor size in bytes.
+	GroupDescSize = 32
+	// InodeDiskSize is the encoded fixed part of an inode.
+	InodeDiskSize = 128
+	// MaxInlineExtents is the number of extents stored in the inode.
+	MaxInlineExtents = 4
+	// InlineDataCap is the byte capacity of inline_data files.
+	InlineDataCap = 60
+	// MaxNameLen bounds directory entry names.
+	MaxNameLen = 255
+)
+
+// Compat feature flags (safe to ignore by old kernels).
+const (
+	CompatHasJournal   uint32 = 0x0004
+	CompatResizeInode  uint32 = 0x0010
+	CompatDirIndex     uint32 = 0x0020
+	CompatSparseSuper2 uint32 = 0x0200
+)
+
+// Incompat feature flags (must be supported to mount at all).
+const (
+	IncompatFiletype   uint32 = 0x0002
+	IncompatJournalDev uint32 = 0x0008
+	IncompatMetaBG     uint32 = 0x0010
+	IncompatExtents    uint32 = 0x0040
+	Incompat64Bit      uint32 = 0x0080
+	IncompatInlineData uint32 = 0x8000
+)
+
+// RoCompat feature flags (must be supported for read-write mount).
+const (
+	RoCompatSparseSuper  uint32 = 0x0001
+	RoCompatLargeFile    uint32 = 0x0002
+	RoCompatBigalloc     uint32 = 0x0200
+	RoCompatMetadataCsum uint32 = 0x0400
+)
+
+// FeatureNames maps canonical feature names (as used by mke2fs -O) to
+// their flag word and bit.
+type FeatureBit struct {
+	// Word is "compat", "incompat", or "ro_compat".
+	Word string
+	Bit  uint32
+}
+
+// Features is the canonical name → bit registry of supported features.
+var Features = map[string]FeatureBit{
+	"has_journal":   {"compat", CompatHasJournal},
+	"resize_inode":  {"compat", CompatResizeInode},
+	"dir_index":     {"compat", CompatDirIndex},
+	"sparse_super2": {"compat", CompatSparseSuper2},
+	"filetype":      {"incompat", IncompatFiletype},
+	"journal_dev":   {"incompat", IncompatJournalDev},
+	"meta_bg":       {"incompat", IncompatMetaBG},
+	"extent":        {"incompat", IncompatExtents},
+	"64bit":         {"incompat", Incompat64Bit},
+	"inline_data":   {"incompat", IncompatInlineData},
+	"sparse_super":  {"ro_compat", RoCompatSparseSuper},
+	"large_file":    {"ro_compat", RoCompatLargeFile},
+	"bigalloc":      {"ro_compat", RoCompatBigalloc},
+	"metadata_csum": {"ro_compat", RoCompatMetadataCsum},
+}
+
+// FS states for Superblock.State.
+const (
+	// StateClean marks a cleanly unmounted file system.
+	StateClean uint16 = 1
+	// StateErrors marks a file system with detected errors.
+	StateErrors uint16 = 2
+	// StateMounted (simulator-specific) marks a mounted file system;
+	// offline utilities must refuse to touch it.
+	StateMounted uint16 = 4
+)
+
+// Superblock is the decoded superblock. Field names follow ext2 so the
+// analyzer corpus and the simulator speak the same metadata language.
+type Superblock struct {
+	InodesCount      uint32 // s_inodes_count
+	BlocksCount      uint32 // s_blocks_count
+	FreeBlocksCount  uint32 // s_free_blocks_count
+	FreeInodesCount  uint32 // s_free_inodes_count
+	FirstDataBlock   uint32 // s_first_data_block (1 iff blocksize==1024)
+	LogBlockSize     uint32 // s_log_block_size (blocksize = 1024 << log)
+	LogClusterSize   uint32 // s_log_cluster_size (== LogBlockSize unless bigalloc)
+	BlocksPerGroup   uint32 // s_blocks_per_group
+	InodesPerGroup   uint32 // s_inodes_per_group
+	Magic            uint16 // s_magic
+	State            uint16 // s_state
+	InodeSize        uint16 // s_inode_size
+	ReservedGdtBlks  uint16 // s_reserved_gdt_blocks
+	FeatureCompat    uint32 // s_feature_compat
+	FeatureIncompat  uint32 // s_feature_incompat
+	FeatureRoCompat  uint32 // s_feature_ro_compat
+	MntCount         uint16 // s_mnt_count
+	MaxMntCount      int16  // s_max_mnt_count (-1 = never check)
+	FirstIno         uint32 // s_first_ino
+	BackupBgs        [2]uint32
+	VolumeName       [16]byte // s_volume_name
+	LastMountOptions [32]byte // s_last_mounted (reused for mount opts)
+	Checksum         uint32   // s_checksum (metadata_csum)
+}
+
+// BlockSize returns the block size in bytes.
+func (sb *Superblock) BlockSize() uint32 { return MinBlockSize << sb.LogBlockSize }
+
+// ClusterRatio returns blocks per allocation cluster (1 without
+// bigalloc).
+func (sb *Superblock) ClusterRatio() uint32 {
+	return 1 << (sb.LogClusterSize - sb.LogBlockSize)
+}
+
+// HasCompat reports whether all given compat bits are set.
+func (sb *Superblock) HasCompat(bit uint32) bool { return sb.FeatureCompat&bit == bit }
+
+// HasIncompat reports whether all given incompat bits are set.
+func (sb *Superblock) HasIncompat(bit uint32) bool { return sb.FeatureIncompat&bit == bit }
+
+// HasRoCompat reports whether all given ro_compat bits are set.
+func (sb *Superblock) HasRoCompat(bit uint32) bool { return sb.FeatureRoCompat&bit == bit }
+
+// HasFeature reports whether the named feature is enabled.
+func (sb *Superblock) HasFeature(name string) bool {
+	fb, ok := Features[name]
+	if !ok {
+		return false
+	}
+	switch fb.Word {
+	case "compat":
+		return sb.HasCompat(fb.Bit)
+	case "incompat":
+		return sb.HasIncompat(fb.Bit)
+	default:
+		return sb.HasRoCompat(fb.Bit)
+	}
+}
+
+// SetFeature enables (or disables) the named feature bit.
+func (sb *Superblock) SetFeature(name string, on bool) error {
+	fb, ok := Features[name]
+	if !ok {
+		return fmt.Errorf("fsim: unknown feature %q", name)
+	}
+	var word *uint32
+	switch fb.Word {
+	case "compat":
+		word = &sb.FeatureCompat
+	case "incompat":
+		word = &sb.FeatureIncompat
+	default:
+		word = &sb.FeatureRoCompat
+	}
+	if on {
+		*word |= fb.Bit
+	} else {
+		*word &^= fb.Bit
+	}
+	return nil
+}
+
+// GroupCount returns the number of block groups.
+func (sb *Superblock) GroupCount() uint32 {
+	if sb.BlocksPerGroup == 0 {
+		return 0
+	}
+	data := sb.BlocksCount - sb.FirstDataBlock
+	return (data + sb.BlocksPerGroup - 1) / sb.BlocksPerGroup
+}
+
+// GroupFirstBlock returns the first block of group g.
+func (sb *Superblock) GroupFirstBlock(g uint32) uint32 {
+	return sb.FirstDataBlock + g*sb.BlocksPerGroup
+}
+
+// GroupBlockCount returns the number of blocks in group g (the last
+// group may be short).
+func (sb *Superblock) GroupBlockCount(g uint32) uint32 {
+	start := sb.GroupFirstBlock(g)
+	if start >= sb.BlocksCount {
+		return 0
+	}
+	n := sb.BlocksCount - start
+	if n > sb.BlocksPerGroup {
+		n = sb.BlocksPerGroup
+	}
+	return n
+}
+
+// HasSuperBackup reports whether group g carries a superblock backup
+// under the active sparse_super/sparse_super2 policy. Group 0 always
+// has the primary.
+func (sb *Superblock) HasSuperBackup(g uint32) bool {
+	if g == 0 {
+		return true
+	}
+	if sb.HasCompat(CompatSparseSuper2) {
+		return g == sb.BackupBgs[0] || g == sb.BackupBgs[1]
+	}
+	if sb.HasRoCompat(RoCompatSparseSuper) {
+		return g == 1 || isPow(g, 3) || isPow(g, 5) || isPow(g, 7)
+	}
+	return true
+}
+
+func isPow(g, b uint32) bool {
+	for v := b; ; v *= b {
+		if v == g {
+			return true
+		}
+		if v > g/b {
+			return false
+		}
+	}
+}
+
+// GroupDesc is one block-group descriptor. Unlike ext2's 16-bit
+// counters (which ext4's 64bit feature widens via *_hi fields), the
+// simulator stores 32-bit counts directly: a 64 KiB-block group holds
+// 524288 blocks, beyond uint16.
+type GroupDesc struct {
+	BlockBitmap     uint32 // bg_block_bitmap
+	InodeBitmap     uint32 // bg_inode_bitmap
+	InodeTable      uint32 // bg_inode_table
+	FreeBlocksCount uint32 // bg_free_blocks_count (+_hi)
+	FreeInodesCount uint32 // bg_free_inodes_count (+_hi)
+	UsedDirsCount   uint32 // bg_used_dirs_count (+_hi)
+	Flags           uint16
+}
+
+// Inode is the decoded on-disk inode.
+type Inode struct {
+	Mode       uint16 // i_mode
+	LinksCount uint16 // i_links_count
+	Size       uint32 // i_size (bytes)
+	Blocks     uint32 // i_blocks (fs blocks held, metadata included)
+	Flags      uint32 // i_flags
+	// Extents maps the file when ExtentCount > 0.
+	Extents     [MaxInlineExtents]Extent
+	ExtentCount uint16
+	// Inline holds inline_data payloads.
+	Inline [InlineDataCap]byte
+}
+
+// Inode mode bits (subset of POSIX).
+const (
+	ModeFile uint16 = 0x8000
+	ModeDir  uint16 = 0x4000
+)
+
+// Inode flags.
+const (
+	// FlagExtents marks extent-mapped files.
+	FlagExtents uint32 = 0x80000
+	// FlagInlineData marks inline_data files.
+	FlagInlineData uint32 = 0x10000000
+)
+
+// Extent is one contiguous run of blocks.
+type Extent struct {
+	// Start is the first physical block.
+	Start uint32
+	// Len is the run length in blocks.
+	Len uint32
+}
+
+// ---------------------------------------------------------------------
+// Binary encoding (explicit little-endian, fixed offsets)
+// ---------------------------------------------------------------------
+
+var le = binary.LittleEndian
+
+// Encode serializes the superblock into a SuperBlockSize buffer.
+func (sb *Superblock) Encode() []byte {
+	b := make([]byte, SuperBlockSize)
+	le.PutUint32(b[0:], sb.InodesCount)
+	le.PutUint32(b[4:], sb.BlocksCount)
+	le.PutUint32(b[8:], sb.FreeBlocksCount)
+	le.PutUint32(b[12:], sb.FreeInodesCount)
+	le.PutUint32(b[16:], sb.FirstDataBlock)
+	le.PutUint32(b[20:], sb.LogBlockSize)
+	le.PutUint32(b[24:], sb.LogClusterSize)
+	le.PutUint32(b[28:], sb.BlocksPerGroup)
+	le.PutUint32(b[32:], sb.InodesPerGroup)
+	le.PutUint16(b[36:], sb.Magic)
+	le.PutUint16(b[38:], sb.State)
+	le.PutUint16(b[40:], sb.InodeSize)
+	le.PutUint16(b[42:], sb.ReservedGdtBlks)
+	le.PutUint32(b[44:], sb.FeatureCompat)
+	le.PutUint32(b[48:], sb.FeatureIncompat)
+	le.PutUint32(b[52:], sb.FeatureRoCompat)
+	le.PutUint16(b[56:], sb.MntCount)
+	le.PutUint16(b[58:], uint16(sb.MaxMntCount))
+	le.PutUint32(b[60:], sb.FirstIno)
+	le.PutUint32(b[64:], sb.BackupBgs[0])
+	le.PutUint32(b[68:], sb.BackupBgs[1])
+	copy(b[72:88], sb.VolumeName[:])
+	copy(b[88:120], sb.LastMountOptions[:])
+	le.PutUint32(b[120:], sb.Checksum)
+	return b
+}
+
+// DecodeSuperblock parses a superblock from b.
+func DecodeSuperblock(b []byte) (*Superblock, error) {
+	if len(b) < SuperBlockSize {
+		return nil, fmt.Errorf("fsim: superblock buffer too small (%d bytes)", len(b))
+	}
+	sb := &Superblock{}
+	sb.InodesCount = le.Uint32(b[0:])
+	sb.BlocksCount = le.Uint32(b[4:])
+	sb.FreeBlocksCount = le.Uint32(b[8:])
+	sb.FreeInodesCount = le.Uint32(b[12:])
+	sb.FirstDataBlock = le.Uint32(b[16:])
+	sb.LogBlockSize = le.Uint32(b[20:])
+	sb.LogClusterSize = le.Uint32(b[24:])
+	sb.BlocksPerGroup = le.Uint32(b[28:])
+	sb.InodesPerGroup = le.Uint32(b[32:])
+	sb.Magic = le.Uint16(b[36:])
+	sb.State = le.Uint16(b[38:])
+	sb.InodeSize = le.Uint16(b[40:])
+	sb.ReservedGdtBlks = le.Uint16(b[42:])
+	sb.FeatureCompat = le.Uint32(b[44:])
+	sb.FeatureIncompat = le.Uint32(b[48:])
+	sb.FeatureRoCompat = le.Uint32(b[52:])
+	sb.MntCount = le.Uint16(b[56:])
+	sb.MaxMntCount = int16(le.Uint16(b[58:]))
+	sb.FirstIno = le.Uint32(b[60:])
+	sb.BackupBgs[0] = le.Uint32(b[64:])
+	sb.BackupBgs[1] = le.Uint32(b[68:])
+	copy(sb.VolumeName[:], b[72:88])
+	copy(sb.LastMountOptions[:], b[88:120])
+	sb.Checksum = le.Uint32(b[120:])
+	if sb.Magic != Magic {
+		return nil, fmt.Errorf("fsim: bad magic 0x%04x (want 0x%04x)", sb.Magic, Magic)
+	}
+	if sb.LogBlockSize > 6 {
+		return nil, fmt.Errorf("fsim: implausible s_log_block_size %d", sb.LogBlockSize)
+	}
+	return sb, nil
+}
+
+// Encode serializes the group descriptor.
+func (gd *GroupDesc) Encode() []byte {
+	b := make([]byte, GroupDescSize)
+	le.PutUint32(b[0:], gd.BlockBitmap)
+	le.PutUint32(b[4:], gd.InodeBitmap)
+	le.PutUint32(b[8:], gd.InodeTable)
+	le.PutUint32(b[12:], gd.FreeBlocksCount)
+	le.PutUint32(b[16:], gd.FreeInodesCount)
+	le.PutUint32(b[20:], gd.UsedDirsCount)
+	le.PutUint16(b[24:], gd.Flags)
+	return b
+}
+
+// DecodeGroupDesc parses a group descriptor.
+func DecodeGroupDesc(b []byte) (*GroupDesc, error) {
+	if len(b) < GroupDescSize {
+		return nil, fmt.Errorf("fsim: group descriptor buffer too small")
+	}
+	return &GroupDesc{
+		BlockBitmap:     le.Uint32(b[0:]),
+		InodeBitmap:     le.Uint32(b[4:]),
+		InodeTable:      le.Uint32(b[8:]),
+		FreeBlocksCount: le.Uint32(b[12:]),
+		FreeInodesCount: le.Uint32(b[16:]),
+		UsedDirsCount:   le.Uint32(b[20:]),
+		Flags:           le.Uint16(b[24:]),
+	}, nil
+}
+
+// Encode serializes the inode's fixed part.
+func (in *Inode) Encode() []byte {
+	b := make([]byte, InodeDiskSize)
+	le.PutUint16(b[0:], in.Mode)
+	le.PutUint16(b[2:], in.LinksCount)
+	le.PutUint32(b[4:], in.Size)
+	le.PutUint32(b[8:], in.Blocks)
+	le.PutUint32(b[12:], in.Flags)
+	le.PutUint16(b[16:], in.ExtentCount)
+	off := 18
+	for _, e := range in.Extents {
+		le.PutUint32(b[off:], e.Start)
+		le.PutUint32(b[off+4:], e.Len)
+		off += 8
+	}
+	copy(b[off:off+InlineDataCap], in.Inline[:])
+	return b
+}
+
+// DecodeInode parses an inode's fixed part.
+func DecodeInode(b []byte) (*Inode, error) {
+	if len(b) < InodeDiskSize {
+		return nil, fmt.Errorf("fsim: inode buffer too small")
+	}
+	in := &Inode{}
+	in.Mode = le.Uint16(b[0:])
+	in.LinksCount = le.Uint16(b[2:])
+	in.Size = le.Uint32(b[4:])
+	in.Blocks = le.Uint32(b[8:])
+	in.Flags = le.Uint32(b[12:])
+	in.ExtentCount = le.Uint16(b[16:])
+	off := 18
+	for i := range in.Extents {
+		in.Extents[i].Start = le.Uint32(b[off:])
+		in.Extents[i].Len = le.Uint32(b[off+4:])
+		off += 8
+	}
+	copy(in.Inline[:], b[off:off+InlineDataCap])
+	return in, nil
+}
+
+// IsDir reports whether the inode is a directory.
+func (in *Inode) IsDir() bool { return in.Mode&ModeDir != 0 }
+
+// IsFile reports whether the inode is a regular file.
+func (in *Inode) IsFile() bool { return in.Mode&ModeFile != 0 }
+
+// InUse reports whether the inode is allocated.
+func (in *Inode) InUse() bool { return in.LinksCount > 0 }

@@ -1,0 +1,137 @@
+package fsim
+
+import "fmt"
+
+// Resize support primitives used by the resize2fs utility. They are
+// mechanism only; the ordering policy (and the Figure-1 bug) lives in
+// the utility.
+
+// GroupMetaOf exposes the metadata layout of group gi.
+func (fs *Fs) GroupMetaOf(gi uint32) GroupMeta { return fs.groupMeta(gi) }
+
+// ExtendGroupBitmap clears the padding bits of group gi's block bitmap
+// for clusters that became valid when the file system grew past
+// oldBlocks. The superblock must already reflect the new BlocksCount.
+func (fs *Fs) ExtendGroupBitmap(gi uint32, oldBlocks uint32) error {
+	sb := fs.SB
+	ratio := sb.ClusterRatio()
+	base := sb.GroupFirstBlock(gi)
+	if base >= sb.BlocksCount {
+		return fmt.Errorf("%w: group %d beyond new size", ErrCorrupt, gi)
+	}
+	oldIn := uint32(0)
+	if oldBlocks > base {
+		oldIn = oldBlocks - base
+		if oldIn > sb.BlocksPerGroup {
+			oldIn = sb.BlocksPerGroup
+		}
+	}
+	newIn := sb.GroupBlockCount(gi)
+	oldClusters := (oldIn + ratio - 1) / ratio
+	newClusters := (newIn + ratio - 1) / ratio
+	if newClusters <= oldClusters {
+		return nil
+	}
+	bmap, buf, err := fs.blockBitmap(gi)
+	if err != nil {
+		return err
+	}
+	bmap.ClearRange(int(oldClusters), int(newClusters-oldClusters))
+	return fs.writeBlockBitmapBuf(gi, buf)
+}
+
+// RecountGroupFree recomputes group gi's free-block count from its
+// bitmap, storing the result in the descriptor.
+func (fs *Fs) RecountGroupFree(gi uint32) error {
+	sb := fs.SB
+	ratio := sb.ClusterRatio()
+	bmap, _, err := fs.blockBitmap(gi)
+	if err != nil {
+		return err
+	}
+	nclusters := (sb.GroupBlockCount(gi) + ratio - 1) / ratio
+	free := uint32(0)
+	for c := uint32(0); c < nclusters; c++ {
+		if !bmap.Test(int(c)) {
+			free++
+		}
+	}
+	fs.GDs[gi].FreeBlocksCount = free * ratio
+	return nil
+}
+
+// AppendGroups lays out groups [len(GDs), newGroups), initializing
+// their bitmaps and inode tables. The superblock must already carry
+// the new BlocksCount. Returns how many groups were added.
+func (fs *Fs) AppendGroups(newGroups uint32) (uint32, error) {
+	sb := fs.SB
+	added := uint32(0)
+	for gi := uint32(len(fs.GDs)); gi < newGroups; gi++ {
+		// Keep the descriptor-area capacity (table + reserved GDT
+		// blocks) invariant so existing group layouts do not shift:
+		// growth of the table is paid out of the reservation.
+		capacity := fs.gdCapacityBlocks()
+		gd, err := fs.layoutGroup(gi)
+		if err != nil {
+			return added, err
+		}
+		fs.GDs = append(fs.GDs, gd)
+		if !sb.HasIncompat(IncompatMetaBG) {
+			newTable := fs.gdTableBlocks()
+			if newTable > capacity {
+				fs.GDs = fs.GDs[:len(fs.GDs)-1]
+				return added, fmt.Errorf("%w: descriptor table outgrew its reservation at group %d", ErrNoSpace, gi)
+			}
+			sb.ReservedGdtBlks = uint16(capacity - newTable)
+		}
+		sb.InodesCount += sb.InodesPerGroup
+		added++
+	}
+	return added, nil
+}
+
+// TruncateGroups removes groups at and beyond newGroups and shortens
+// the (new) last group to match newBlocks, setting padding bits.
+func (fs *Fs) TruncateGroups(newGroups, newBlocks uint32) error {
+	sb := fs.SB
+	if newGroups == 0 {
+		return fmt.Errorf("%w: cannot shrink to zero groups", ErrCorrupt)
+	}
+	removed := uint32(len(fs.GDs)) - newGroups
+	capacity := fs.gdCapacityBlocks()
+	fs.GDs = fs.GDs[:newGroups]
+	if !sb.HasIncompat(IncompatMetaBG) {
+		sb.ReservedGdtBlks = uint16(capacity - fs.gdTableBlocks())
+	}
+	sb.InodesCount -= removed * sb.InodesPerGroup
+	sb.BlocksCount = newBlocks
+
+	// Pad the new last group's bitmap beyond the new end.
+	gi := newGroups - 1
+	ratio := sb.ClusterRatio()
+	nclusters := (sb.GroupBlockCount(gi) + ratio - 1) / ratio
+	bmap, buf, err := fs.blockBitmap(gi)
+	if err != nil {
+		return err
+	}
+	for c := nclusters; c < 8*sb.BlockSize(); c++ {
+		bmap.Set(int(c))
+	}
+	if err := fs.writeBlockBitmapBuf(gi, buf); err != nil {
+		return err
+	}
+	return fs.RecountGroupFree(gi)
+}
+
+// RecountSuper refreshes the superblock's global free counters from
+// the group descriptors (without consulting bitmaps — descriptor
+// corruption therefore propagates, as in real resize2fs).
+func (fs *Fs) RecountSuper() {
+	var fb, fi uint32
+	for _, gd := range fs.GDs {
+		fb += gd.FreeBlocksCount
+		fi += gd.FreeInodesCount
+	}
+	fs.SB.FreeBlocksCount = fb
+	fs.SB.FreeInodesCount = fi
+}

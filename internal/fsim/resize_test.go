@@ -1,0 +1,241 @@
+package fsim
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func mkSized(t *testing.T, blocks uint32) *Fs {
+	t.Helper()
+	g := testGeometry()
+	g.BlocksCount = blocks
+	return mk(t, g)
+}
+
+func TestExtendGroupBitmapClearsPadding(t *testing.T) {
+	// One-and-a-half groups, then extend the short last group.
+	fs := mkSized(t, 8192+4096)
+	oldBlocks := fs.SB.BlocksCount
+	fs.SB.BlocksCount = 8192 * 2 // full two groups
+	if err := fs.Device().Resize(int64(fs.SB.BlocksCount) * 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.ExtendGroupBitmap(1, oldBlocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RecountGroupFree(1); err != nil {
+		t.Fatal(err)
+	}
+	fs.RecountSuper()
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit after manual extend: %v", probs)
+	}
+}
+
+func TestAppendGroupsMaintainsCapacityInvariant(t *testing.T) {
+	g := testGeometry()
+	g.ReservedGdtBlks = 4
+	fs := mk(t, g)
+	capBefore := fs.gdCapacityBlocks()
+	oldBlocks := fs.SB.BlocksCount
+	fs.SB.BlocksCount = 8192 * 6
+	if err := fs.Device().Resize(int64(fs.SB.BlocksCount) * 1024); err != nil {
+		t.Fatal(err)
+	}
+	// Mirror resize2fs's grow: re-extend the old last group first
+	// (it was one block short of full due to first_data_block).
+	if err := fs.ExtendGroupBitmap(1, oldBlocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.RecountGroupFree(1); err != nil {
+		t.Fatal(err)
+	}
+	added, err := fs.AppendGroups(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 4 {
+		t.Fatalf("added = %d, want 4", added)
+	}
+	if got := fs.gdCapacityBlocks(); got != capBefore {
+		t.Errorf("descriptor capacity changed: %d -> %d", capBefore, got)
+	}
+	fs.RecountSuper()
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit after append: %v", probs)
+	}
+}
+
+func TestTruncateGroupsRoundTrip(t *testing.T) {
+	g := testGeometry()
+	g.BlocksCount = 8192 * 4
+	g.ReservedGdtBlks = 2
+	fs := mk(t, g)
+	if err := fs.TruncateGroups(2, 8192*2); err != nil {
+		t.Fatal(err)
+	}
+	fs.RecountSuper()
+	if err := fs.Device().Resize(int64(fs.SB.BlocksCount) * 1024); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if fs.SB.GroupCount() != 2 {
+		t.Fatalf("groups = %d", fs.SB.GroupCount())
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit after truncate: %v", probs)
+	}
+}
+
+func TestRebuildBitmapsFromScratch(t *testing.T) {
+	fs := mk(t, testGeometry())
+	ino, _ := fs.CreateFile(RootIno, "f")
+	if err := fs.WriteFile(ino, bytes.Repeat([]byte{1}, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy both bitmaps of group 0.
+	junk := make([]byte, fs.SB.BlockSize())
+	for i := range junk {
+		junk[i] = 0xFF
+	}
+	if err := fs.writeBlock(fs.GDs[0].BlockBitmap, junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.writeBlock(fs.GDs[0].InodeBitmap, junk); err != nil {
+		t.Fatal(err)
+	}
+	fixes, err := fs.RebuildBitmaps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixes == 0 {
+		t.Fatal("no fixes recorded")
+	}
+	if _, err := fs.RecountAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit after rebuild: %v", probs)
+	}
+	// Data intact.
+	got, err := fs.ReadFile(ino)
+	if err != nil || len(got) != 5000 {
+		t.Fatalf("data lost: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestAllocFreeInvariantProperty(t *testing.T) {
+	// Allocating and freeing arbitrary extents preserves free-count
+	// consistency with the bitmaps.
+	fs := mk(t, testGeometry())
+	f := func(sizes []uint8) bool {
+		var exts []Extent
+		for _, s := range sizes {
+			want := uint32(s%32) + 1
+			e, err := fs.AllocExtent(0, want)
+			if err != nil {
+				break // out of space is fine
+			}
+			if e.Len == 0 || e.Len > want {
+				return false
+			}
+			exts = append(exts, e)
+		}
+		for _, e := range exts {
+			if err := fs.FreeExtent(e); err != nil {
+				return false
+			}
+		}
+		// After free, per-group counts must match bitmaps.
+		for gi := uint32(0); gi < fs.SB.GroupCount(); gi++ {
+			bmap, _, err := fs.blockBitmap(gi)
+			if err != nil {
+				return false
+			}
+			free := uint32(0)
+			n := fs.SB.GroupBlockCount(gi)
+			for c := uint32(0); c < n; c++ {
+				if !bmap.Test(int(c)) {
+					free++
+				}
+			}
+			if fs.GDs[gi].FreeBlocksCount != free {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit after property run: %v", probs)
+	}
+}
+
+func TestInodeAllocFreeProperty(t *testing.T) {
+	fs := mk(t, testGeometry())
+	freeBefore := fs.SB.FreeInodesCount
+	f := func(n uint8) bool {
+		count := int(n%16) + 1
+		var inos []uint32
+		for i := 0; i < count; i++ {
+			ino, err := fs.AllocInode(0)
+			if err != nil {
+				return false
+			}
+			if err := fs.WriteInode(ino, &Inode{Mode: ModeFile, LinksCount: 1}); err != nil {
+				return false
+			}
+			inos = append(inos, ino)
+		}
+		for _, ino := range inos {
+			if err := fs.FreeInode(ino); err != nil {
+				return false
+			}
+		}
+		return fs.SB.FreeInodesCount == freeBefore
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenWithBackupProbesBlockSizes(t *testing.T) {
+	for _, bs := range []uint32{1024, 2048} {
+		g := Geometry{
+			BlockSize: bs, BlocksCount: 8 * bs * 2,
+			InodeSize: 256, InodesPerGroup: 8 * bs / 32,
+			RoCompat: RoCompatSparseSuper,
+		}
+		// InodesPerGroup must fill whole blocks.
+		per := bs / 256
+		g.InodesPerGroup = per * 8
+		fs := mk(t, g)
+		backup := fs.SB.GroupFirstBlock(1)
+		// Nuke the primary superblock.
+		if err := fs.Device().WriteAt(make([]byte, SuperBlockSize), SuperOffset); err != nil {
+			t.Fatal(err)
+		}
+		got, err := OpenWithBackup(fs.Device(), backup)
+		if err != nil {
+			t.Fatalf("bs=%d: OpenWithBackup: %v", bs, err)
+		}
+		if got.SB.BlockSize() != bs {
+			t.Errorf("bs=%d: recovered block size %d", bs, got.SB.BlockSize())
+		}
+	}
+}

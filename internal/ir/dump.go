@@ -1,0 +1,114 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fsdep/internal/minicc"
+)
+
+// Dump renders the function's CFG as readable text, one block per
+// paragraph — the analyzer's debugging view.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.Key())
+	}
+	b.WriteString(")\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.ID)
+		if len(blk.Succs) > 0 {
+			strs := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				strs[i] = fmt.Sprintf("b%d", s)
+			}
+			fmt.Fprintf(&b, " -> %s", strings.Join(strs, ", "))
+		}
+		b.WriteString("\n")
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			b.WriteString("\t")
+			b.WriteString(in.Format())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Format renders one instruction.
+func (in *Instr) Format() string {
+	var b strings.Builder
+	switch in.Op {
+	case OpAssign:
+		fmt.Fprintf(&b, "%s = ", in.Dst)
+		if in.Expr != nil {
+			b.WriteString(minicc.FormatExpr(in.Expr))
+		}
+	case OpCall:
+		if in.Expr != nil {
+			b.WriteString(minicc.FormatExpr(in.Expr))
+		} else {
+			b.WriteString("call " + strings.Join(in.Calls, ","))
+		}
+	case OpBranch:
+		b.WriteString("branch ")
+		if in.Expr != nil {
+			b.WriteString(minicc.FormatExpr(in.Expr))
+		}
+	case OpReturn:
+		b.WriteString("return")
+		if in.Expr != nil {
+			b.WriteString(" " + minicc.FormatExpr(in.Expr))
+		}
+	}
+	if len(in.Uses) > 0 {
+		keys := make([]string, len(in.Uses))
+		for i, u := range in.Uses {
+			keys[i] = u.String()
+		}
+		fmt.Fprintf(&b, "  ; uses %s", strings.Join(keys, " "))
+	}
+	return b.String()
+}
+
+// Dot renders the CFG in Graphviz dot syntax.
+func (f *Func) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", f.Name)
+	b.WriteString("\tnode [shape=box fontname=monospace];\n")
+	for _, blk := range f.Blocks {
+		var label strings.Builder
+		fmt.Fprintf(&label, "b%d\\n", blk.ID)
+		for i := range blk.Instrs {
+			label.WriteString(escapeDot(blk.Instrs[i].Format()))
+			label.WriteString("\\l")
+		}
+		fmt.Fprintf(&b, "\tb%d [label=\"%s\"];\n", blk.ID, label.String())
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, "\tb%d -> b%d;\n", blk.ID, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}
+
+// FuncNames returns the program's function names, sorted.
+func (p *Program) FuncNames() []string {
+	out := make([]string, 0, len(p.Funcs))
+	for n := range p.Funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

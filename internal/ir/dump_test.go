@@ -1,0 +1,48 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpShowsBlocksAndUses(t *testing.T) {
+	p := build(t, `
+struct sb { u32 s_count; };
+int fn(struct sb *s, int n) {
+	int acc;
+	acc = 0;
+	if (n > 3) {
+		acc = s->s_count;
+	}
+	return acc;
+}`)
+	out := p.Funcs["fn"].Dump()
+	for _, want := range []string{"func fn(", "b0:", "branch n > 3",
+		"acc = s->s_count", "uses s.s_count<sb.s_count>", "return acc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotIsWellFormed(t *testing.T) {
+	p := build(t, "int f(int a) { if (a) { return 1; } return 0; }")
+	dot := p.Funcs["f"].Dot()
+	if !strings.HasPrefix(dot, "digraph \"f\"") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("dot output malformed:\n%s", dot)
+	}
+	if !strings.Contains(dot, "->") {
+		t.Error("dot output has no edges")
+	}
+	if strings.Count(dot, "[label=") < 2 {
+		t.Error("dot output missing node labels")
+	}
+}
+
+func TestFuncNamesSorted(t *testing.T) {
+	p := build(t, "void b(void) { }\nvoid a(void) { }\nvoid c(void) { }")
+	names := p.FuncNames()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("names = %v", names)
+	}
+}

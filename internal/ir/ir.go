@@ -1,0 +1,592 @@
+// Package ir lowers minicc ASTs into a control-flow-graph IR suitable
+// for taint analysis. It plays the role LLVM IR plays in the paper's
+// analyzer: every function becomes a graph of basic blocks holding
+// instructions that name the storage locations they define and use.
+//
+// Locations are semi-symbolic: a location is a root variable plus an
+// optional field path, and — when the root's declared type is a struct
+// pointer — a canonical "structTag.field" name. The canonical name is
+// what lets the analyzer bridge components through shared FS metadata
+// structures (§4.1 of the paper): an access to sb->s_log_block_size in
+// mke2fs and one in resize2fs resolve to the same canonical field
+// ext2_super_block.s_log_block_size even though the local variables
+// differ.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"fsdep/internal/minicc"
+)
+
+// Loc identifies a storage location within a function.
+type Loc struct {
+	// Var is the syntactic root variable (parameter, local, or global).
+	Var string
+	// Path is the dotted member path below the root ("" for scalars).
+	Path string
+	// Canon is the canonical metadata name "structTag.field" when the
+	// final member access resolves through a known struct type;
+	// otherwise "".
+	Canon string
+}
+
+// Key returns a map key unique per (Var, Path).
+func (l Loc) Key() string {
+	if l.Path == "" {
+		return l.Var
+	}
+	return l.Var + "." + l.Path
+}
+
+// String renders the location, annotating the canonical field.
+func (l Loc) String() string {
+	if l.Canon != "" {
+		return l.Key() + "<" + l.Canon + ">"
+	}
+	return l.Key()
+}
+
+// IsField reports whether the location is a member access.
+func (l Loc) IsField() bool { return l.Path != "" }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes.
+const (
+	// OpAssign defines Dst from the Uses of Expr.
+	OpAssign Op = iota + 1
+	// OpCall evaluates a call for effect; Dst may be the zero Loc.
+	OpCall
+	// OpBranch ends a block conditionally on Expr; no Dst.
+	OpBranch
+	// OpReturn leaves the function, using Uses.
+	OpReturn
+)
+
+// String names the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpAssign:
+		return "assign"
+	case OpCall:
+		return "call"
+	case OpBranch:
+		return "branch"
+	case OpReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op Op
+	// Dst is the defined location for OpAssign/OpCall-with-result.
+	Dst Loc
+	// HasDst reports whether Dst is meaningful.
+	HasDst bool
+	// Uses lists the locations read by the instruction.
+	Uses []Loc
+	// Calls names every function invoked inside Expr (innermost
+	// first); empty for call-free instructions.
+	Calls []string
+	// Expr is the originating AST expression (RHS for assigns, the
+	// condition for branches, the call expression for calls); may be
+	// nil for synthesized instructions.
+	Expr minicc.Expr
+	// Pos is the source position.
+	Pos minicc.Pos
+}
+
+// Block is a basic block.
+type Block struct {
+	// ID is the block's index within its function.
+	ID int
+	// Instrs holds the block's instructions in order. A terminating
+	// OpBranch, if any, is last.
+	Instrs []Instr
+	// Succs lists successor block IDs (0, 1, or 2 entries).
+	Succs []int
+}
+
+// Func is one lowered function.
+type Func struct {
+	Name   string
+	Params []Loc
+	// Blocks[0] is the entry block.
+	Blocks []*Block
+	// VarTypes maps every root variable in scope (params, locals,
+	// globals) to its declared minicc type.
+	VarTypes map[string]minicc.Type
+	Pos      minicc.Pos
+}
+
+// Program is the IR for one component (one translation unit).
+type Program struct {
+	// Name is the component name.
+	Name string
+	// Funcs maps function name to its IR.
+	Funcs map[string]*Func
+	// FuncOrder preserves source order of function definitions.
+	FuncOrder []string
+	// Structs maps struct tag to definition, for canonical field
+	// resolution.
+	Structs map[string]*minicc.StructDef
+	// File is the originating AST.
+	File *minicc.File
+}
+
+// Instrs iterates all instructions of fn in block order.
+func (f *Func) Instrs(yield func(*Instr)) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			yield(&b.Instrs[i])
+		}
+	}
+}
+
+// Build lowers a parsed file into IR.
+func Build(f *minicc.File) (*Program, error) {
+	p := &Program{
+		Name:    f.Name,
+		Funcs:   make(map[string]*Func),
+		Structs: make(map[string]*minicc.StructDef),
+		File:    f,
+	}
+	for _, s := range f.Structs {
+		if s.Tag != "" {
+			p.Structs[s.Tag] = s
+		}
+	}
+	globals := make(map[string]minicc.Type)
+	for _, g := range f.Globals {
+		globals[g.Name] = g.Type
+	}
+	for _, fd := range f.Funcs {
+		if _, dup := p.Funcs[fd.Name]; dup {
+			return nil, fmt.Errorf("ir: duplicate function %s in %s", fd.Name, f.Name)
+		}
+		fn := lowerFunc(p, fd, globals)
+		p.Funcs[fd.Name] = fn
+		p.FuncOrder = append(p.FuncOrder, fd.Name)
+	}
+	return p, nil
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+type builder struct {
+	prog *Program
+	fn   *Func
+	cur  *Block
+	// loop stack for break/continue targets: {continueTo, breakTo}.
+	loops []loopCtx
+}
+
+type loopCtx struct {
+	continueTo int
+	breakTo    int
+}
+
+func lowerFunc(p *Program, fd *minicc.FuncDef, globals map[string]minicc.Type) *Func {
+	fn := &Func{
+		Name:     fd.Name,
+		VarTypes: make(map[string]minicc.Type, len(fd.Params)+len(globals)),
+		Pos:      fd.Pos,
+	}
+	for n, t := range globals {
+		fn.VarTypes[n] = t
+	}
+	b := &builder{prog: p, fn: fn}
+	entry := b.newBlock()
+	b.cur = entry
+	for _, prm := range fd.Params {
+		if prm.Name == "" {
+			continue
+		}
+		fn.VarTypes[prm.Name] = prm.Type
+		fn.Params = append(fn.Params, Loc{Var: prm.Name})
+	}
+	b.lowerBlock(fd.Body)
+	return fn
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{ID: len(b.fn.Blocks)}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk
+}
+
+func (b *builder) linkTo(id int) {
+	if b.cur == nil {
+		return
+	}
+	for _, s := range b.cur.Succs {
+		if s == id {
+			return
+		}
+	}
+	b.cur.Succs = append(b.cur.Succs, id)
+}
+
+// emit appends an instruction to the current block (if reachable).
+func (b *builder) emit(in Instr) {
+	if b.cur == nil {
+		return
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+}
+
+func (b *builder) lowerBlock(blk *minicc.Block) {
+	for _, s := range blk.Stmts {
+		b.lowerStmt(s)
+	}
+}
+
+func (b *builder) lowerStmt(s minicc.Stmt) {
+	switch v := s.(type) {
+	case *minicc.Block:
+		b.lowerBlock(v)
+	case *minicc.DeclStmt:
+		b.fn.VarTypes[v.Decl.Name] = v.Decl.Type
+		if v.Decl.Init != nil {
+			b.emitAssign(Loc{Var: v.Decl.Name}, v.Decl.Init, v.Decl.Pos)
+		}
+	case *minicc.AssignStmt:
+		dst := b.locOf(v.LHS)
+		rhs := v.RHS
+		uses := b.locsIn(rhs)
+		calls := callsIn(rhs)
+		if v.Op != minicc.TokAssign {
+			// Compound assignment also reads the destination.
+			uses = append(uses, dst)
+		}
+		b.emit(Instr{Op: OpAssign, Dst: dst, HasDst: true, Uses: dedupLocs(uses),
+			Calls: calls, Expr: rhs, Pos: v.Pos})
+	case *minicc.ExprStmt:
+		b.lowerExprStmt(v.X, v.Pos)
+	case *minicc.IfStmt:
+		b.lowerIf(v)
+	case *minicc.WhileStmt:
+		b.lowerWhile(v)
+	case *minicc.ForStmt:
+		b.lowerFor(v)
+	case *minicc.SwitchStmt:
+		b.lowerSwitch(v)
+	case *minicc.ReturnStmt:
+		var uses []Loc
+		var calls []string
+		if v.X != nil {
+			uses = b.locsIn(v.X)
+			calls = callsIn(v.X)
+		}
+		b.emit(Instr{Op: OpReturn, Uses: uses, Calls: calls, Expr: v.X, Pos: v.Pos})
+		b.cur = nil // code after return is unreachable
+	case *minicc.BreakStmt:
+		if n := len(b.loops); n > 0 {
+			b.linkTo(b.loops[n-1].breakTo)
+		}
+		b.cur = nil
+	case *minicc.ContinueStmt:
+		if n := len(b.loops); n > 0 {
+			b.linkTo(b.loops[n-1].continueTo)
+		}
+		b.cur = nil
+	}
+}
+
+func (b *builder) emitAssign(dst Loc, rhs minicc.Expr, pos minicc.Pos) {
+	b.emit(Instr{
+		Op: OpAssign, Dst: dst, HasDst: true,
+		Uses: dedupLocs(b.locsIn(rhs)), Calls: callsIn(rhs),
+		Expr: rhs, Pos: pos,
+	})
+}
+
+// lowerExprStmt handles statement-position expressions: calls and
+// ++/--.
+func (b *builder) lowerExprStmt(e minicc.Expr, pos minicc.Pos) {
+	switch v := e.(type) {
+	case *minicc.Call:
+		b.emit(Instr{Op: OpCall, Uses: dedupLocs(b.locsIn(e)),
+			Calls: callsIn(e), Expr: e, Pos: pos})
+		_ = v
+	case *minicc.Unary:
+		if v.Op == minicc.TokPlusPlus || v.Op == minicc.TokMinusMinus {
+			dst := b.locOf(v.X)
+			b.emit(Instr{Op: OpAssign, Dst: dst, HasDst: true,
+				Uses: []Loc{dst}, Expr: e, Pos: pos})
+			return
+		}
+		b.emit(Instr{Op: OpCall, Uses: dedupLocs(b.locsIn(e)),
+			Calls: callsIn(e), Expr: e, Pos: pos})
+	default:
+		b.emit(Instr{Op: OpCall, Uses: dedupLocs(b.locsIn(e)),
+			Calls: callsIn(e), Expr: e, Pos: pos})
+	}
+}
+
+func (b *builder) lowerIf(v *minicc.IfStmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable but keep structure
+	}
+	b.emit(Instr{Op: OpBranch, Uses: dedupLocs(b.locsIn(v.Cond)),
+		Calls: callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
+	condBlk := b.cur
+
+	thenBlk := b.newBlock()
+	condBlk.Succs = append(condBlk.Succs, thenBlk.ID)
+	b.cur = thenBlk
+	b.lowerBlock(v.Then)
+	thenEnd := b.cur
+
+	var elseEnd *Block
+	var elseBlk *Block
+	if v.Else != nil {
+		elseBlk = b.newBlock()
+		condBlk.Succs = append(condBlk.Succs, elseBlk.ID)
+		b.cur = elseBlk
+		b.lowerStmt(v.Else)
+		elseEnd = b.cur
+	}
+
+	join := b.newBlock()
+	if thenEnd != nil {
+		b.cur = thenEnd
+		b.linkTo(join.ID)
+	}
+	if v.Else == nil {
+		condBlk.Succs = append(condBlk.Succs, join.ID)
+	} else if elseEnd != nil {
+		b.cur = elseEnd
+		b.linkTo(join.ID)
+	}
+	b.cur = join
+}
+
+func (b *builder) lowerWhile(v *minicc.WhileStmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	head := b.newBlock()
+	b.linkTo(head.ID)
+	b.cur = head
+	b.emit(Instr{Op: OpBranch, Uses: dedupLocs(b.locsIn(v.Cond)),
+		Calls: callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
+
+	body := b.newBlock()
+	exit := b.newBlock()
+	head.Succs = append(head.Succs, body.ID, exit.ID)
+
+	b.loops = append(b.loops, loopCtx{continueTo: head.ID, breakTo: exit.ID})
+	b.cur = body
+	b.lowerBlock(v.Body)
+	if b.cur != nil {
+		b.linkTo(head.ID)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+func (b *builder) lowerFor(v *minicc.ForStmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	if v.Init != nil {
+		b.lowerStmt(v.Init)
+	}
+	head := b.newBlock()
+	b.linkTo(head.ID)
+	b.cur = head
+	if v.Cond != nil {
+		b.emit(Instr{Op: OpBranch, Uses: dedupLocs(b.locsIn(v.Cond)),
+			Calls: callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
+	}
+
+	body := b.newBlock()
+	exit := b.newBlock()
+	head.Succs = append(head.Succs, body.ID)
+	if v.Cond != nil {
+		head.Succs = append(head.Succs, exit.ID)
+	}
+
+	post := b.newBlock()
+	b.loops = append(b.loops, loopCtx{continueTo: post.ID, breakTo: exit.ID})
+	b.cur = body
+	b.lowerBlock(v.Body)
+	if b.cur != nil {
+		b.linkTo(post.ID)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+
+	b.cur = post
+	if v.Post != nil {
+		b.lowerStmt(v.Post)
+	}
+	if b.cur != nil {
+		b.linkTo(head.ID)
+	}
+	b.cur = exit
+}
+
+func (b *builder) lowerSwitch(v *minicc.SwitchStmt) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	exit := b.newBlock()
+	b.loops = append(b.loops, loopCtx{continueTo: exit.ID, breakTo: exit.ID})
+	// Lower each case as: branch(tag == val) -> caseBody | next.
+	// Fallthrough between consecutive case bodies is preserved.
+	var prevBodyEnd *Block
+	tagUses := dedupLocs(b.locsIn(v.Tag))
+	for _, c := range v.Cases {
+		var cond minicc.Expr
+		if !c.IsDefault && len(c.Vals) > 0 {
+			cond = &minicc.Binary{Op: minicc.TokEqEq, L: v.Tag, R: c.Vals[0], Pos: c.Pos}
+			for _, extra := range c.Vals[1:] {
+				cond = &minicc.Binary{
+					Op: minicc.TokOrOr, L: cond,
+					R:   &minicc.Binary{Op: minicc.TokEqEq, L: v.Tag, R: extra, Pos: c.Pos},
+					Pos: c.Pos,
+				}
+			}
+		}
+		testBlk := b.cur
+		if cond != nil {
+			b.emit(Instr{Op: OpBranch, Uses: tagUses, Expr: cond, Pos: c.Pos})
+		}
+		body := b.newBlock()
+		testBlk.Succs = append(testBlk.Succs, body.ID)
+		// Fallthrough from the previous body.
+		if prevBodyEnd != nil {
+			saved := b.cur
+			b.cur = prevBodyEnd
+			b.linkTo(body.ID)
+			b.cur = saved
+		}
+		next := b.newBlock()
+		if cond != nil {
+			testBlk.Succs = append(testBlk.Succs, next.ID)
+		}
+		b.cur = body
+		for _, s := range c.Body {
+			b.lowerStmt(s)
+		}
+		prevBodyEnd = b.cur
+		b.cur = next
+	}
+	if prevBodyEnd != nil {
+		saved := b.cur
+		b.cur = prevBodyEnd
+		b.linkTo(exit.ID)
+		b.cur = saved
+	}
+	if b.cur != nil {
+		b.linkTo(exit.ID)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = exit
+}
+
+// ---------------------------------------------------------------------
+// Location extraction
+// ---------------------------------------------------------------------
+
+// locOf resolves an assignable expression to a location.
+func (b *builder) locOf(e minicc.Expr) Loc {
+	root, path, ok := minicc.MemberPath(e)
+	if !ok {
+		return Loc{Var: fmt.Sprintf("__tmp@%s", e.ExprPos())}
+	}
+	l := Loc{Var: root, Path: strings.Join(path, ".")}
+	l.Canon = b.canonical(root, path)
+	return l
+}
+
+// canonical resolves the final field of root.path... to its owning
+// struct type, returning "structTag.field" or "".
+func (b *builder) canonical(root string, path []string) string {
+	if len(path) == 0 {
+		return ""
+	}
+	t, ok := b.fn.VarTypes[root]
+	if !ok {
+		return ""
+	}
+	for i := 0; i < len(path); i++ {
+		if !t.IsStruct {
+			return ""
+		}
+		def, ok := b.prog.Structs[t.Name]
+		if !ok {
+			return ""
+		}
+		idx := def.FieldIndex(path[i])
+		if idx < 0 {
+			return ""
+		}
+		if i == len(path)-1 {
+			return def.Tag + "." + path[i]
+		}
+		t = def.Fields[idx].Type
+	}
+	return ""
+}
+
+// locsIn collects every location read by e, including locations passed
+// to calls.
+func (b *builder) locsIn(e minicc.Expr) []Loc {
+	var out []Loc
+	minicc.WalkExpr(e, func(x minicc.Expr) bool {
+		switch v := x.(type) {
+		case *minicc.Ident:
+			out = append(out, Loc{Var: v.Name})
+			return true
+		case *minicc.Member:
+			root, path, ok := minicc.MemberPath(v)
+			if ok {
+				l := Loc{Var: root, Path: strings.Join(path, ".")}
+				l.Canon = b.canonical(root, path)
+				out = append(out, l)
+				return false // don't double-count the root ident
+			}
+			return true
+		}
+		return true
+	})
+	return out
+}
+
+// callsIn lists the function names called anywhere inside e.
+func callsIn(e minicc.Expr) []string {
+	var out []string
+	minicc.WalkExpr(e, func(x minicc.Expr) bool {
+		if c, ok := x.(*minicc.Call); ok {
+			out = append(out, c.Fun)
+		}
+		return true
+	})
+	return out
+}
+
+func dedupLocs(ls []Loc) []Loc {
+	if len(ls) < 2 {
+		return ls
+	}
+	seen := make(map[string]bool, len(ls))
+	out := ls[:0]
+	for _, l := range ls {
+		k := l.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}

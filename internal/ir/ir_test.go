@@ -1,0 +1,303 @@
+package ir
+
+import (
+	"testing"
+
+	"fsdep/internal/minicc"
+)
+
+func build(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := minicc.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Build(f)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func instrs(f *Func) []Instr {
+	var out []Instr
+	f.Instrs(func(in *Instr) { out = append(out, *in) })
+	return out
+}
+
+func TestBuildSimpleAssign(t *testing.T) {
+	p := build(t, "void fn(int a) { int b; b = a + 1; }")
+	fn := p.Funcs["fn"]
+	if fn == nil {
+		t.Fatal("fn missing")
+	}
+	ins := instrs(fn)
+	if len(ins) != 1 {
+		t.Fatalf("instrs = %d, want 1", len(ins))
+	}
+	in := ins[0]
+	if in.Op != OpAssign || in.Dst.Var != "b" {
+		t.Errorf("instr = %+v", in)
+	}
+	if len(in.Uses) != 1 || in.Uses[0].Var != "a" {
+		t.Errorf("uses = %v", in.Uses)
+	}
+}
+
+func TestBuildCanonicalFieldResolution(t *testing.T) {
+	p := build(t, `
+struct ext2_super_block { u32 s_blocks_count; u32 s_log_block_size; };
+void fn(struct ext2_super_block *sb, int blocks) {
+	sb->s_blocks_count = blocks;
+}`)
+	ins := instrs(p.Funcs["fn"])
+	if len(ins) != 1 {
+		t.Fatalf("instrs = %d", len(ins))
+	}
+	if ins[0].Dst.Canon != "ext2_super_block.s_blocks_count" {
+		t.Errorf("canon = %q", ins[0].Dst.Canon)
+	}
+}
+
+func TestBuildNestedFieldCanon(t *testing.T) {
+	p := build(t, `
+struct ext2_super_block { u32 s_blocks_count; };
+struct fs_ctx { struct ext2_super_block *sb; };
+void fn(struct fs_ctx *fs, int v) {
+	fs->sb->s_blocks_count = v;
+}`)
+	ins := instrs(p.Funcs["fn"])
+	if ins[0].Dst.Canon != "ext2_super_block.s_blocks_count" {
+		t.Errorf("nested canon = %q", ins[0].Dst.Canon)
+	}
+	if ins[0].Dst.Key() != "fs.sb.s_blocks_count" {
+		t.Errorf("key = %q", ins[0].Dst.Key())
+	}
+}
+
+func TestBuildIfCFG(t *testing.T) {
+	p := build(t, `
+int fn(int a) {
+	int r;
+	r = 0;
+	if (a > 3) {
+		r = 1;
+	} else {
+		r = 2;
+	}
+	return r;
+}`)
+	fn := p.Funcs["fn"]
+	// entry (assign + branch) -> then, else -> join(return)
+	if len(fn.Blocks) < 4 {
+		t.Fatalf("blocks = %d, want >= 4", len(fn.Blocks))
+	}
+	entry := fn.Blocks[0]
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %v", entry.Succs)
+	}
+	last := entry.Instrs[len(entry.Instrs)-1]
+	if last.Op != OpBranch {
+		t.Fatalf("entry does not end in branch: %v", last.Op)
+	}
+	if len(last.Uses) != 1 || last.Uses[0].Var != "a" {
+		t.Errorf("branch uses = %v", last.Uses)
+	}
+}
+
+func TestBuildWhileLoopCFG(t *testing.T) {
+	p := build(t, "void fn(int n) { while (n > 0) { n = n - 1; } }")
+	fn := p.Funcs["fn"]
+	// Find the loop head: a block with a branch and 2 successors.
+	var head *Block
+	for _, b := range fn.Blocks {
+		if len(b.Instrs) > 0 && b.Instrs[len(b.Instrs)-1].Op == OpBranch && len(b.Succs) == 2 {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head found")
+	}
+	// The body must loop back to the head.
+	body := fn.Blocks[head.Succs[0]]
+	found := false
+	for _, s := range body.Succs {
+		if s == head.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("body %v does not loop back to head %d", body.Succs, head.ID)
+	}
+}
+
+func TestBuildReturnEndsBlock(t *testing.T) {
+	p := build(t, `
+int fn(int a) {
+	if (a < 0) {
+		return -1;
+	}
+	return a;
+}`)
+	fn := p.Funcs["fn"]
+	// The then-block should have no successors after the return.
+	for _, b := range fn.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == OpReturn && i != len(b.Instrs)-1 {
+				t.Errorf("return not last in block %d", b.ID)
+			}
+		}
+	}
+}
+
+func TestBuildCompoundAssignReadsDst(t *testing.T) {
+	p := build(t, "void fn(int a) { int b; b = 0; b += a; }")
+	ins := instrs(p.Funcs["fn"])
+	last := ins[len(ins)-1]
+	var usesB bool
+	for _, u := range last.Uses {
+		if u.Var == "b" {
+			usesB = true
+		}
+	}
+	if !usesB {
+		t.Errorf("compound assign does not read dst: uses = %v", last.Uses)
+	}
+}
+
+func TestBuildCallInstr(t *testing.T) {
+	p := build(t, "void fn(int a) { helper(a, 1); }")
+	ins := instrs(p.Funcs["fn"])
+	if len(ins) != 1 || ins[0].Op != OpCall {
+		t.Fatalf("instrs = %+v", ins)
+	}
+	if len(ins[0].Calls) != 1 || ins[0].Calls[0] != "helper" {
+		t.Errorf("calls = %v", ins[0].Calls)
+	}
+}
+
+func TestBuildAssignFromCall(t *testing.T) {
+	p := build(t, "void fn(char *s) { unsigned long v; v = strtoul(s, 0, 10); }")
+	ins := instrs(p.Funcs["fn"])
+	if ins[0].Op != OpAssign || ins[0].Dst.Var != "v" {
+		t.Fatalf("instr = %+v", ins[0])
+	}
+	if len(ins[0].Calls) != 1 || ins[0].Calls[0] != "strtoul" {
+		t.Errorf("calls = %v", ins[0].Calls)
+	}
+	var usesS bool
+	for _, u := range ins[0].Uses {
+		if u.Var == "s" {
+			usesS = true
+		}
+	}
+	if !usesS {
+		t.Errorf("call arg not in uses: %v", ins[0].Uses)
+	}
+}
+
+func TestBuildSwitchLowering(t *testing.T) {
+	p := build(t, `
+void fn(int c) {
+	int r;
+	switch (c) {
+	case 1:
+		r = 10;
+		break;
+	case 2:
+		r = 20;
+		break;
+	default:
+		r = 0;
+	}
+}`)
+	fn := p.Funcs["fn"]
+	branches := 0
+	fn.Instrs(func(in *Instr) {
+		if in.Op == OpBranch {
+			branches++
+		}
+	})
+	if branches != 2 {
+		t.Errorf("switch lowered to %d branches, want 2 (one per non-default case)", branches)
+	}
+}
+
+func TestBuildForLoop(t *testing.T) {
+	p := build(t, "void fn(int n) { int i; int s; s = 0; for (i = 0; i < n; i++) { s += i; } }")
+	fn := p.Funcs["fn"]
+	var branchUses []Loc
+	fn.Instrs(func(in *Instr) {
+		if in.Op == OpBranch {
+			branchUses = in.Uses
+		}
+	})
+	keys := map[string]bool{}
+	for _, u := range branchUses {
+		keys[u.Key()] = true
+	}
+	if !keys["i"] || !keys["n"] {
+		t.Errorf("for condition uses = %v", branchUses)
+	}
+}
+
+func TestBuildDuplicateFunctionRejected(t *testing.T) {
+	f, err := minicc.Parse("dup.c", "void a(void) { }\nvoid a(void) { }")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Build(f); err == nil {
+		t.Fatal("expected duplicate-function error")
+	}
+}
+
+func TestGlobalsVisibleInFunctions(t *testing.T) {
+	p := build(t, `
+struct ext2_super_block { u32 s_inode_size; };
+struct ext2_super_block *fs_super;
+void fn(int isz) { fs_super->s_inode_size = isz; }`)
+	ins := instrs(p.Funcs["fn"])
+	if ins[0].Dst.Canon != "ext2_super_block.s_inode_size" {
+		t.Errorf("global-rooted canon = %q", ins[0].Dst.Canon)
+	}
+}
+
+func TestLocKeyAndString(t *testing.T) {
+	l := Loc{Var: "sb", Path: "s_magic", Canon: "ext2_super_block.s_magic"}
+	if l.Key() != "sb.s_magic" {
+		t.Errorf("key = %q", l.Key())
+	}
+	if !l.IsField() {
+		t.Error("IsField should be true")
+	}
+	scalar := Loc{Var: "x"}
+	if scalar.Key() != "x" || scalar.IsField() {
+		t.Errorf("scalar loc misbehaves: %v", scalar)
+	}
+}
+
+func TestBuildBreakTargetsExit(t *testing.T) {
+	p := build(t, `
+void fn(int n) {
+	while (1) {
+		if (n == 0) {
+			break;
+		}
+		n = n - 1;
+	}
+	n = 99;
+}`)
+	fn := p.Funcs["fn"]
+	// The assignment n=99 must be reachable: find it.
+	found := false
+	fn.Instrs(func(in *Instr) {
+		if in.Op == OpAssign && in.Dst.Var == "n" {
+			if lit, ok := in.Expr.(*minicc.IntLit); ok && lit.Val == 99 {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Error("statement after loop with break was lost")
+	}
+}

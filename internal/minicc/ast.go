@@ -1,0 +1,443 @@
+package minicc
+
+import "strings"
+
+// ---------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------
+
+// Type describes a mini-C type. Types are structural and immutable.
+type Type struct {
+	// Name is the base name: "int", "long", "char", "bool", "void",
+	// or a struct tag for struct types.
+	Name string
+	// IsStruct marks struct types; Name then holds the tag.
+	IsStruct bool
+	// Unsigned marks unsigned integer types.
+	Unsigned bool
+	// Ptr counts levels of pointer indirection.
+	Ptr int
+}
+
+// String renders the type in C-ish syntax.
+func (t Type) String() string {
+	var b strings.Builder
+	if t.Unsigned {
+		b.WriteString("unsigned ")
+	}
+	if t.IsStruct {
+		b.WriteString("struct ")
+	}
+	b.WriteString(t.Name)
+	b.WriteString(strings.Repeat("*", t.Ptr))
+	return b.String()
+}
+
+// IsPointer reports whether the type has pointer indirection.
+func (t Type) IsPointer() bool { return t.Ptr > 0 }
+
+// IsInteger reports whether the (non-pointer) type is an integer type.
+func (t Type) IsInteger() bool {
+	if t.Ptr > 0 || t.IsStruct {
+		return false
+	}
+	switch t.Name {
+	case "int", "long", "short", "char", "bool":
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------
+
+// File is a parsed translation unit.
+type File struct {
+	// Name is the logical file name.
+	Name string
+	// Structs lists struct definitions in source order.
+	Structs []*StructDef
+	// Funcs lists function definitions in source order.
+	Funcs []*FuncDef
+	// Globals lists file-scope variable declarations.
+	Globals []*VarDecl
+	// Enums lists enumerator constants (flattened).
+	Enums []*EnumConst
+	// Macros holds object-like #define macro values that reduce to an
+	// integer constant; used to resolve ranges like EXT2_MAX_BLOCK_SIZE.
+	Macros map[string]int64
+}
+
+// StructDef is a struct definition.
+type StructDef struct {
+	Tag    string
+	Fields []Field
+	Pos    Pos
+}
+
+// Field is one struct member.
+type Field struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// FieldIndex returns the index of the named field, or -1.
+func (s *StructDef) FieldIndex(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// EnumConst is one enumerator with its resolved value.
+type EnumConst struct {
+	Name string
+	Val  int64
+	Pos  Pos
+}
+
+// FuncDef is a function definition with a body.
+type FuncDef struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *Block
+	Pos    Pos
+}
+
+// Param is one function parameter.
+type Param struct {
+	Name string
+	Type Type
+	Pos  Pos
+}
+
+// VarDecl declares a variable (global or local) with an optional
+// initializer.
+type VarDecl struct {
+	Name string
+	Type Type
+	Init Expr // nil when absent
+	Pos  Pos
+}
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtNode()
+	// StmtPos returns the statement's source position.
+	StmtPos() Pos
+}
+
+// Block is a { ... } statement list.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// DeclStmt wraps a local variable declaration.
+type DeclStmt struct{ Decl *VarDecl }
+
+// ExprStmt is an expression evaluated for effect (calls, assignments,
+// increments).
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// AssignStmt is an assignment; Op is TokAssign or a compound-assignment
+// token kind.
+type AssignStmt struct {
+	LHS Expr
+	Op  TokKind
+	RHS Expr
+	Pos Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+	Pos  Pos
+}
+
+// WhileStmt is a while (or lowered do-while) loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	// PostCondition marks a do-while: body runs before the first test.
+	PostCondition bool
+	Pos           Pos
+}
+
+// ForStmt is a for loop. Init may be a *DeclStmt, *AssignStmt or
+// *ExprStmt; Post an *AssignStmt or *ExprStmt; all three clauses are
+// optional.
+type ForStmt struct {
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body *Block
+	Pos  Pos
+}
+
+// ReturnStmt returns from the function, with optional value.
+type ReturnStmt struct {
+	X   Expr // nil for bare return
+	Pos Pos
+}
+
+// BreakStmt breaks the innermost loop or switch.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Pos Pos }
+
+// SwitchStmt is a C switch. Cases with no body fall through in source
+// order, as in C.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []SwitchCase
+	Pos   Pos
+}
+
+// SwitchCase is one case (or default, when IsDefault) arm.
+type SwitchCase struct {
+	// Vals lists the case label constant expressions (empty for
+	// default).
+	Vals      []Expr
+	IsDefault bool
+	Body      []Stmt
+	Pos       Pos
+}
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*SwitchStmt) stmtNode()   {}
+
+// StmtPos implements Stmt.
+func (s *Block) StmtPos() Pos        { return s.Pos }
+func (s *DeclStmt) StmtPos() Pos     { return s.Decl.Pos }
+func (s *ExprStmt) StmtPos() Pos     { return s.Pos }
+func (s *AssignStmt) StmtPos() Pos   { return s.Pos }
+func (s *IfStmt) StmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) StmtPos() Pos    { return s.Pos }
+func (s *ForStmt) StmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) StmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) StmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) StmtPos() Pos { return s.Pos }
+func (s *SwitchStmt) StmtPos() Pos   { return s.Pos }
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	// ExprPos returns the expression's source position.
+	ExprPos() Pos
+}
+
+// Ident is a variable or function reference.
+type Ident struct {
+	Name string
+	Pos  Pos
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	Val  int64
+	Text string
+	Pos  Pos
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val string
+	Pos Pos
+}
+
+// Member accesses a struct field: X.Name or X->Name (Arrow).
+type Member struct {
+	X     Expr
+	Name  string
+	Arrow bool
+	Pos   Pos
+}
+
+// Index is array indexing X[I].
+type Index struct {
+	X, I Expr
+	Pos  Pos
+}
+
+// Call is a function call.
+type Call struct {
+	Fun  string
+	Args []Expr
+	Pos  Pos
+}
+
+// Unary is a prefix unary operation: ! - ~ * & ++ --.
+type Unary struct {
+	Op TokKind
+	X  Expr
+	// Postfix marks postfix ++/--.
+	Postfix bool
+	Pos     Pos
+}
+
+// Binary is an infix binary operation.
+type Binary struct {
+	Op   TokKind
+	L, R Expr
+	Pos  Pos
+}
+
+// Cond is the ternary conditional C ? T : F.
+type Cond struct {
+	C, T, F Expr
+	Pos     Pos
+}
+
+// Cast is a C-style cast; taint analysis treats it as transparent.
+type Cast struct {
+	To  Type
+	X   Expr
+	Pos Pos
+}
+
+// SizeofExpr is sizeof(type) or sizeof expr, folded opaquely.
+type SizeofExpr struct {
+	TypeName string
+	Pos      Pos
+}
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*Member) exprNode()     {}
+func (*Index) exprNode()      {}
+func (*Call) exprNode()       {}
+func (*Unary) exprNode()      {}
+func (*Binary) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Cast) exprNode()       {}
+func (*SizeofExpr) exprNode() {}
+
+// ExprPos implements Expr.
+func (e *Ident) ExprPos() Pos      { return e.Pos }
+func (e *IntLit) ExprPos() Pos     { return e.Pos }
+func (e *StrLit) ExprPos() Pos     { return e.Pos }
+func (e *Member) ExprPos() Pos     { return e.Pos }
+func (e *Index) ExprPos() Pos      { return e.Pos }
+func (e *Call) ExprPos() Pos       { return e.Pos }
+func (e *Unary) ExprPos() Pos      { return e.Pos }
+func (e *Binary) ExprPos() Pos     { return e.Pos }
+func (e *Cond) ExprPos() Pos       { return e.Pos }
+func (e *Cast) ExprPos() Pos       { return e.Pos }
+func (e *SizeofExpr) ExprPos() Pos { return e.Pos }
+
+// MemberPath flattens a member chain rooted at an identifier:
+// sb->s_feature_compat yields ("sb", ["s_feature_compat"], true).
+// Returns ok=false when the chain is not rooted at a plain identifier.
+func MemberPath(e Expr) (root string, path []string, ok bool) {
+	switch v := e.(type) {
+	case *Ident:
+		return v.Name, nil, true
+	case *Member:
+		root, path, ok = MemberPath(v.X)
+		if !ok {
+			return "", nil, false
+		}
+		return root, append(path, v.Name), true
+	case *Cast:
+		return MemberPath(v.X)
+	case *Unary:
+		if v.Op == TokStar || v.Op == TokAmp {
+			return MemberPath(v.X)
+		}
+	case *Index:
+		return MemberPath(v.X)
+	}
+	return "", nil, false
+}
+
+// WalkExpr calls fn for e and every sub-expression, pre-order. fn may
+// return false to prune the walk below a node.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch v := e.(type) {
+	case *Member:
+		WalkExpr(v.X, fn)
+	case *Index:
+		WalkExpr(v.X, fn)
+		WalkExpr(v.I, fn)
+	case *Call:
+		for _, a := range v.Args {
+			WalkExpr(a, fn)
+		}
+	case *Unary:
+		WalkExpr(v.X, fn)
+	case *Binary:
+		WalkExpr(v.L, fn)
+		WalkExpr(v.R, fn)
+	case *Cond:
+		WalkExpr(v.C, fn)
+		WalkExpr(v.T, fn)
+		WalkExpr(v.F, fn)
+	case *Cast:
+		WalkExpr(v.X, fn)
+	}
+}
+
+// WalkStmts calls fn for every statement in the list, recursively,
+// pre-order.
+func WalkStmts(stmts []Stmt, fn func(Stmt)) {
+	for _, s := range stmts {
+		walkStmt(s, fn)
+	}
+}
+
+func walkStmt(s Stmt, fn func(Stmt)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	switch v := s.(type) {
+	case *Block:
+		WalkStmts(v.Stmts, fn)
+	case *IfStmt:
+		walkStmt(v.Then, fn)
+		walkStmt(v.Else, fn)
+	case *WhileStmt:
+		walkStmt(v.Body, fn)
+	case *ForStmt:
+		walkStmt(v.Init, fn)
+		walkStmt(v.Post, fn)
+		walkStmt(v.Body, fn)
+	case *SwitchStmt:
+		for _, c := range v.Cases {
+			WalkStmts(c.Body, fn)
+		}
+	}
+}

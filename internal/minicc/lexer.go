@@ -1,0 +1,454 @@
+package minicc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns mini-C source text into tokens. It understands // and
+// /* */ comments and two preprocessor directive forms: object-like
+// #define macros (expanded during lexing) and #include lines (skipped —
+// the corpus is self-contained).
+type Lexer struct {
+	file   string
+	src    string
+	off    int
+	line   int
+	lineAt int // offset of current line start
+
+	// macros maps object-like macro names to their replacement token
+	// streams. Pre-populated macros may be supplied via NewLexerMacros.
+	macros map[string][]Token
+	// pending holds macro-expansion output awaiting delivery.
+	pending []Token
+
+	errs ErrorList
+}
+
+// ErrorList accumulates lexical and syntactic diagnostics.
+type ErrorList []error
+
+// Add appends a positioned error.
+func (l *ErrorList) Add(pos Pos, format string, args ...any) {
+	*l = append(*l, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// Err returns nil if the list is empty, otherwise an error joining all
+// diagnostics.
+func (l ErrorList) Err() error {
+	switch len(l) {
+	case 0:
+		return nil
+	case 1:
+		return l[0]
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return fmt.Errorf("%d errors:\n%s", len(l), strings.Join(msgs, "\n"))
+}
+
+// NewLexer returns a lexer over src, attributing positions to file.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{
+		file:   file,
+		src:    src,
+		line:   1,
+		macros: make(map[string][]Token),
+	}
+}
+
+// Macros exposes the macro table accumulated so far (name → expansion).
+// The parser uses it to resolve constants defined via #define.
+func (lx *Lexer) Macros() map[string][]Token { return lx.macros }
+
+func (lx *Lexer) pos() Pos {
+	return Pos{File: lx.file, Line: lx.line, Col: lx.off - lx.lineAt + 1}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByteAt(i int) byte {
+	if lx.off+i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+i]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.lineAt = lx.off
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, expanding macros. At end of input it
+// returns a TokEOF token (repeatedly, if called again).
+func (lx *Lexer) Next() Token {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t
+	}
+	for {
+		lx.skipSpaceAndComments()
+		if lx.off >= len(lx.src) {
+			return Token{Kind: TokEOF, Pos: lx.pos()}
+		}
+		pos := lx.pos()
+		c := lx.peekByte()
+
+		if c == '#' {
+			lx.directive()
+			continue
+		}
+		if isIdentStart(c) {
+			name := lx.ident()
+			if kw, ok := keywords[name]; ok {
+				return Token{Kind: kw, Text: name, Pos: pos}
+			}
+			if repl, ok := lx.macros[name]; ok {
+				// Object-like macro expansion: re-position the
+				// replacement tokens at the use site.
+				if len(repl) == 0 {
+					continue
+				}
+				out := make([]Token, len(repl))
+				for i, t := range repl {
+					t.Pos = pos
+					out[i] = t
+				}
+				lx.pending = append(lx.pending, out[1:]...)
+				return out[0]
+			}
+			return Token{Kind: TokIdent, Text: name, Pos: pos}
+		}
+		if isDigit(c) {
+			return lx.number(pos)
+		}
+		switch c {
+		case '"':
+			return lx.stringLit(pos)
+		case '\'':
+			return lx.charLit(pos)
+		}
+		return lx.operator(pos)
+	}
+}
+
+// Tokenize consumes the whole input. It returns the token stream
+// (ending with TokEOF) and any accumulated lexical errors.
+func (lx *Lexer) Tokenize() ([]Token, error) {
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			break
+		}
+	}
+	return toks, lx.errs.Err()
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errs.Add(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *Lexer) ident() string {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.advance()
+	}
+	return lx.src[start:lx.off]
+}
+
+// directive handles a line starting with '#'. #define NAME tokens...
+// extends the macro table; every other directive is skipped to end of
+// line (with backslash continuation support).
+func (lx *Lexer) directive() {
+	pos := lx.pos()
+	lx.advance() // '#'
+	for lx.off < len(lx.src) && (lx.peekByte() == ' ' || lx.peekByte() == '\t') {
+		lx.advance()
+	}
+	word := ""
+	if isIdentStart(lx.peekByte()) {
+		word = lx.ident()
+	}
+	rest := lx.restOfDirectiveLine()
+	if word != "define" {
+		return // #include, #ifdef etc.: corpus is self-contained
+	}
+	sub := NewLexer(lx.file, rest)
+	sub.line = pos.Line
+	name := sub.Next()
+	if name.Kind != TokIdent {
+		lx.errs.Add(pos, "#define expects a macro name, got %s", name)
+		return
+	}
+	if strings.HasPrefix(rest[strings.Index(rest, name.Text)+len(name.Text):], "(") {
+		lx.errs.Add(pos, "#define %s: function-like macros are not supported", name.Text)
+		return
+	}
+	var repl []Token
+	for {
+		t := sub.Next()
+		if t.Kind == TokEOF {
+			break
+		}
+		repl = append(repl, t)
+	}
+	lx.errs = append(lx.errs, sub.errs...)
+	lx.macros[name.Text] = repl
+}
+
+// restOfDirectiveLine consumes to end of line, honouring backslash
+// continuations, and returns the consumed text.
+func (lx *Lexer) restOfDirectiveLine() string {
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == '\\' && lx.peekByteAt(1) == '\n' {
+			lx.advance()
+			lx.advance()
+			b.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			lx.advance()
+			break
+		}
+		b.WriteByte(lx.advance())
+	}
+	return b.String()
+}
+
+func (lx *Lexer) number(pos Pos) Token {
+	start := lx.off
+	base := 10
+	if lx.peekByte() == '0' && (lx.peekByteAt(1) == 'x' || lx.peekByteAt(1) == 'X') {
+		base = 16
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	text := lx.src[start:lx.off]
+	digits := text
+	if base == 16 {
+		digits = text[2:]
+	}
+	// Swallow integer suffixes (U, L, UL, ULL ...).
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseInt(digits, base, 64)
+	if err != nil {
+		// Tolerate overflow into uint64 range.
+		if u, uerr := strconv.ParseUint(digits, base, 64); uerr == nil {
+			v = int64(u)
+		} else {
+			lx.errs.Add(pos, "bad integer literal %q: %v", text, err)
+		}
+	}
+	return Token{Kind: TokInt, Text: text, Val: v, Pos: pos}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (lx *Lexer) stringLit(pos Pos) Token {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) || lx.peekByte() == '\n' {
+			lx.errs.Add(pos, "unterminated string literal")
+			break
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' && lx.off < len(lx.src) {
+			b.WriteByte(unescape(lx.advance()))
+			continue
+		}
+		b.WriteByte(c)
+	}
+	s := b.String()
+	return Token{Kind: TokString, Text: s, Str: s, Pos: pos}
+}
+
+func (lx *Lexer) charLit(pos Pos) Token {
+	lx.advance() // opening quote
+	var v int64
+	if lx.off < len(lx.src) {
+		c := lx.advance()
+		if c == '\\' && lx.off < len(lx.src) {
+			v = int64(unescape(lx.advance()))
+		} else {
+			v = int64(c)
+		}
+	}
+	if lx.off < len(lx.src) && lx.peekByte() == '\'' {
+		lx.advance()
+	} else {
+		lx.errs.Add(pos, "unterminated character literal")
+	}
+	return Token{Kind: TokChar, Text: string(rune(v)), Val: v, Pos: pos}
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\', '\'', '"':
+		return c
+	default:
+		return c
+	}
+}
+
+// operator lexes punctuation, longest match first.
+func (lx *Lexer) operator(pos Pos) Token {
+	three := ""
+	if lx.off+3 <= len(lx.src) {
+		three = lx.src[lx.off : lx.off+3]
+	}
+	two := ""
+	if lx.off+2 <= len(lx.src) {
+		two = lx.src[lx.off : lx.off+2]
+	}
+	mk := func(k TokKind, n int) Token {
+		text := lx.src[lx.off : lx.off+n]
+		for i := 0; i < n; i++ {
+			lx.advance()
+		}
+		return Token{Kind: k, Text: text, Pos: pos}
+	}
+	switch three {
+	case "<<=":
+		return mk(TokShlEq, 3)
+	case ">>=":
+		return mk(TokShrEq, 3)
+	}
+	switch two {
+	case "->":
+		return mk(TokArrow, 2)
+	case "==":
+		return mk(TokEqEq, 2)
+	case "!=":
+		return mk(TokNotEq, 2)
+	case "<=":
+		return mk(TokLe, 2)
+	case ">=":
+		return mk(TokGe, 2)
+	case "&&":
+		return mk(TokAndAnd, 2)
+	case "||":
+		return mk(TokOrOr, 2)
+	case "<<":
+		return mk(TokShl, 2)
+	case ">>":
+		return mk(TokShr, 2)
+	case "+=":
+		return mk(TokPlusEq, 2)
+	case "-=":
+		return mk(TokMinusEq, 2)
+	case "*=":
+		return mk(TokStarEq, 2)
+	case "/=":
+		return mk(TokSlashEq, 2)
+	case "%=":
+		return mk(TokPercentEq, 2)
+	case "&=":
+		return mk(TokAmpEq, 2)
+	case "|=":
+		return mk(TokPipeEq, 2)
+	case "^=":
+		return mk(TokCaretEq, 2)
+	case "++":
+		return mk(TokPlusPlus, 2)
+	case "--":
+		return mk(TokMinusMinus, 2)
+	}
+	var single = map[byte]TokKind{
+		'(': TokLParen, ')': TokRParen, '{': TokLBrace, '}': TokRBrace,
+		'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
+		'.': TokDot, '?': TokQuestion, ':': TokColon, '=': TokAssign,
+		'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
+		'%': TokPercent, '&': TokAmp, '|': TokPipe, '^': TokCaret,
+		'~': TokTilde, '!': TokBang, '<': TokLt, '>': TokGt,
+	}
+	c := lx.peekByte()
+	if k, ok := single[c]; ok {
+		return mk(k, 1)
+	}
+	lx.errs.Add(pos, "unexpected character %q", string(rune(c)))
+	lx.advance()
+	return lx.Next()
+}

@@ -1,0 +1,170 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := NewLexer("test.c", src).Tokenize()
+	if err != nil {
+		t.Fatalf("lex error: %v", err)
+	}
+	return toks
+}
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lex(t, "int x = 42;")
+	want := []TokKind{TokKwInt, TokIdent, TokAssign, TokInt, TokSemi, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("literal value = %d, want 42", toks[3].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]TokKind{
+		"->": TokArrow, "==": TokEqEq, "!=": TokNotEq, "<=": TokLe,
+		">=": TokGe, "&&": TokAndAnd, "||": TokOrOr, "<<": TokShl,
+		">>": TokShr, "+=": TokPlusEq, "<<=": TokShlEq, ">>=": TokShrEq,
+		"++": TokPlusPlus, "--": TokMinusMinus, "+": TokPlus, "%": TokPercent,
+		"&": TokAmp, "|": TokPipe, "^": TokCaret, "~": TokTilde, "!": TokBang,
+	}
+	for src, want := range cases {
+		toks := lex(t, src)
+		if toks[0].Kind != want {
+			t.Errorf("lex(%q) = %s, want %s", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestLexHexAndSuffixes(t *testing.T) {
+	toks := lex(t, "0x10 0xFFFF 123UL 7L")
+	wantVals := []int64{16, 65535, 123, 7}
+	for i, w := range wantVals {
+		if toks[i].Kind != TokInt || toks[i].Val != w {
+			t.Errorf("token %d = %v (val %d), want int %d", i, toks[i], toks[i].Val, w)
+		}
+	}
+}
+
+func TestLexCommentsSkipped(t *testing.T) {
+	toks := lex(t, "a // line comment\n/* block\ncomment */ b")
+	got := kinds(toks)
+	want := []TokKind{TokIdent, TokIdent, TokEOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	if toks[1].Pos.Line != 3 {
+		t.Errorf("b is at line %d, want 3", toks[1].Pos.Line)
+	}
+}
+
+func TestLexStringEscape(t *testing.T) {
+	toks := lex(t, `"a\nb" 'x' '\n'`)
+	if toks[0].Str != "a\nb" {
+		t.Errorf("string = %q", toks[0].Str)
+	}
+	if toks[1].Val != 'x' || toks[2].Val != '\n' {
+		t.Errorf("char literals = %d %d", toks[1].Val, toks[2].Val)
+	}
+}
+
+func TestLexDefineMacroExpansion(t *testing.T) {
+	src := "#define MAX_SIZE 65536\nint x = MAX_SIZE;"
+	toks := lex(t, src)
+	// MAX_SIZE must expand to the integer literal.
+	var found bool
+	for _, tok := range toks {
+		if tok.Kind == TokInt && tok.Val == 65536 {
+			found = true
+		}
+		if tok.Kind == TokIdent && tok.Text == "MAX_SIZE" {
+			t.Fatalf("macro was not expanded")
+		}
+	}
+	if !found {
+		t.Fatalf("expansion literal missing: %v", toks)
+	}
+}
+
+func TestLexDefineCompoundMacro(t *testing.T) {
+	src := "#define KB (1 << 10)\nint x = KB;"
+	toks := lex(t, src)
+	var text []string
+	for _, tok := range toks {
+		text = append(text, tok.String())
+	}
+	joined := strings.Join(text, " ")
+	if !strings.Contains(joined, "<<") {
+		t.Fatalf("compound macro not expanded: %s", joined)
+	}
+}
+
+func TestLexIncludeIgnored(t *testing.T) {
+	toks := lex(t, "#include <stdio.h>\nint x;")
+	if toks[0].Kind != TokKwInt {
+		t.Fatalf("include line not skipped: %v", toks[0])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	_, err := NewLexer("t.c", `"abc`).Tokenize()
+	if err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestLexUnterminatedComment(t *testing.T) {
+	_, err := NewLexer("t.c", "/* never closed").Tokenize()
+	if err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestLexFunctionLikeMacroRejected(t *testing.T) {
+	_, err := NewLexer("t.c", "#define F(x) ((x)+1)\n").Tokenize()
+	if err == nil {
+		t.Fatal("expected error for function-like macro")
+	}
+}
+
+func TestLexBackslashContinuation(t *testing.T) {
+	toks := lex(t, "#define V 1 + \\\n 2\nint x = V;")
+	var vals []int64
+	for _, tok := range toks {
+		if tok.Kind == TokInt {
+			vals = append(vals, tok.Val)
+		}
+	}
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("continuation values = %v, want [1 2]", vals)
+	}
+}

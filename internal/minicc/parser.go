@@ -1,0 +1,905 @@
+package minicc
+
+import "fmt"
+
+// Parser builds a File from a token stream. It is a conventional
+// recursive-descent parser with one token of lookahead (plus explicit
+// peeking where C's grammar demands it).
+type Parser struct {
+	toks []Token
+	pos  int
+	errs ErrorList
+
+	// typeNames tracks typedef names so declarations can be
+	// distinguished from expressions.
+	typeNames map[string]Type
+	// enums records enumerator constants as they are declared.
+	enums map[string]int64
+	file  *File
+}
+
+// Parse lexes and parses one mini-C translation unit.
+func Parse(name, src string) (*File, error) {
+	lx := NewLexer(name, src)
+	toks, err := lx.Tokenize()
+	if err != nil {
+		return nil, fmt.Errorf("minicc: lexing %s: %w", name, err)
+	}
+	p := &Parser{
+		toks:      toks,
+		typeNames: builtinTypedefs(),
+		enums:     make(map[string]int64),
+		file:      &File{Name: name, Macros: make(map[string]int64)},
+	}
+	// Fold integer-valued macros into the file's constant table.
+	for mname, repl := range lx.Macros() {
+		if len(repl) == 1 && repl[0].Kind == TokInt {
+			p.file.Macros[mname] = repl[0].Val
+		}
+	}
+	p.parseFile()
+	if err := p.errs.Err(); err != nil {
+		return nil, fmt.Errorf("minicc: parsing %s: %w", name, err)
+	}
+	return p.file, nil
+}
+
+// builtinTypedefs returns the kernel-ish integer typedefs the corpus
+// uses, mapped to plain integer types.
+func builtinTypedefs() map[string]Type {
+	u := func(n string) Type { return Type{Name: n, Unsigned: true} }
+	s := func(n string) Type { return Type{Name: n} }
+	return map[string]Type{
+		"u8": u("char"), "u16": u("short"), "u32": u("int"), "u64": u("long"),
+		"__u8": u("char"), "__u16": u("short"), "__u32": u("int"), "__u64": u("long"),
+		"__le16": u("short"), "__le32": u("int"), "__le64": u("long"),
+		"s8": s("char"), "s16": s("short"), "s32": s("int"), "s64": s("long"),
+		"size_t": u("long"), "ssize_t": s("long"),
+		"blk_t": u("int"), "blk64_t": u("long"), "dgrp_t": u("int"),
+		"ext2_ino_t": u("int"), "errcode_t": s("long"), "e2_blkcnt_t": s("long"),
+		"uid_t": u("int"), "gid_t": u("int"), "mode_t": u("int"),
+		"time_t": s("long"), "loff_t": s("long"),
+	}
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) peek() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokKind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errs.Add(p.cur().Pos, "expected %s, got %s", k, p.cur())
+	return Token{Kind: k, Pos: p.cur().Pos}
+}
+
+// sync skips tokens until after the next semicolon or closing brace, to
+// recover from a parse error.
+func (p *Parser) sync() {
+	depth := 0
+	for !p.at(TokEOF) {
+		switch p.cur().Kind {
+		case TokLBrace:
+			depth++
+		case TokRBrace:
+			if depth == 0 {
+				p.next()
+				return
+			}
+			depth--
+		case TokSemi:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------
+
+func (p *Parser) parseFile() {
+	for !p.at(TokEOF) {
+		start := p.pos
+		p.parseTopDecl()
+		if p.pos == start {
+			p.errs.Add(p.cur().Pos, "unexpected token %s at top level", p.cur())
+			p.next()
+		}
+	}
+}
+
+func (p *Parser) parseTopDecl() {
+	switch {
+	case p.at(TokKwTypedef):
+		p.parseTypedef()
+	case p.at(TokKwStruct) && p.peek().Kind == TokIdent && p.peekAt(2) == TokLBrace:
+		p.parseStructDef()
+	case p.at(TokKwEnum):
+		p.parseEnum()
+	case p.at(TokSemi):
+		p.next()
+	default:
+		p.parseFuncOrGlobal()
+	}
+}
+
+func (p *Parser) peekAt(n int) TokKind {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n].Kind
+	}
+	return TokEOF
+}
+
+func (p *Parser) parseTypedef() {
+	p.expect(TokKwTypedef)
+	// typedef struct Tag { ... } Name;  or  typedef base Name;
+	if p.at(TokKwStruct) && (p.peekAt(2) == TokLBrace || p.peek().Kind == TokLBrace) {
+		def := p.parseStructBody()
+		name := p.expect(TokIdent)
+		p.typeNames[name.Text] = Type{Name: def.Tag, IsStruct: true}
+		p.expect(TokSemi)
+		return
+	}
+	base, ok := p.parseTypeSpec()
+	if !ok {
+		p.errs.Add(p.cur().Pos, "typedef expects a type, got %s", p.cur())
+		p.sync()
+		return
+	}
+	for p.accept(TokStar) {
+		base.Ptr++
+	}
+	name := p.expect(TokIdent)
+	p.typeNames[name.Text] = base
+	p.expect(TokSemi)
+}
+
+// parseStructDef parses `struct Tag { fields };`.
+func (p *Parser) parseStructDef() {
+	def := p.parseStructBody()
+	p.expect(TokSemi)
+	_ = def
+}
+
+func (p *Parser) parseStructBody() *StructDef {
+	pos := p.expect(TokKwStruct).Pos
+	tag := ""
+	if p.at(TokIdent) {
+		tag = p.next().Text
+	}
+	def := &StructDef{Tag: tag, Pos: pos}
+	p.expect(TokLBrace)
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		ft, ok := p.parseTypeSpec()
+		if !ok {
+			p.errs.Add(p.cur().Pos, "expected field type in struct %s, got %s", tag, p.cur())
+			p.sync()
+			break
+		}
+		for {
+			t := ft
+			for p.accept(TokStar) {
+				t.Ptr++
+			}
+			name := p.expect(TokIdent)
+			// Array fields: record the element type; sizes are not
+			// needed by the analysis.
+			for p.accept(TokLBracket) {
+				if !p.at(TokRBracket) {
+					p.parseExpr()
+				}
+				p.expect(TokRBracket)
+			}
+			def.Fields = append(def.Fields, Field{Name: name.Text, Type: t, Pos: name.Pos})
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		p.expect(TokSemi)
+	}
+	p.expect(TokRBrace)
+	p.file.Structs = append(p.file.Structs, def)
+	return def
+}
+
+func (p *Parser) parseEnum() {
+	p.expect(TokKwEnum)
+	if p.at(TokIdent) {
+		p.next() // tag
+	}
+	p.expect(TokLBrace)
+	var v int64
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		name := p.expect(TokIdent)
+		if p.accept(TokAssign) {
+			e := p.parseCondExpr()
+			if c, ok := p.constFold(e); ok {
+				v = c
+			} else {
+				p.errs.Add(name.Pos, "enumerator %s: non-constant value", name.Text)
+			}
+		}
+		ec := &EnumConst{Name: name.Text, Val: v, Pos: name.Pos}
+		p.file.Enums = append(p.file.Enums, ec)
+		p.enums[name.Text] = v
+		v++
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	p.expect(TokRBrace)
+	p.expect(TokSemi)
+}
+
+// parseFuncOrGlobal parses `type name(params) {body}`, `type name(params);`
+// (prototype, recorded nowhere) or `type name [= init];`.
+func (p *Parser) parseFuncOrGlobal() {
+	p.accept(TokKwStatic)
+	p.accept(TokKwConst)
+	base, ok := p.parseTypeSpec()
+	if !ok {
+		p.errs.Add(p.cur().Pos, "expected declaration, got %s", p.cur())
+		p.sync()
+		return
+	}
+	t := base
+	for p.accept(TokStar) {
+		t.Ptr++
+	}
+	name := p.expect(TokIdent)
+	if p.at(TokLParen) {
+		p.parseFuncRest(t, name)
+		return
+	}
+	// Global variable(s).
+	for {
+		g := &VarDecl{Name: name.Text, Type: t, Pos: name.Pos}
+		for p.accept(TokLBracket) {
+			if !p.at(TokRBracket) {
+				p.parseExpr()
+			}
+			p.expect(TokRBracket)
+		}
+		if p.accept(TokAssign) {
+			g.Init = p.parseCondExpr()
+		}
+		p.file.Globals = append(p.file.Globals, g)
+		if !p.accept(TokComma) {
+			break
+		}
+		t = base
+		for p.accept(TokStar) {
+			t.Ptr++
+		}
+		name = p.expect(TokIdent)
+	}
+	p.expect(TokSemi)
+}
+
+func (p *Parser) parseFuncRest(ret Type, name Token) {
+	p.expect(TokLParen)
+	var params []Param
+	if !p.at(TokRParen) {
+		if p.at(TokKwVoid) && p.peek().Kind == TokRParen {
+			p.next()
+		} else {
+			for {
+				p.accept(TokKwConst)
+				pt, ok := p.parseTypeSpec()
+				if !ok {
+					p.errs.Add(p.cur().Pos, "expected parameter type, got %s", p.cur())
+					break
+				}
+				for p.accept(TokStar) {
+					pt.Ptr++
+				}
+				pn := Token{}
+				if p.at(TokIdent) {
+					pn = p.next()
+				}
+				params = append(params, Param{Name: pn.Text, Type: pt, Pos: pn.Pos})
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+		}
+	}
+	p.expect(TokRParen)
+	if p.accept(TokSemi) {
+		return // prototype
+	}
+	body := p.parseBlock()
+	p.file.Funcs = append(p.file.Funcs, &FuncDef{
+		Name: name.Text, Ret: ret, Params: params, Body: body, Pos: name.Pos,
+	})
+}
+
+// parseTypeSpec parses a type specifier; ok=false if the cursor is not
+// at a type. Does not consume '*' (callers handle pointers).
+func (p *Parser) parseTypeSpec() (Type, bool) {
+	p.accept(TokKwConst)
+	switch p.cur().Kind {
+	case TokKwStruct:
+		p.next()
+		tag := p.expect(TokIdent)
+		return Type{Name: tag.Text, IsStruct: true}, true
+	case TokKwUnsigned, TokKwSigned:
+		unsigned := p.next().Kind == TokKwUnsigned
+		name := "int"
+		switch p.cur().Kind {
+		case TokKwInt, TokKwChar, TokKwShort:
+			name = map[TokKind]string{TokKwInt: "int", TokKwChar: "char", TokKwShort: "short"}[p.next().Kind]
+		case TokKwLong:
+			p.next()
+			p.accept(TokKwLong)
+			p.accept(TokKwInt)
+			name = "long"
+		}
+		return Type{Name: name, Unsigned: unsigned}, true
+	case TokKwInt:
+		p.next()
+		return Type{Name: "int"}, true
+	case TokKwLong:
+		p.next()
+		p.accept(TokKwLong)
+		p.accept(TokKwInt)
+		return Type{Name: "long"}, true
+	case TokKwShort:
+		p.next()
+		p.accept(TokKwInt)
+		return Type{Name: "short"}, true
+	case TokKwChar:
+		p.next()
+		return Type{Name: "char"}, true
+	case TokKwBool:
+		p.next()
+		return Type{Name: "bool"}, true
+	case TokKwVoid:
+		p.next()
+		return Type{Name: "void"}, true
+	case TokIdent:
+		if t, ok := p.typeNames[p.cur().Text]; ok {
+			p.next()
+			return t, true
+		}
+	}
+	return Type{}, false
+}
+
+// isTypeStart reports whether the cursor could begin a declaration.
+func (p *Parser) isTypeStart() bool {
+	switch p.cur().Kind {
+	case TokKwStruct, TokKwUnsigned, TokKwSigned, TokKwInt, TokKwLong,
+		TokKwShort, TokKwChar, TokKwBool, TokKwVoid, TokKwConst:
+		return true
+	case TokIdent:
+		_, ok := p.typeNames[p.cur().Text]
+		// `name *x;` or `name x;` — only a declaration when name is a
+		// known typedef and followed by ident or '*'.
+		return ok && (p.peek().Kind == TokIdent || p.peek().Kind == TokStar)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+func (p *Parser) parseBlock() *Block {
+	pos := p.expect(TokLBrace).Pos
+	b := &Block{Pos: pos}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		start := p.pos
+		s := p.parseStmt()
+		if s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+		if p.pos == start {
+			p.errs.Add(p.cur().Pos, "cannot parse statement at %s", p.cur())
+			p.sync()
+		}
+	}
+	p.expect(TokRBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	switch p.cur().Kind {
+	case TokLBrace:
+		return p.parseBlock()
+	case TokKwIf:
+		return p.parseIf()
+	case TokKwWhile:
+		return p.parseWhile()
+	case TokKwDo:
+		return p.parseDoWhile()
+	case TokKwFor:
+		return p.parseFor()
+	case TokKwSwitch:
+		return p.parseSwitch()
+	case TokKwReturn:
+		pos := p.next().Pos
+		var x Expr
+		if !p.at(TokSemi) {
+			x = p.parseExpr()
+		}
+		p.expect(TokSemi)
+		return &ReturnStmt{X: x, Pos: pos}
+	case TokKwBreak:
+		pos := p.next().Pos
+		p.expect(TokSemi)
+		return &BreakStmt{Pos: pos}
+	case TokKwContinue:
+		pos := p.next().Pos
+		p.expect(TokSemi)
+		return &ContinueStmt{Pos: pos}
+	case TokSemi:
+		p.next()
+		return nil
+	}
+	if p.isTypeStart() {
+		d := p.parseLocalDecl()
+		p.expect(TokSemi)
+		return d
+	}
+	s := p.parseSimpleStmt()
+	p.expect(TokSemi)
+	return s
+}
+
+// parseLocalDecl parses `type name [= init]` (single declarator;
+// multi-declarator locals are lowered to the first declarator plus
+// errors — the corpus avoids them).
+func (p *Parser) parseLocalDecl() Stmt {
+	p.accept(TokKwStatic)
+	p.accept(TokKwConst)
+	base, ok := p.parseTypeSpec()
+	if !ok {
+		p.errs.Add(p.cur().Pos, "expected type in declaration, got %s", p.cur())
+		return nil
+	}
+	t := base
+	for p.accept(TokStar) {
+		t.Ptr++
+	}
+	name := p.expect(TokIdent)
+	d := &VarDecl{Name: name.Text, Type: t, Pos: name.Pos}
+	for p.accept(TokLBracket) {
+		if !p.at(TokRBracket) {
+			p.parseExpr()
+		}
+		p.expect(TokRBracket)
+	}
+	if p.accept(TokAssign) {
+		d.Init = p.parseCondExpr()
+	}
+	if p.at(TokComma) {
+		p.errs.Add(p.cur().Pos, "multiple declarators in one statement are not supported")
+	}
+	return &DeclStmt{Decl: d}
+}
+
+// parseSimpleStmt parses an assignment or expression statement (no
+// trailing semicolon).
+func (p *Parser) parseSimpleStmt() Stmt {
+	pos := p.cur().Pos
+	lhs := p.parseExpr()
+	switch p.cur().Kind {
+	case TokAssign, TokPlusEq, TokMinusEq, TokStarEq, TokSlashEq,
+		TokPercentEq, TokAmpEq, TokPipeEq, TokCaretEq, TokShlEq, TokShrEq:
+		op := p.next().Kind
+		rhs := p.parseExpr()
+		return &AssignStmt{LHS: lhs, Op: op, RHS: rhs, Pos: pos}
+	}
+	return &ExprStmt{X: lhs, Pos: pos}
+}
+
+func (p *Parser) parseIf() Stmt {
+	pos := p.expect(TokKwIf).Pos
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	then := p.blockOrSingle()
+	var els Stmt
+	if p.accept(TokKwElse) {
+		if p.at(TokKwIf) {
+			els = p.parseIf()
+		} else {
+			els = p.blockOrSingle()
+		}
+	}
+	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}
+}
+
+// blockOrSingle parses a block, or wraps a single statement in one.
+func (p *Parser) blockOrSingle() *Block {
+	if p.at(TokLBrace) {
+		return p.parseBlock()
+	}
+	pos := p.cur().Pos
+	s := p.parseStmt()
+	b := &Block{Pos: pos}
+	if s != nil {
+		b.Stmts = []Stmt{s}
+	}
+	return b
+}
+
+func (p *Parser) parseWhile() Stmt {
+	pos := p.expect(TokKwWhile).Pos
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	body := p.blockOrSingle()
+	return &WhileStmt{Cond: cond, Body: body, Pos: pos}
+}
+
+func (p *Parser) parseDoWhile() Stmt {
+	pos := p.expect(TokKwDo).Pos
+	body := p.blockOrSingle()
+	p.expect(TokKwWhile)
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	p.expect(TokSemi)
+	return &WhileStmt{Cond: cond, Body: body, PostCondition: true, Pos: pos}
+}
+
+func (p *Parser) parseFor() Stmt {
+	pos := p.expect(TokKwFor).Pos
+	p.expect(TokLParen)
+	var init Stmt
+	if !p.at(TokSemi) {
+		if p.isTypeStart() {
+			init = p.parseLocalDecl()
+		} else {
+			init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(TokSemi)
+	var cond Expr
+	if !p.at(TokSemi) {
+		cond = p.parseExpr()
+	}
+	p.expect(TokSemi)
+	var post Stmt
+	if !p.at(TokRParen) {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(TokRParen)
+	body := p.blockOrSingle()
+	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Pos: pos}
+}
+
+func (p *Parser) parseSwitch() Stmt {
+	pos := p.expect(TokKwSwitch).Pos
+	p.expect(TokLParen)
+	tag := p.parseExpr()
+	p.expect(TokRParen)
+	p.expect(TokLBrace)
+	sw := &SwitchStmt{Tag: tag, Pos: pos}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		var c SwitchCase
+		c.Pos = p.cur().Pos
+		switch {
+		case p.at(TokKwCase):
+			for p.accept(TokKwCase) {
+				c.Vals = append(c.Vals, p.parseCondExpr())
+				p.expect(TokColon)
+			}
+			if p.accept(TokKwDefault) {
+				c.IsDefault = true
+				p.expect(TokColon)
+			}
+		case p.at(TokKwDefault):
+			p.next()
+			c.IsDefault = true
+			p.expect(TokColon)
+		default:
+			p.errs.Add(p.cur().Pos, "expected case or default in switch, got %s", p.cur())
+			p.sync()
+			continue
+		}
+		for !p.at(TokKwCase) && !p.at(TokKwDefault) && !p.at(TokRBrace) && !p.at(TokEOF) {
+			start := p.pos
+			s := p.parseStmt()
+			if s != nil {
+				c.Body = append(c.Body, s)
+			}
+			if p.pos == start {
+				p.sync()
+			}
+		}
+		sw.Cases = append(sw.Cases, c)
+	}
+	p.expect(TokRBrace)
+	return sw
+}
+
+// ---------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------
+
+// parseExpr parses a full expression including ternaries.
+func (p *Parser) parseExpr() Expr { return p.parseCondExpr() }
+
+func (p *Parser) parseCondExpr() Expr {
+	c := p.parseBinary(0)
+	if p.accept(TokQuestion) {
+		t := p.parseCondExpr()
+		p.expect(TokColon)
+		f := p.parseCondExpr()
+		return &Cond{C: c, T: t, F: f, Pos: c.ExprPos()}
+	}
+	return c
+}
+
+// binPrec returns the binding power of a binary operator, or -1.
+func binPrec(k TokKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokPipe:
+		return 3
+	case TokCaret:
+		return 4
+	case TokAmp:
+		return 5
+	case TokEqEq, TokNotEq:
+		return 6
+	case TokLt, TokGt, TokLe, TokGe:
+		return 7
+	case TokShl, TokShr:
+		return 8
+	case TokPlus, TokMinus:
+		return 9
+	case TokStar, TokSlash, TokPercent:
+		return 10
+	}
+	return -1
+}
+
+func (p *Parser) parseBinary(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		prec := binPrec(p.cur().Kind)
+		if prec < 0 || prec < minPrec {
+			return lhs
+		}
+		op := p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &Binary{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	switch p.cur().Kind {
+	case TokBang, TokMinus, TokTilde, TokStar, TokAmp:
+		op := p.next()
+		x := p.parseUnary()
+		return &Unary{Op: op.Kind, X: x, Pos: op.Pos}
+	case TokPlusPlus, TokMinusMinus:
+		op := p.next()
+		x := p.parseUnary()
+		return &Unary{Op: op.Kind, X: x, Pos: op.Pos}
+	case TokKwSizeof:
+		pos := p.next().Pos
+		if p.accept(TokLParen) {
+			name := ""
+			if t, ok := p.parseTypeSpec(); ok {
+				for p.accept(TokStar) {
+					t.Ptr++
+				}
+				name = t.String()
+			} else {
+				e := p.parseExpr()
+				name = fmt.Sprintf("%T", e)
+			}
+			p.expect(TokRParen)
+			return &SizeofExpr{TypeName: name, Pos: pos}
+		}
+		x := p.parseUnary()
+		return &SizeofExpr{TypeName: fmt.Sprintf("%T", x), Pos: pos}
+	case TokLParen:
+		// Either a cast or a parenthesized expression.
+		if p.isCastStart() {
+			pos := p.next().Pos // '('
+			t, _ := p.parseTypeSpec()
+			for p.accept(TokStar) {
+				t.Ptr++
+			}
+			p.expect(TokRParen)
+			x := p.parseUnary()
+			return &Cast{To: t, X: x, Pos: pos}
+		}
+	}
+	return p.parsePostfix()
+}
+
+// isCastStart reports whether '(' begins a cast: '(' type-spec ... ')'
+// followed by a unary-expression starter.
+func (p *Parser) isCastStart() bool {
+	if !p.at(TokLParen) {
+		return false
+	}
+	k := p.peekAt(1)
+	switch k {
+	case TokKwStruct, TokKwUnsigned, TokKwSigned, TokKwInt, TokKwLong,
+		TokKwShort, TokKwChar, TokKwBool, TokKwVoid, TokKwConst:
+		return true
+	case TokIdent:
+		if _, ok := p.typeNames[p.toks[p.pos+1].Text]; ok {
+			// `(typedefName)` is a cast only if followed by ')' + operand
+			// or '*'. `(typedefName + 1)` is an expression.
+			nk := p.peekAt(2)
+			return nk == TokRParen || nk == TokStar
+		}
+	}
+	return false
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case TokDot:
+			pos := p.next().Pos
+			name := p.expect(TokIdent)
+			x = &Member{X: x, Name: name.Text, Pos: pos}
+		case TokArrow:
+			pos := p.next().Pos
+			name := p.expect(TokIdent)
+			x = &Member{X: x, Name: name.Text, Arrow: true, Pos: pos}
+		case TokLBracket:
+			pos := p.next().Pos
+			i := p.parseExpr()
+			p.expect(TokRBracket)
+			x = &Index{X: x, I: i, Pos: pos}
+		case TokPlusPlus, TokMinusMinus:
+			op := p.next()
+			x = &Unary{Op: op.Kind, X: x, Postfix: true, Pos: op.Pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			p.next()
+			call := &Call{Fun: t.Text, Pos: t.Pos}
+			if !p.at(TokRParen) {
+				for {
+					call.Args = append(call.Args, p.parseCondExpr())
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+			}
+			p.expect(TokRParen)
+			return call
+		}
+		if v, ok := p.enums[t.Text]; ok {
+			return &IntLit{Val: v, Text: t.Text, Pos: t.Pos}
+		}
+		return &Ident{Name: t.Text, Pos: t.Pos}
+	case TokInt, TokChar:
+		p.next()
+		return &IntLit{Val: t.Val, Text: t.Text, Pos: t.Pos}
+	case TokString:
+		p.next()
+		return &StrLit{Val: t.Str, Pos: t.Pos}
+	case TokLParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(TokRParen)
+		return x
+	}
+	p.errs.Add(t.Pos, "expected expression, got %s", t)
+	p.next()
+	return &IntLit{Val: 0, Text: "0", Pos: t.Pos}
+}
+
+// constFold evaluates a constant expression of integer literals,
+// enumerators, and resolved macros.
+func (p *Parser) constFold(e Expr) (int64, bool) {
+	switch v := e.(type) {
+	case *IntLit:
+		return v.Val, true
+	case *Ident:
+		if c, ok := p.enums[v.Name]; ok {
+			return c, true
+		}
+		if c, ok := p.file.Macros[v.Name]; ok {
+			return c, true
+		}
+	case *Unary:
+		x, ok := p.constFold(v.X)
+		if !ok {
+			return 0, false
+		}
+		switch v.Op {
+		case TokMinus:
+			return -x, true
+		case TokTilde:
+			return ^x, true
+		case TokBang:
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case *Binary:
+		l, ok1 := p.constFold(v.L)
+		r, ok2 := p.constFold(v.R)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch v.Op {
+		case TokPlus:
+			return l + r, true
+		case TokMinus:
+			return l - r, true
+		case TokStar:
+			return l * r, true
+		case TokSlash:
+			if r != 0 {
+				return l / r, true
+			}
+		case TokShl:
+			return l << uint(r), true
+		case TokShr:
+			return l >> uint(r), true
+		case TokPipe:
+			return l | r, true
+		case TokAmp:
+			return l & r, true
+		case TokCaret:
+			return l ^ r, true
+		}
+	}
+	return 0, false
+}
+
+// ConstFoldFile evaluates e against the constants of f (enums and
+// macros); it is the exported variant used by downstream passes.
+func ConstFoldFile(f *File, e Expr) (int64, bool) {
+	p := &Parser{file: f, enums: make(map[string]int64)}
+	for _, ec := range f.Enums {
+		p.enums[ec.Name] = ec.Val
+	}
+	return p.constFold(e)
+}

@@ -1,0 +1,326 @@
+package minicc
+
+import (
+	"testing"
+)
+
+func parse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func TestParseStructDef(t *testing.T) {
+	f := parse(t, `
+struct ext2_super_block {
+	u32 s_blocks_count;
+	u32 s_log_block_size;
+	u16 s_magic;
+	u32 s_feature_compat;
+	char s_volume_name[16];
+};`)
+	if len(f.Structs) != 1 {
+		t.Fatalf("structs = %d, want 1", len(f.Structs))
+	}
+	s := f.Structs[0]
+	if s.Tag != "ext2_super_block" {
+		t.Errorf("tag = %q", s.Tag)
+	}
+	if len(s.Fields) != 5 {
+		t.Fatalf("fields = %d, want 5", len(s.Fields))
+	}
+	if s.FieldIndex("s_magic") != 2 {
+		t.Errorf("FieldIndex(s_magic) = %d", s.FieldIndex("s_magic"))
+	}
+	if s.FieldIndex("nope") != -1 {
+		t.Errorf("FieldIndex(nope) should be -1")
+	}
+	if !s.Fields[0].Type.Unsigned {
+		t.Errorf("u32 field should be unsigned")
+	}
+}
+
+func TestParseFunctionWithParams(t *testing.T) {
+	f := parse(t, `
+struct sb { int x; };
+int check(struct sb *s, unsigned long blocks) {
+	if (s->x > 0) {
+		return 1;
+	}
+	return 0;
+}`)
+	if len(f.Funcs) != 1 {
+		t.Fatalf("funcs = %d", len(f.Funcs))
+	}
+	fn := f.Funcs[0]
+	if fn.Name != "check" || len(fn.Params) != 2 {
+		t.Fatalf("fn = %s params = %d", fn.Name, len(fn.Params))
+	}
+	if !fn.Params[0].Type.IsStruct || fn.Params[0].Type.Ptr != 1 {
+		t.Errorf("param 0 type = %v", fn.Params[0].Type)
+	}
+	if fn.Params[1].Type.Name != "long" || !fn.Params[1].Type.Unsigned {
+		t.Errorf("param 1 type = %v", fn.Params[1].Type)
+	}
+}
+
+func TestParseGlobalWithInit(t *testing.T) {
+	f := parse(t, "int blocksize = 1024;\nunsigned long fs_blocks;")
+	if len(f.Globals) != 2 {
+		t.Fatalf("globals = %d", len(f.Globals))
+	}
+	if f.Globals[0].Init == nil {
+		t.Error("first global should have an initializer")
+	}
+	lit, ok := f.Globals[0].Init.(*IntLit)
+	if !ok || lit.Val != 1024 {
+		t.Errorf("init = %#v", f.Globals[0].Init)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := parse(t, `
+void fn(int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		if (i == 3) continue;
+		if (i == 7) break;
+	}
+	while (n > 0) {
+		n = n - 1;
+	}
+	do {
+		n++;
+	} while (n < 10);
+}`)
+	fn := f.Funcs[0]
+	var kindsSeen []string
+	WalkStmts(fn.Body.Stmts, func(s Stmt) {
+		switch s.(type) {
+		case *ForStmt:
+			kindsSeen = append(kindsSeen, "for")
+		case *WhileStmt:
+			kindsSeen = append(kindsSeen, "while")
+		case *BreakStmt:
+			kindsSeen = append(kindsSeen, "break")
+		case *ContinueStmt:
+			kindsSeen = append(kindsSeen, "continue")
+		}
+	})
+	want := map[string]int{"for": 1, "while": 2, "break": 1, "continue": 1}
+	got := map[string]int{}
+	for _, k := range kindsSeen {
+		got[k]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s statements = %d, want %d (saw %v)", k, got[k], n, kindsSeen)
+		}
+	}
+}
+
+func TestParseSwitch(t *testing.T) {
+	f := parse(t, `
+int fn(int c) {
+	switch (c) {
+	case 1:
+	case 2:
+		return 10;
+	case 3:
+		break;
+	default:
+		return 0;
+	}
+	return -1;
+}`)
+	var sw *SwitchStmt
+	WalkStmts(f.Funcs[0].Body.Stmts, func(s Stmt) {
+		if v, ok := s.(*SwitchStmt); ok {
+			sw = v
+		}
+	})
+	if sw == nil {
+		t.Fatal("no switch parsed")
+	}
+	if len(sw.Cases) != 3 {
+		t.Fatalf("cases = %d, want 3", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Vals) != 2 {
+		t.Errorf("first case has %d labels, want 2", len(sw.Cases[0].Vals))
+	}
+	if !sw.Cases[2].IsDefault {
+		t.Errorf("last case should be default")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parse(t, "int x = 1 + 2 * 3;")
+	v, ok := ConstFoldFile(f, f.Globals[0].Init)
+	if !ok || v != 7 {
+		t.Errorf("1 + 2 * 3 = %d (ok=%v), want 7", v, ok)
+	}
+	f = parse(t, "int y = (1 + 2) * 3;")
+	v, ok = ConstFoldFile(f, f.Globals[0].Init)
+	if !ok || v != 9 {
+		t.Errorf("(1 + 2) * 3 = %d, want 9", v)
+	}
+	f = parse(t, "int z = 1 << 4 | 3;")
+	v, ok = ConstFoldFile(f, f.Globals[0].Init)
+	if !ok || v != 19 {
+		t.Errorf("1<<4|3 = %d, want 19", v)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	f := parse(t, "enum { A, B, C = 10, D };\nint x = D;")
+	if len(f.Enums) != 4 {
+		t.Fatalf("enums = %d", len(f.Enums))
+	}
+	wants := map[string]int64{"A": 0, "B": 1, "C": 10, "D": 11}
+	for _, e := range f.Enums {
+		if wants[e.Name] != e.Val {
+			t.Errorf("enum %s = %d, want %d", e.Name, e.Val, wants[e.Name])
+		}
+	}
+	// Enumerators fold to literals in expressions.
+	lit, ok := f.Globals[0].Init.(*IntLit)
+	if !ok || lit.Val != 11 {
+		t.Errorf("x init = %#v, want IntLit 11", f.Globals[0].Init)
+	}
+}
+
+func TestParseTypedef(t *testing.T) {
+	f := parse(t, `
+typedef unsigned int myint;
+myint g;
+void fn(myint v) { g = v; }`)
+	if len(f.Globals) != 1 || f.Globals[0].Type.Name != "int" || !f.Globals[0].Type.Unsigned {
+		t.Fatalf("typedef global type = %v", f.Globals[0].Type)
+	}
+}
+
+func TestParseMemberChainsAndPath(t *testing.T) {
+	f := parse(t, `
+struct inner { int depth; };
+struct outer { struct inner *in; };
+int fn(struct outer *o) {
+	return o->in->depth;
+}`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	root, path, ok := MemberPath(ret.X)
+	if !ok || root != "o" {
+		t.Fatalf("MemberPath root = %q ok=%v", root, ok)
+	}
+	if len(path) != 2 || path[0] != "in" || path[1] != "depth" {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestParseCallArgs(t *testing.T) {
+	f := parse(t, `
+void fn(int a) {
+	process(a, a + 1, "str");
+}`)
+	es := f.Funcs[0].Body.Stmts[0].(*ExprStmt)
+	call := es.X.(*Call)
+	if call.Fun != "process" || len(call.Args) != 3 {
+		t.Fatalf("call = %s/%d", call.Fun, len(call.Args))
+	}
+}
+
+func TestParseCast(t *testing.T) {
+	f := parse(t, `
+void fn(unsigned long v) {
+	int x;
+	x = (int)v;
+	x = (unsigned long)(v >> 2);
+}`)
+	var casts int
+	WalkStmts(f.Funcs[0].Body.Stmts, func(s Stmt) {
+		if as, ok := s.(*AssignStmt); ok {
+			WalkExpr(as.RHS, func(e Expr) bool {
+				if _, ok := e.(*Cast); ok {
+					casts++
+				}
+				return true
+			})
+		}
+	})
+	if casts != 2 {
+		t.Errorf("casts = %d, want 2", casts)
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	f := parse(t, "int fn(int a) { return a > 0 ? a : 0 - a; }")
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if _, ok := ret.X.(*Cond); !ok {
+		t.Fatalf("return expr = %#v, want Cond", ret.X)
+	}
+}
+
+func TestParseCompoundAssign(t *testing.T) {
+	f := parse(t, "void fn(int a) { int b; b = 1; b += a; b <<= 2; }")
+	var ops []TokKind
+	WalkStmts(f.Funcs[0].Body.Stmts, func(s Stmt) {
+		if as, ok := s.(*AssignStmt); ok {
+			ops = append(ops, as.Op)
+		}
+	})
+	want := []TokKind{TokAssign, TokPlusEq, TokShlEq}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %s, want %s", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestParseMacroConstantTable(t *testing.T) {
+	f := parse(t, "#define EXT2_MIN_BLOCK_SIZE 1024\nint x;")
+	if f.Macros["EXT2_MIN_BLOCK_SIZE"] != 1024 {
+		t.Errorf("macro table = %v", f.Macros)
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	_, err := Parse("bad.c", "int fn( { }")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParsePrototypeSkipped(t *testing.T) {
+	f := parse(t, "int declared_only(int a);\nint real(void) { return 1; }")
+	if len(f.Funcs) != 1 || f.Funcs[0].Name != "real" {
+		t.Fatalf("funcs = %v", f.Funcs)
+	}
+}
+
+func TestParseStringArgAndIndex(t *testing.T) {
+	f := parse(t, `
+void fn(char *buf) {
+	buf[0] = 'x';
+	log_msg("bad option: %s", buf);
+}`)
+	as, ok := f.Funcs[0].Body.Stmts[0].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 0 = %#v", f.Funcs[0].Body.Stmts[0])
+	}
+	if _, ok := as.LHS.(*Index); !ok {
+		t.Errorf("LHS = %#v, want Index", as.LHS)
+	}
+}
+
+func TestParseSizeof(t *testing.T) {
+	f := parse(t, "struct sb { int x; };\nvoid fn(void) { int n; n = sizeof(struct sb); }")
+	as := f.Funcs[0].Body.Stmts[1].(*AssignStmt)
+	if _, ok := as.RHS.(*SizeofExpr); !ok {
+		t.Errorf("RHS = %#v, want SizeofExpr", as.RHS)
+	}
+}

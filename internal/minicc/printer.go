@@ -1,0 +1,192 @@
+package minicc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatExpr renders an expression back to C-ish source, used in
+// diagnostics and dependency evidence.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+// precedence for parenthesization decisions when printing.
+func printPrec(e Expr) int {
+	if bin, ok := e.(*Binary); ok {
+		return binPrec(bin.Op)
+	}
+	return 99
+}
+
+func writeExpr(b *strings.Builder, e Expr, parentPrec int) {
+	switch v := e.(type) {
+	case *Ident:
+		b.WriteString(v.Name)
+	case *IntLit:
+		if v.Text != "" {
+			b.WriteString(v.Text)
+		} else {
+			fmt.Fprintf(b, "%d", v.Val)
+		}
+	case *StrLit:
+		fmt.Fprintf(b, "%q", v.Val)
+	case *Member:
+		writeExpr(b, v.X, 98)
+		if v.Arrow {
+			b.WriteString("->")
+		} else {
+			b.WriteString(".")
+		}
+		b.WriteString(v.Name)
+	case *Index:
+		writeExpr(b, v.X, 98)
+		b.WriteString("[")
+		writeExpr(b, v.I, 0)
+		b.WriteString("]")
+	case *Call:
+		b.WriteString(v.Fun)
+		b.WriteString("(")
+		for i, a := range v.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a, 0)
+		}
+		b.WriteString(")")
+	case *Unary:
+		if v.Postfix {
+			writeExpr(b, v.X, 98)
+			b.WriteString(tokNames[v.Op])
+			return
+		}
+		b.WriteString(tokNames[v.Op])
+		writeExpr(b, v.X, 98)
+	case *Binary:
+		prec := binPrec(v.Op)
+		needParens := prec < parentPrec
+		if needParens {
+			b.WriteString("(")
+		}
+		writeExpr(b, v.L, prec)
+		b.WriteString(" ")
+		b.WriteString(tokNames[v.Op])
+		b.WriteString(" ")
+		writeExpr(b, v.R, prec+1)
+		if needParens {
+			b.WriteString(")")
+		}
+	case *Cond:
+		writeExpr(b, v.C, 1)
+		b.WriteString(" ? ")
+		writeExpr(b, v.T, 0)
+		b.WriteString(" : ")
+		writeExpr(b, v.F, 0)
+	case *Cast:
+		fmt.Fprintf(b, "(%s)", v.To)
+		writeExpr(b, v.X, 98)
+	case *SizeofExpr:
+		fmt.Fprintf(b, "sizeof(%s)", v.TypeName)
+	default:
+		b.WriteString("<?expr>")
+	}
+}
+
+// FormatStmt renders a statement (and its children) with indentation,
+// for corpus debugging.
+func FormatStmt(s Stmt, indent int) string {
+	var b strings.Builder
+	writeStmt(&b, s, indent)
+	return b.String()
+}
+
+func pad(b *strings.Builder, indent int) {
+	for i := 0; i < indent; i++ {
+		b.WriteString("\t")
+	}
+}
+
+func writeStmt(b *strings.Builder, s Stmt, indent int) {
+	switch v := s.(type) {
+	case *Block:
+		pad(b, indent)
+		b.WriteString("{\n")
+		for _, in := range v.Stmts {
+			writeStmt(b, in, indent+1)
+		}
+		pad(b, indent)
+		b.WriteString("}\n")
+	case *DeclStmt:
+		pad(b, indent)
+		fmt.Fprintf(b, "%s %s", v.Decl.Type, v.Decl.Name)
+		if v.Decl.Init != nil {
+			b.WriteString(" = ")
+			b.WriteString(FormatExpr(v.Decl.Init))
+		}
+		b.WriteString(";\n")
+	case *ExprStmt:
+		pad(b, indent)
+		b.WriteString(FormatExpr(v.X))
+		b.WriteString(";\n")
+	case *AssignStmt:
+		pad(b, indent)
+		fmt.Fprintf(b, "%s %s %s;\n", FormatExpr(v.LHS), tokNames[v.Op], FormatExpr(v.RHS))
+	case *IfStmt:
+		pad(b, indent)
+		fmt.Fprintf(b, "if (%s)\n", FormatExpr(v.Cond))
+		writeStmt(b, v.Then, indent)
+		if v.Else != nil {
+			pad(b, indent)
+			b.WriteString("else\n")
+			writeStmt(b, v.Else, indent)
+		}
+	case *WhileStmt:
+		pad(b, indent)
+		if v.PostCondition {
+			b.WriteString("do\n")
+			writeStmt(b, v.Body, indent)
+			pad(b, indent)
+			fmt.Fprintf(b, "while (%s);\n", FormatExpr(v.Cond))
+			return
+		}
+		fmt.Fprintf(b, "while (%s)\n", FormatExpr(v.Cond))
+		writeStmt(b, v.Body, indent)
+	case *ForStmt:
+		pad(b, indent)
+		b.WriteString("for (...)\n")
+		writeStmt(b, v.Body, indent)
+	case *ReturnStmt:
+		pad(b, indent)
+		if v.X != nil {
+			fmt.Fprintf(b, "return %s;\n", FormatExpr(v.X))
+		} else {
+			b.WriteString("return;\n")
+		}
+	case *BreakStmt:
+		pad(b, indent)
+		b.WriteString("break;\n")
+	case *ContinueStmt:
+		pad(b, indent)
+		b.WriteString("continue;\n")
+	case *SwitchStmt:
+		pad(b, indent)
+		fmt.Fprintf(b, "switch (%s) { ... }\n", FormatExpr(v.Tag))
+	}
+}
+
+// FormatFunc renders a function signature and body.
+func FormatFunc(f *FuncDef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s(", f.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Type, p.Name)
+	}
+	b.WriteString(")\n")
+	b.WriteString(FormatStmt(f.Body, 0))
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package minicc
+
+import (
+	"strings"
+	"testing"
+)
+
+// reparse formats an expression and parses the result again, checking
+// the printer emits valid source.
+func reparse(t *testing.T, src string) string {
+	t.Helper()
+	f := parse(t, "int x = "+src+";")
+	out := FormatExpr(f.Globals[0].Init)
+	f2 := parse(t, "int y = "+out+";")
+	return FormatExpr(f2.Globals[0].Init)
+}
+
+func TestFormatExprRoundTrip(t *testing.T) {
+	cases := []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		"a < 4096 || a > 65536",
+		"f(a, b + 1)",
+		"x ? a : b",
+		"1 << 4 | 7",
+	}
+	for _, src := range cases {
+		first := reparse(t, src)
+		second := reparse(t, first)
+		if first != second {
+			t.Errorf("%q not stable: %q vs %q", src, first, second)
+		}
+	}
+}
+
+func TestFormatExprPreservesValue(t *testing.T) {
+	cases := []string{"1 + 2 * 3", "(1 + 2) * 3", "1 << 4 | 7", "10 / 2 - 3"}
+	for _, src := range cases {
+		f := parse(t, "int x = "+src+";")
+		want, ok := ConstFoldFile(f, f.Globals[0].Init)
+		if !ok {
+			t.Fatalf("%q did not fold", src)
+		}
+		out := FormatExpr(f.Globals[0].Init)
+		f2 := parse(t, "int y = "+out+";")
+		got, ok := ConstFoldFile(f2, f2.Globals[0].Init)
+		if !ok || got != want {
+			t.Errorf("%q -> %q changed value: %d vs %d", src, out, got, want)
+		}
+	}
+}
+
+func TestFormatMemberChain(t *testing.T) {
+	f := parse(t, `
+struct sb { int x; };
+int fn(struct sb *s) { return s->x + 1; }`)
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	if got := FormatExpr(ret.X); got != "s->x + 1" {
+		t.Errorf("formatted = %q", got)
+	}
+}
+
+func TestFormatFunc(t *testing.T) {
+	f := parse(t, `
+int check(int a) {
+	if (a < 0) {
+		return -1;
+	}
+	return a;
+}`)
+	out := FormatFunc(f.Funcs[0])
+	for _, want := range []string{"int check(int a)", "if (a < 0)", "return a;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatStatementKinds(t *testing.T) {
+	f := parse(t, `
+void fn(int n) {
+	int acc;
+	acc = 0;
+	while (n > 0) {
+		acc += n;
+		n--;
+	}
+	do { n++; } while (n < 3);
+	switch (n) { case 1: break; }
+	for (n = 0; n < 4; n++) { continue; }
+}`)
+	out := FormatFunc(f.Funcs[0])
+	for _, want := range []string{"while (n > 0)", "do", "switch (n)", "for (...)", "continue;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

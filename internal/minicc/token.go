@@ -1,0 +1,203 @@
+// Package minicc implements a frontend for a small subset of C — large
+// enough to express the configuration-handling logic of the Ext4
+// ecosystem components analyzed by the paper (option parsing,
+// validation, and accesses to shared metadata structures such as
+// struct ext2_super_block).
+//
+// It substitutes for the paper's LLVM/Clang frontend (see DESIGN.md §2):
+// the downstream IR lowering and taint analysis consume its AST exactly
+// as the paper's analyzer consumes LLVM IR.
+//
+// Supported constructs: struct definitions; object-like #define macros;
+// global variable declarations; functions with parameters; local
+// declarations with initializers; assignment (including compound
+// assignment and stores through -> and . member chains); if/else,
+// while, for, return, break, continue; calls; the usual binary, unary,
+// comparison, and logical operators; integer, character, and string
+// literals; pointer types (tracked but not dereference-analyzed beyond
+// member access).
+package minicc
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokString
+	TokChar
+
+	// Keywords.
+	TokKwStruct
+	TokKwIf
+	TokKwElse
+	TokKwWhile
+	TokKwFor
+	TokKwReturn
+	TokKwBreak
+	TokKwContinue
+	TokKwTypedef
+	TokKwSizeof
+	TokKwVoid
+	TokKwConst
+	TokKwUnsigned
+	TokKwSigned
+	TokKwInt
+	TokKwLong
+	TokKwShort
+	TokKwChar
+	TokKwBool
+	TokKwStatic
+	TokKwEnum
+	TokKwSwitch
+	TokKwCase
+	TokKwDefault
+	TokKwGoto
+	TokKwDo
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokDot      // .
+	TokArrow    // ->
+	TokQuestion // ?
+	TokColon    // :
+
+	TokAssign     // =
+	TokPlusEq     // +=
+	TokMinusEq    // -=
+	TokStarEq     // *=
+	TokSlashEq    // /=
+	TokPercentEq  // %=
+	TokAmpEq      // &=
+	TokPipeEq     // |=
+	TokCaretEq    // ^=
+	TokShlEq      // <<=
+	TokShrEq      // >>=
+	TokPlusPlus   // ++
+	TokMinusMinus // --
+
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokAmp     // &
+	TokPipe    // |
+	TokCaret   // ^
+	TokTilde   // ~
+	TokBang    // !
+	TokShl     // <<
+	TokShr     // >>
+	TokLt      // <
+	TokGt      // >
+	TokLe      // <=
+	TokGe      // >=
+	TokEqEq    // ==
+	TokNotEq   // !=
+	TokAndAnd  // &&
+	TokOrOr    // ||
+
+	TokHash // # (start of a preprocessor directive)
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer literal",
+	TokString: "string literal", TokChar: "character literal",
+	TokKwStruct: "struct", TokKwIf: "if", TokKwElse: "else",
+	TokKwWhile: "while", TokKwFor: "for", TokKwReturn: "return",
+	TokKwBreak: "break", TokKwContinue: "continue",
+	TokKwTypedef: "typedef", TokKwSizeof: "sizeof", TokKwVoid: "void",
+	TokKwConst: "const", TokKwUnsigned: "unsigned", TokKwSigned: "signed",
+	TokKwInt: "int", TokKwLong: "long", TokKwShort: "short",
+	TokKwChar: "char", TokKwBool: "bool", TokKwStatic: "static",
+	TokKwEnum: "enum", TokKwSwitch: "switch", TokKwCase: "case",
+	TokKwDefault: "default", TokKwGoto: "goto", TokKwDo: "do",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokSemi: ";", TokComma: ",",
+	TokDot: ".", TokArrow: "->", TokQuestion: "?", TokColon: ":",
+	TokAssign: "=", TokPlusEq: "+=", TokMinusEq: "-=", TokStarEq: "*=",
+	TokSlashEq: "/=", TokPercentEq: "%=", TokAmpEq: "&=", TokPipeEq: "|=",
+	TokCaretEq: "^=", TokShlEq: "<<=", TokShrEq: ">>=",
+	TokPlusPlus: "++", TokMinusMinus: "--",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^",
+	TokTilde: "~", TokBang: "!", TokShl: "<<", TokShr: ">>",
+	TokLt: "<", TokGt: ">", TokLe: "<=", TokGe: ">=",
+	TokEqEq: "==", TokNotEq: "!=", TokAndAnd: "&&", TokOrOr: "||",
+	TokHash: "#",
+}
+
+// String returns a printable name for the token kind.
+func (k TokKind) String() string {
+	if n, ok := tokNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("TokKind(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"struct": TokKwStruct, "if": TokKwIf, "else": TokKwElse,
+	"while": TokKwWhile, "for": TokKwFor, "return": TokKwReturn,
+	"break": TokKwBreak, "continue": TokKwContinue,
+	"typedef": TokKwTypedef, "sizeof": TokKwSizeof, "void": TokKwVoid,
+	"const": TokKwConst, "unsigned": TokKwUnsigned, "signed": TokKwSigned,
+	"int": TokKwInt, "long": TokKwLong, "short": TokKwShort,
+	"char": TokKwChar, "bool": TokKwBool, "_Bool": TokKwBool,
+	"static": TokKwStatic, "enum": TokKwEnum, "switch": TokKwSwitch,
+	"case": TokKwCase, "default": TokKwDefault, "goto": TokKwGoto,
+	"do": TokKwDo,
+}
+
+// Pos is a source position.
+type Pos struct {
+	// File is the logical file name passed to the lexer.
+	File string
+	// Line is 1-based.
+	Line int
+	// Col is 1-based byte column.
+	Col int
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	// Text is the raw lexeme (identifier name, literal spelling).
+	Text string
+	// Val is the decoded value for integer and character literals.
+	Val int64
+	// Str is the decoded value for string literals.
+	Str string
+	Pos Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokInt, TokString, TokChar:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,348 @@
+// Package mke2fs simulates the mke2fs(8) utility: it validates a
+// parameter set against the Ext4 ecosystem's configuration constraints
+// and formats a device. The validation logic implements, at runtime,
+// the same self dependencies (SD) and cross-parameter dependencies
+// (CPD) that the static analyzer extracts from the corpus — blocksize
+// value range, meta_bg ⊥ resize_inode, bigalloc → extent, and so on.
+package mke2fs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fsdep/internal/fsim"
+)
+
+// DefaultFeatures is the feature set mke2fs enables when -O is not
+// given (mirrors the ext4 defaults relevant to the simulator).
+var DefaultFeatures = []string{
+	"sparse_super", "filetype", "resize_inode", "dir_index", "extent", "large_file",
+}
+
+// Params is the mke2fs parameter surface (a subset of mke2fs(8) that
+// covers every parameter in the paper's extraction corpus).
+type Params struct {
+	// BlockSize is -b in bytes (0 = default 1024 for small devices,
+	// 4096 otherwise).
+	BlockSize uint32
+	// InodeSize is -I in bytes (0 = default 256).
+	InodeSize uint32
+	// InodeRatio is -i: one inode per this many bytes (0 = 16384).
+	InodeRatio uint32
+	// BlocksCount is the fs size in blocks (0 = fill the device).
+	BlocksCount uint32
+	// ClusterSize is -C in bytes (requires the bigalloc feature).
+	ClusterSize uint32
+	// Features is the -O list; entries may be prefixed with ^ to
+	// disable a default feature.
+	Features []string
+	// BackupBgs is -E backup_bgs for sparse_super2 (0,0 = pick
+	// defaults: group 1 and the last group).
+	BackupBgs [2]uint32
+	// Label is -L (at most 16 bytes).
+	Label string
+	// ReservedPercent is -m (0..50).
+	ReservedPercent int
+	// Force is -F: skip the in-use/size sanity refusals.
+	Force bool
+	// DeviceBytes is the target device capacity, used when
+	// BlocksCount is 0 and for fit checks.
+	DeviceBytes int64
+}
+
+// Result reports what mke2fs did.
+type Result struct {
+	Fs *fsim.Fs
+	// Geometry echoes the derived geometry.
+	Geometry fsim.Geometry
+	// EnabledFeatures lists the final feature names, sorted.
+	EnabledFeatures []string
+	// Warnings lists non-fatal diagnostics.
+	Warnings []string
+}
+
+// ParamError is a configuration rejection with the offending parameter
+// name, so tests and ConHandleCk can assert on which constraint fired.
+type ParamError struct {
+	// Param is the rejected parameter ("blocksize", "inode_size",
+	// features like "meta_bg", ...).
+	Param string
+	// Related names the other parameter for CPD violations ("" for SD).
+	Related string
+	// Msg describes the violation.
+	Msg string
+}
+
+// Error implements error.
+func (e *ParamError) Error() string {
+	if e.Related != "" {
+		return fmt.Sprintf("mke2fs: %s/%s: %s", e.Param, e.Related, e.Msg)
+	}
+	return fmt.Sprintf("mke2fs: %s: %s", e.Param, e.Msg)
+}
+
+// featureSet resolves the -O list against the defaults.
+func featureSet(list []string) (map[string]bool, error) {
+	set := make(map[string]bool)
+	for _, f := range DefaultFeatures {
+		set[f] = true
+	}
+	for _, f := range list {
+		name := f
+		on := true
+		if strings.HasPrefix(f, "^") {
+			name = f[1:]
+			on = false
+		}
+		if name == "none" {
+			set = make(map[string]bool)
+			continue
+		}
+		if _, ok := fsim.Features[name]; !ok {
+			return nil, &ParamError{Param: name, Msg: "unknown feature"}
+		}
+		if on {
+			set[name] = true
+		} else {
+			delete(set, name)
+		}
+	}
+	return set, nil
+}
+
+// Validate checks p against the ecosystem's configuration constraints
+// and returns the derived geometry. It does not touch the device.
+func Validate(p Params) (fsim.Geometry, map[string]bool, error) {
+	var g fsim.Geometry
+
+	// ----- Self dependencies (SD) -----
+	bs := p.BlockSize
+	if bs == 0 {
+		bs = 4096
+		if p.DeviceBytes > 0 && p.DeviceBytes <= 64<<20 {
+			bs = 1024
+		}
+	}
+	if bs < fsim.MinBlockSize || bs > fsim.MaxBlockSize {
+		return g, nil, &ParamError{Param: "blocksize",
+			Msg: fmt.Sprintf("%d outside valid range %d-%d", bs, fsim.MinBlockSize, fsim.MaxBlockSize)}
+	}
+	if bs&(bs-1) != 0 {
+		return g, nil, &ParamError{Param: "blocksize",
+			Msg: fmt.Sprintf("%d is not a power of two", bs)}
+	}
+	isz := p.InodeSize
+	if isz == 0 {
+		isz = 256
+	}
+	if isz < fsim.MinInodeSize || isz > fsim.MaxInodeSize || isz&(isz-1) != 0 {
+		return g, nil, &ParamError{Param: "inode_size",
+			Msg: fmt.Sprintf("%d invalid (power of two in %d-%d)", isz, fsim.MinInodeSize, fsim.MaxInodeSize)}
+	}
+	ratio := p.InodeRatio
+	if ratio == 0 {
+		ratio = 16384
+		if ratio < bs {
+			ratio = bs // one inode per block at large block sizes
+		}
+	}
+	if ratio < bs {
+		return g, nil, &ParamError{Param: "inode_ratio", Related: "blocksize",
+			Msg: fmt.Sprintf("ratio %d smaller than blocksize %d", ratio, bs)}
+	}
+	if len(p.Label) > 16 {
+		return g, nil, &ParamError{Param: "label",
+			Msg: fmt.Sprintf("%q longer than 16 bytes", p.Label)}
+	}
+	if p.ReservedPercent < 0 || p.ReservedPercent > 50 {
+		return g, nil, &ParamError{Param: "reserved_percent",
+			Msg: fmt.Sprintf("%d outside 0-50", p.ReservedPercent)}
+	}
+
+	feats, err := featureSet(p.Features)
+	if err != nil {
+		return g, nil, err
+	}
+
+	// ----- Cross-parameter dependencies (CPD) -----
+	if feats["meta_bg"] && feats["resize_inode"] {
+		return g, nil, &ParamError{Param: "meta_bg", Related: "resize_inode",
+			Msg: "cannot be used together"}
+	}
+	if feats["bigalloc"] && !feats["extent"] {
+		return g, nil, &ParamError{Param: "bigalloc", Related: "extent",
+			Msg: "bigalloc requires the extent feature"}
+	}
+	if p.ClusterSize != 0 && !feats["bigalloc"] {
+		return g, nil, &ParamError{Param: "cluster_size", Related: "bigalloc",
+			Msg: "cluster size requires the bigalloc feature"}
+	}
+	if feats["bigalloc"] && p.ClusterSize != 0 {
+		if p.ClusterSize < bs || p.ClusterSize&(p.ClusterSize-1) != 0 {
+			return g, nil, &ParamError{Param: "cluster_size",
+				Msg: fmt.Sprintf("%d invalid for blocksize %d", p.ClusterSize, bs)}
+		}
+		if p.ClusterSize/bs > 16 {
+			return g, nil, &ParamError{Param: "cluster_size", Related: "blocksize",
+				Msg: fmt.Sprintf("cluster ratio %d exceeds 16", p.ClusterSize/bs)}
+		}
+	}
+	if feats["sparse_super2"] && feats["sparse_super"] {
+		// e2fsprogs clears sparse_super when sparse_super2 is chosen.
+		delete(feats, "sparse_super")
+	}
+	if (p.BackupBgs[0] != 0 || p.BackupBgs[1] != 0) && !feats["sparse_super2"] {
+		return g, nil, &ParamError{Param: "backup_bgs", Related: "sparse_super2",
+			Msg: "backup_bgs requires the sparse_super2 feature"}
+	}
+	if feats["resize_inode"] && !feats["sparse_super"] && !feats["sparse_super2"] {
+		return g, nil, &ParamError{Param: "resize_inode", Related: "sparse_super",
+			Msg: "resize_inode requires sparse_super or sparse_super2"}
+	}
+	if feats["inline_data"] && !feats["dir_index"] {
+		return g, nil, &ParamError{Param: "inline_data", Related: "dir_index",
+			Msg: "inline_data requires the dir_index feature"}
+	}
+	if feats["journal_dev"] && feats["has_journal"] {
+		return g, nil, &ParamError{Param: "journal_dev", Related: "has_journal",
+			Msg: "external journal device conflicts with an internal journal"}
+	}
+
+	// ----- Derived geometry -----
+	clusterSize := p.ClusterSize
+	if feats["bigalloc"] && clusterSize == 0 {
+		clusterSize = 16 * bs
+		if clusterSize > fsim.MaxBlockSize {
+			clusterSize = fsim.MaxBlockSize
+		}
+	}
+	cratio := uint32(1)
+	if clusterSize != 0 {
+		cratio = clusterSize / bs
+	}
+
+	blocks := p.BlocksCount
+	if blocks == 0 {
+		if p.DeviceBytes <= 0 {
+			return g, nil, &ParamError{Param: "size", Msg: "no size given and device is empty"}
+		}
+		blocks = uint32(p.DeviceBytes / int64(bs))
+	} else if p.DeviceBytes > 0 && int64(blocks)*int64(bs) > p.DeviceBytes && !p.Force {
+		return g, nil, &ParamError{Param: "size",
+			Msg: fmt.Sprintf("%d blocks exceed device capacity (%d bytes); use force to override", blocks, p.DeviceBytes)}
+	}
+	// Bigalloc needs whole clusters.
+	blocks -= blocks % cratio
+	if blocks < 64 {
+		return g, nil, &ParamError{Param: "size",
+			Msg: fmt.Sprintf("%d blocks is too small for a file system", blocks)}
+	}
+
+	// Inode count from the bytes-per-inode ratio.
+	bpg := 8 * bs * cratio
+	groups := (blocks + bpg - 1) / bpg
+	totalInodes := uint32(int64(blocks) * int64(bs) / int64(ratio))
+	ipg := (totalInodes + groups - 1) / groups
+	// Round so the inode table fills whole blocks, minimum one block.
+	perBlock := bs / isz
+	if ipg < perBlock {
+		ipg = perBlock
+	}
+	if rem := ipg % perBlock; rem != 0 {
+		ipg += perBlock - rem
+	}
+
+	var reserved uint16
+	if feats["resize_inode"] {
+		// Reserve descriptor space to grow 64×, capped (mirrors
+		// mke2fs's 1024× intent at simulator scale).
+		cur := (groups*fsim.GroupDescSize + bs - 1) / bs
+		grown := (64*groups*fsim.GroupDescSize + bs - 1) / bs
+		r := grown - cur
+		if r > 64 {
+			r = 64
+		}
+		if r < 1 {
+			r = 1
+		}
+		reserved = uint16(r)
+	}
+
+	backups := p.BackupBgs
+	if feats["sparse_super2"] && backups == [2]uint32{} && groups > 1 {
+		// Default: group 1 and the last group. Single-group file
+		// systems get no backups (group 0 already holds the primary).
+		backups[0] = 1
+		backups[1] = groups - 1
+	}
+	if feats["sparse_super2"] {
+		for _, bg := range backups {
+			if bg >= groups {
+				return g, nil, &ParamError{Param: "backup_bgs",
+					Msg: fmt.Sprintf("backup group %d beyond last group %d", bg, groups-1)}
+			}
+		}
+	}
+
+	g = fsim.Geometry{
+		BlockSize:       bs,
+		BlocksCount:     blocks,
+		InodeSize:       isz,
+		InodesPerGroup:  ipg,
+		ClusterSize:     clusterSize,
+		ReservedGdtBlks: reserved,
+		BackupBgs:       backups,
+		VolumeName:      p.Label,
+	}
+	for name := range feats {
+		fb := fsim.Features[name]
+		switch fb.Word {
+		case "compat":
+			g.Compat |= fb.Bit
+		case "incompat":
+			g.Incompat |= fb.Bit
+		default:
+			g.RoCompat |= fb.Bit
+		}
+	}
+	return g, feats, nil
+}
+
+// Run validates p and formats dev.
+func Run(dev fsim.Device, p Params) (*Result, error) {
+	if p.DeviceBytes == 0 {
+		p.DeviceBytes = dev.Size()
+	}
+	if !p.Force && looksFormatted(dev) {
+		return nil, &ParamError{Param: "force",
+			Msg: "device already contains a file system; use force to overwrite"}
+	}
+	g, feats, err := Validate(p)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := fsim.Create(dev, g)
+	if err != nil {
+		return nil, fmt.Errorf("mke2fs: %w", err)
+	}
+	res := &Result{Fs: fs, Geometry: g}
+	for name := range feats {
+		res.EnabledFeatures = append(res.EnabledFeatures, name)
+	}
+	sort.Strings(res.EnabledFeatures)
+	return res, nil
+}
+
+// looksFormatted reports whether dev already holds an fsim superblock.
+func looksFormatted(dev fsim.Device) bool {
+	if dev.Size() < fsim.SuperOffset+fsim.SuperBlockSize {
+		return false
+	}
+	buf := make([]byte, fsim.SuperBlockSize)
+	if err := dev.ReadAt(buf, fsim.SuperOffset); err != nil {
+		return false
+	}
+	_, err := fsim.DecodeSuperblock(buf)
+	return err == nil
+}

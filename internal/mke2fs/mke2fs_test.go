@@ -1,0 +1,206 @@
+package mke2fs
+
+import (
+	"errors"
+	"testing"
+
+	"fsdep/internal/fsim"
+)
+
+func dev() *fsim.MemDevice { return fsim.NewMemDevice(64 << 20) }
+
+func TestDefaultFormat(t *testing.T) {
+	res, err := Run(dev(), Params{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sb := res.Fs.SB
+	if sb.BlockSize() != 1024 { // 64 MiB device → 1 KiB default
+		t.Errorf("block size = %d", sb.BlockSize())
+	}
+	if !sb.HasFeature("sparse_super") || !sb.HasFeature("extent") || !sb.HasFeature("resize_inode") {
+		t.Errorf("default features missing: %v", res.EnabledFeatures)
+	}
+	if sb.ReservedGdtBlks == 0 {
+		t.Error("resize_inode should reserve GDT blocks")
+	}
+	if probs := res.Fs.Audit(); len(probs) != 0 {
+		t.Fatalf("fresh fs not clean: %v", probs)
+	}
+}
+
+func TestBlocksizeValueRange(t *testing.T) {
+	// The paper's SD example: blocksize must be within 1024–65536.
+	for _, bad := range []uint32{512, 131072, 3000} {
+		_, err := Run(dev(), Params{BlockSize: bad})
+		var pe *ParamError
+		if !errors.As(err, &pe) || pe.Param != "blocksize" {
+			t.Errorf("BlockSize=%d: err = %v, want blocksize ParamError", bad, err)
+		}
+	}
+	for _, good := range []uint32{1024, 4096, 65536} {
+		p := Params{BlockSize: good, BlocksCount: 8 * good}
+		if good == 65536 {
+			p.BlocksCount = 2048 // keep the device small; short group
+		}
+		if _, _, err := Validate(p); err != nil {
+			t.Errorf("BlockSize=%d rejected: %v", good, err)
+		}
+	}
+}
+
+func TestInodeSizeRange(t *testing.T) {
+	for _, bad := range []uint32{64, 100, 2048} {
+		_, err := Run(dev(), Params{InodeSize: bad})
+		var pe *ParamError
+		if !errors.As(err, &pe) || pe.Param != "inode_size" {
+			t.Errorf("InodeSize=%d: err = %v", bad, err)
+		}
+	}
+}
+
+func TestMetaBGConflictsResizeInode(t *testing.T) {
+	// The paper's CPD example, found missing from the manual by
+	// ConDocCk: meta_bg and resize_inode cannot be used together.
+	_, err := Run(dev(), Params{Features: []string{"meta_bg"}})
+	var pe *ParamError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Param != "meta_bg" || pe.Related != "resize_inode" {
+		t.Errorf("violation attributed to %s/%s", pe.Param, pe.Related)
+	}
+	// Disabling resize_inode resolves the conflict.
+	res, err := Run(dev(), Params{Features: []string{"meta_bg", "^resize_inode"}})
+	if err != nil {
+		t.Fatalf("meta_bg without resize_inode rejected: %v", err)
+	}
+	if !res.Fs.SB.HasFeature("meta_bg") {
+		t.Error("meta_bg not enabled")
+	}
+	if probs := res.Fs.Audit(); len(probs) != 0 {
+		t.Fatalf("meta_bg fs not clean: %v", probs)
+	}
+}
+
+func TestBigallocRequiresExtent(t *testing.T) {
+	_, err := Run(dev(), Params{Features: []string{"bigalloc", "^extent"}})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Param != "bigalloc" || pe.Related != "extent" {
+		t.Fatalf("err = %v", err)
+	}
+	res, err := Run(dev(), Params{Features: []string{"bigalloc"}, ClusterSize: 4096, BlockSize: 1024})
+	if err != nil {
+		t.Fatalf("bigalloc+extent rejected: %v", err)
+	}
+	if res.Fs.SB.ClusterRatio() != 4 {
+		t.Errorf("cluster ratio = %d", res.Fs.SB.ClusterRatio())
+	}
+}
+
+func TestClusterSizeRequiresBigalloc(t *testing.T) {
+	_, err := Run(dev(), Params{ClusterSize: 4096})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Related != "bigalloc" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBackupBgsRequiresSparseSuper2(t *testing.T) {
+	_, err := Run(dev(), Params{BackupBgs: [2]uint32{1, 3}})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Related != "sparse_super2" {
+		t.Fatalf("err = %v", err)
+	}
+	res, err := Run(dev(), Params{Features: []string{"sparse_super2"}, BackupBgs: [2]uint32{1, 3}})
+	if err != nil {
+		t.Fatalf("sparse_super2 with backup_bgs rejected: %v", err)
+	}
+	if res.Fs.SB.BackupBgs != [2]uint32{1, 3} {
+		t.Errorf("backup bgs = %v", res.Fs.SB.BackupBgs)
+	}
+}
+
+func TestSparseSuper2DefaultsToLastGroup(t *testing.T) {
+	res, err := Run(dev(), Params{Features: []string{"sparse_super2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := res.Fs.SB
+	if sb.BackupBgs[0] != 1 || sb.BackupBgs[1] != sb.GroupCount()-1 {
+		t.Errorf("default backup bgs = %v (groups %d)", sb.BackupBgs, sb.GroupCount())
+	}
+	if sb.HasFeature("sparse_super") {
+		t.Error("sparse_super should be cleared when sparse_super2 is chosen")
+	}
+}
+
+func TestInlineDataRequiresDirIndex(t *testing.T) {
+	_, err := Run(dev(), Params{Features: []string{"inline_data", "^dir_index"}})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Param != "inline_data" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLabelTooLong(t *testing.T) {
+	_, err := Run(dev(), Params{Label: "a-label-that-is-way-too-long"})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Param != "label" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRefuseOverwriteWithoutForce(t *testing.T) {
+	d := dev()
+	if _, err := Run(d, Params{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d, Params{}); err == nil {
+		t.Fatal("second mkfs without force succeeded")
+	}
+	if _, err := Run(d, Params{Force: true}); err != nil {
+		t.Fatalf("forced re-mkfs failed: %v", err)
+	}
+}
+
+func TestSizeExceedsDevice(t *testing.T) {
+	d := fsim.NewMemDevice(1 << 20)
+	_, err := Run(d, Params{BlockSize: 1024, BlocksCount: 1 << 20})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Param != "size" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownFeature(t *testing.T) {
+	_, err := Run(dev(), Params{Features: []string{"quantum_journal"}})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Param != "quantum_journal" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInodeRatioSmallerThanBlocksize(t *testing.T) {
+	_, err := Run(dev(), Params{BlockSize: 4096, InodeRatio: 1024})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Param != "inode_ratio" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFeatureNoneResets(t *testing.T) {
+	g, feats, err := Validate(Params{
+		Features:    []string{"none", "sparse_super"},
+		BlocksCount: 16384, BlockSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != 1 || !feats["sparse_super"] {
+		t.Errorf("features = %v", feats)
+	}
+	if g.Incompat != 0 {
+		t.Errorf("incompat = %x", g.Incompat)
+	}
+}

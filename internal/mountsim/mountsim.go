@@ -1,0 +1,230 @@
+// Package mountsim simulates mount(8) plus the kernel-side validation
+// that ext4_fill_super performs. It is the second stage of the paper's
+// configuration pipeline (Figure 2): parameters given at mount time
+// (-o dax, -o data=..., ro) are validated against both the mount
+// utility's own constraints and the feature state the mke2fs stage
+// left in the superblock — the user/kernel boundary the paper
+// highlights.
+package mountsim
+
+import (
+	"fmt"
+	"strings"
+
+	"fsdep/internal/fsim"
+)
+
+// Options is the mount parameter surface.
+type Options struct {
+	// ReadOnly is -o ro.
+	ReadOnly bool
+	// Dax is -o dax (page-cache bypass; requires DAX-capable device
+	// and conflicts with data=journal).
+	Dax bool
+	// Data is -o data=journal|ordered|writeback ("" = ordered when the
+	// fs has a journal, none otherwise).
+	Data string
+	// NoLoad is -o noload: skip journal replay.
+	NoLoad bool
+	// DeviceDax marks the backing device DAX-capable (simulates
+	// hardware capability; pmem yes, SSD no).
+	DeviceDax bool
+	// KernelSupports overrides the simulated kernel's feature support
+	// (nil = support everything the simulator implements).
+	KernelSupports map[string]bool
+}
+
+// MountError is a mount rejection naming the offending option.
+type MountError struct {
+	Option  string
+	Related string
+	Msg     string
+}
+
+// Error implements error.
+func (e *MountError) Error() string {
+	if e.Related != "" {
+		return fmt.Sprintf("mount: %s/%s: %s", e.Option, e.Related, e.Msg)
+	}
+	return fmt.Sprintf("mount: %s: %s", e.Option, e.Msg)
+}
+
+// Mount is a mounted file system handle. File operations go through
+// the handle, mirroring how online utilities reach a mounted ext4.
+type Mount struct {
+	fs       *fsim.Fs
+	readOnly bool
+	opts     Options
+}
+
+// kernelSupported reports whether the simulated kernel supports the
+// named feature.
+func kernelSupported(opts Options, name string) bool {
+	if opts.KernelSupports == nil {
+		return true
+	}
+	return opts.KernelSupports[name]
+}
+
+// Do mounts the file system on dev with opts, performing the
+// ext4_fill_super validation sequence.
+func Do(dev fsim.Device, opts Options) (*Mount, error) {
+	fs, err := fsim.Open(dev)
+	if err != nil {
+		return nil, fmt.Errorf("mount: %w", err)
+	}
+	sb := fs.SB
+	if sb.State&fsim.StateMounted != 0 {
+		return nil, &MountError{Option: "device", Msg: "already mounted"}
+	}
+	if sb.State&fsim.StateErrors != 0 && !opts.ReadOnly {
+		return nil, &MountError{Option: "device",
+			Msg: "file system has errors; run e2fsck or mount read-only"}
+	}
+
+	// Unknown incompat features: refuse outright. Unknown ro_compat:
+	// read-only only. (ext4's feature-word contract.)
+	for name, fb := range fsim.Features {
+		if !sb.HasFeature(name) || kernelSupported(opts, name) {
+			continue
+		}
+		switch fb.Word {
+		case "incompat":
+			return nil, &MountError{Option: name,
+				Msg: "kernel does not support this incompat feature"}
+		case "ro_compat":
+			if !opts.ReadOnly {
+				return nil, &MountError{Option: name,
+					Msg: "kernel lacks ro_compat feature; mount read-only"}
+			}
+		}
+	}
+
+	// data= requires a journal; default to ordered when one exists.
+	data := opts.Data
+	switch data {
+	case "":
+		if sb.HasFeature("has_journal") {
+			data = "ordered"
+		}
+	case "journal", "ordered", "writeback":
+		if !sb.HasFeature("has_journal") {
+			return nil, &MountError{Option: "data", Related: "has_journal",
+				Msg: fmt.Sprintf("data=%s requires a journal", data)}
+		}
+	default:
+		return nil, &MountError{Option: "data",
+			Msg: fmt.Sprintf("unknown journalling mode %q", data)}
+	}
+
+	// DAX: device must be DAX-capable; incompatible with data=journal;
+	// per-inode verity/encrypt interactions are out of scope.
+	if opts.Dax {
+		if !opts.DeviceDax {
+			return nil, &MountError{Option: "dax",
+				Msg: "device does not support DAX"}
+		}
+		if data == "journal" {
+			return nil, &MountError{Option: "dax", Related: "data",
+				Msg: "dax is incompatible with data=journal"}
+		}
+	}
+
+	m := &Mount{fs: fs, readOnly: opts.ReadOnly, opts: opts}
+	if !opts.ReadOnly {
+		sb.State |= fsim.StateMounted
+		sb.MntCount++
+		var rendered [32]byte
+		copy(rendered[:], renderOpts(opts, data))
+		sb.LastMountOptions = rendered
+		if err := fs.Flush(); err != nil {
+			return nil, fmt.Errorf("mount: flushing superblock: %w", err)
+		}
+	}
+	return m, nil
+}
+
+func renderOpts(opts Options, data string) string {
+	var parts []string
+	if opts.ReadOnly {
+		parts = append(parts, "ro")
+	}
+	if opts.Dax {
+		parts = append(parts, "dax")
+	}
+	if data != "" {
+		parts = append(parts, "data="+data)
+	}
+	if opts.NoLoad {
+		parts = append(parts, "noload")
+	}
+	if len(parts) == 0 {
+		return "defaults"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Fs exposes the underlying file system for online utilities
+// (e4defrag operates through a mount).
+func (m *Mount) Fs() *fsim.Fs { return m.fs }
+
+// ReadOnly reports the mount mode.
+func (m *Mount) ReadOnly() bool { return m.readOnly }
+
+// errReadOnly is returned for writes on ro mounts.
+func (m *Mount) errReadOnly() error {
+	return &MountError{Option: "ro", Msg: "read-only file system"}
+}
+
+// Create creates a file under the parent directory.
+func (m *Mount) Create(parent uint32, name string) (uint32, error) {
+	if m.readOnly {
+		return 0, m.errReadOnly()
+	}
+	return m.fs.CreateFile(parent, name)
+}
+
+// Mkdir creates a directory.
+func (m *Mount) Mkdir(parent uint32, name string) (uint32, error) {
+	if m.readOnly {
+		return 0, m.errReadOnly()
+	}
+	return m.fs.Mkdir(parent, name)
+}
+
+// Write replaces a file's contents.
+func (m *Mount) Write(ino uint32, data []byte) error {
+	if m.readOnly {
+		return m.errReadOnly()
+	}
+	return m.fs.WriteFile(ino, data)
+}
+
+// Read returns a file's contents.
+func (m *Mount) Read(ino uint32) ([]byte, error) { return m.fs.ReadFile(ino) }
+
+// Lookup resolves a path.
+func (m *Mount) Lookup(path string) (uint32, error) { return m.fs.PathLookup(path) }
+
+// Unlink removes an entry.
+func (m *Mount) Unlink(parent uint32, name string) error {
+	if m.readOnly {
+		return m.errReadOnly()
+	}
+	return m.fs.Unlink(parent, name)
+}
+
+// Unmount cleanly detaches: clears the mounted state and flushes.
+func (m *Mount) Unmount() error {
+	if m.readOnly {
+		return nil
+	}
+	m.fs.SB.State &^= fsim.StateMounted
+	m.fs.SB.State |= fsim.StateClean
+	return m.fs.Flush()
+}
+
+// CrashUnmount simulates a crash: the mounted state is left on disk
+// (so the next fsck sees an unclean file system) without flushing
+// in-memory superblock counters.
+func (m *Mount) CrashUnmount() {}

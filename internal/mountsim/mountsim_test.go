@@ -1,0 +1,205 @@
+package mountsim
+
+import (
+	"errors"
+	"testing"
+
+	"fsdep/internal/fsim"
+	"fsdep/internal/mke2fs"
+)
+
+func format(t *testing.T, features []string) *fsim.MemDevice {
+	t.Helper()
+	dev := fsim.NewMemDevice(16 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: features}); err != nil {
+		t.Fatalf("mke2fs: %v", err)
+	}
+	return dev
+}
+
+func TestMountUnmountLifecycle(t *testing.T) {
+	dev := format(t, nil)
+	m, err := Do(dev, Options{})
+	if err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	// Mounted state on disk.
+	fs, _ := fsim.Open(dev)
+	if fs.SB.State&fsim.StateMounted == 0 {
+		t.Error("mounted state not persisted")
+	}
+	if fs.SB.MntCount != 1 {
+		t.Errorf("mnt count = %d", fs.SB.MntCount)
+	}
+	// Double mount refused.
+	if _, err := Do(dev, Options{}); err == nil {
+		t.Error("second mount succeeded")
+	}
+	if err := m.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _ := fsim.Open(dev)
+	if fs2.SB.State&fsim.StateMounted != 0 {
+		t.Error("unmount did not clear mounted state")
+	}
+}
+
+func TestMountFileOps(t *testing.T) {
+	dev := format(t, nil)
+	m, err := Do(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.Mkdir(fsim.RootIno, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create(d, "notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(f, []byte("hello through the mount")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(f)
+	if err != nil || string(got) != "hello through the mount" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	ino, err := m.Lookup("/home/notes.txt")
+	if err != nil || ino != f {
+		t.Fatalf("lookup = %d, %v", ino, err)
+	}
+	if err := m.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOnlyMountRejectsWrites(t *testing.T) {
+	dev := format(t, nil)
+	m, err := Do(dev, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(fsim.RootIno, "x"); err == nil {
+		t.Error("create on ro mount succeeded")
+	}
+	if err := m.Write(fsim.RootIno, nil); err == nil {
+		t.Error("write on ro mount succeeded")
+	}
+}
+
+func TestDaxRequiresDaxDevice(t *testing.T) {
+	dev := format(t, nil)
+	_, err := Do(dev, Options{Dax: true})
+	var me *MountError
+	if !errors.As(err, &me) || me.Option != "dax" {
+		t.Fatalf("err = %v", err)
+	}
+	m, err := Do(dev, Options{Dax: true, DeviceDax: true})
+	if err != nil {
+		t.Fatalf("dax on dax device: %v", err)
+	}
+	_ = m.Unmount()
+}
+
+func TestDaxConflictsWithDataJournal(t *testing.T) {
+	dev := format(t, []string{"has_journal"})
+	_, err := Do(dev, Options{Dax: true, DeviceDax: true, Data: "journal"})
+	var me *MountError
+	if !errors.As(err, &me) || me.Option != "dax" || me.Related != "data" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDataModeRequiresJournal(t *testing.T) {
+	dev := format(t, nil) // default features: no journal
+	for _, mode := range []string{"journal", "ordered", "writeback"} {
+		_, err := Do(dev, Options{Data: mode})
+		var me *MountError
+		if !errors.As(err, &me) || me.Option != "data" || me.Related != "has_journal" {
+			t.Errorf("data=%s: err = %v", mode, err)
+		}
+	}
+	devJ := format(t, []string{"has_journal"})
+	m, err := Do(devJ, Options{Data: "journal"})
+	if err != nil {
+		t.Fatalf("data=journal with journal: %v", err)
+	}
+	_ = m.Unmount()
+}
+
+func TestUnknownDataMode(t *testing.T) {
+	dev := format(t, []string{"has_journal"})
+	_, err := Do(dev, Options{Data: "yolo"})
+	var me *MountError
+	if !errors.As(err, &me) || me.Option != "data" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnsupportedIncompatFeatureRefused(t *testing.T) {
+	dev := format(t, nil)
+	support := map[string]bool{}
+	for name := range fsim.Features {
+		support[name] = name != "extent" // kernel without extent support
+	}
+	_, err := Do(dev, Options{KernelSupports: support})
+	var me *MountError
+	if !errors.As(err, &me) || me.Option != "extent" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnsupportedRoCompatForcesReadOnly(t *testing.T) {
+	dev := format(t, nil)
+	support := map[string]bool{}
+	for name := range fsim.Features {
+		support[name] = name != "sparse_super"
+	}
+	if _, err := Do(dev, Options{KernelSupports: support}); err == nil {
+		t.Fatal("rw mount with unsupported ro_compat succeeded")
+	}
+	m, err := Do(dev, Options{KernelSupports: support, ReadOnly: true})
+	if err != nil {
+		t.Fatalf("ro mount refused: %v", err)
+	}
+	_ = m
+}
+
+func TestErroredFsMountsOnlyReadOnly(t *testing.T) {
+	dev := format(t, nil)
+	fs, _ := fsim.Open(dev)
+	fs.SB.State |= fsim.StateErrors
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Do(dev, Options{}); err == nil {
+		t.Fatal("rw mount of errored fs succeeded")
+	}
+	if _, err := Do(dev, Options{ReadOnly: true}); err != nil {
+		t.Fatalf("ro mount of errored fs refused: %v", err)
+	}
+}
+
+func TestMountRecordsOptions(t *testing.T) {
+	dev := format(t, []string{"has_journal"})
+	m, err := Do(dev, Options{Data: "writeback"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := fsim.Open(dev)
+	opts := string(fs.SB.LastMountOptions[:])
+	if want := "data=writeback"; !contains(opts, want) {
+		t.Errorf("recorded options %q missing %q", opts, want)
+	}
+	_ = m.Unmount()
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+// Package report renders every table of the paper from the live
+// systems in this repository: Table 1 from the fscatalog registry,
+// Table 2 from the testsuite coverage model, Tables 3 and 4 from the
+// bugdb dataset, and Table 5 from actual analyzer runs over the
+// corpus, scored against the ground-truth labels.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"fsdep/internal/bugdb"
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
+	"fsdep/internal/fscatalog"
+	"fsdep/internal/taint"
+	"fsdep/internal/testsuite"
+)
+
+// Table1 writes the configuration-method registry.
+func Table1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "FS (OS)\tCreate\tMount\tOnline\tOffline")
+	for _, e := range fscatalog.Catalog() {
+		cells := make([]string, 0, 4)
+		for _, st := range fscatalog.Stages() {
+			us := e.Utilities[st]
+			if len(us) == 0 {
+				cells = append(cells, "-")
+			} else {
+				cells = append(cells, strings.Join(us, ", "))
+			}
+		}
+		fmt.Fprintf(tw, "%s (%s)\t%s\n", e.FS, e.OS, strings.Join(cells, "\t"))
+	}
+	return tw.Flush()
+}
+
+// Table2 writes the test-suite configuration coverage.
+func Table2(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Test Suite\tTarget Software\tTotal\tUsed")
+	for _, s := range testsuite.All() {
+		c := s.Coverage()
+		total := fmt.Sprintf("%d", c.Total)
+		rel := "="
+		if c.OpenEnded {
+			total = ">" + total
+			rel = "<"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d (%s %.1f%%)\n",
+			c.Suite, c.Target, total, c.Used, rel, c.Percent)
+	}
+	return tw.Flush()
+}
+
+// Table3 writes the bug-distribution study.
+func Table3(w io.Writer) error {
+	db := bugdb.Load()
+	if err := db.Validate(); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Usage Scenario\t# of Bug\tSD\tCPD\tCCD")
+	pct := func(n, total int) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d (%.1f%%)", n, float64(n)/float64(total)*100)
+	}
+	for _, r := range db.Table3() {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", r.Scenario, r.Bugs,
+			pct(r.SD, r.Bugs), pct(r.CPD, r.Bugs), pct(r.CCD, r.Bugs))
+	}
+	t := db.Table3Total()
+	fmt.Fprintf(tw, "Total\t%d\t%s\t%s\t%s\n", t.Bugs,
+		pct(t.SD, t.Bugs), pct(t.CPD, t.Bugs), pct(t.CCD, t.Bugs))
+	return tw.Flush()
+}
+
+// Table4 writes the dependency taxonomy counts.
+func Table4(w io.Writer) error {
+	db := bugdb.Load()
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Multi-Level Config. Dependency\tExist?\tCount")
+	names := map[depmodel.Kind]string{
+		depmodel.SDDataType:    "Self Dependency / Data Type",
+		depmodel.SDValueRange:  "Self Dependency / Value Range",
+		depmodel.CPDControl:    "Cross-Parameter Dependency / Control",
+		depmodel.CPDValue:      "Cross-Parameter Dependency / Value",
+		depmodel.CCDControl:    "Cross-Component Dependency / Control",
+		depmodel.CCDValue:      "Cross-Component Dependency / Value",
+		depmodel.CCDBehavioral: "Cross-Component Dependency / Behavioral",
+	}
+	exist := 0
+	total := 0
+	for _, r := range db.Table4() {
+		ex, cnt := "N", "-"
+		if r.Exists {
+			ex = "Y"
+			cnt = fmt.Sprintf("%d", r.Count)
+			exist++
+		}
+		total += r.Count
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", names[r.Kind], ex, cnt)
+	}
+	fmt.Fprintf(tw, "Total\t%d/7\t%d\n", exist, total)
+	return tw.Flush()
+}
+
+// CategoryCell is one (extracted, false-positive) cell of Table 5.
+type CategoryCell struct {
+	Extracted int
+	FP        int
+}
+
+// Rate returns the false-positive rate of the cell.
+func (c CategoryCell) Rate() float64 {
+	if c.Extracted == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.Extracted) * 100
+}
+
+// Table5Row is one scenario's extraction outcome.
+type Table5Row struct {
+	Scenario     string
+	SD, CPD, CCD CategoryCell
+	// Deps is the scenario's extracted dependency set.
+	Deps *depmodel.Set
+}
+
+// Table5Result is the full extraction evaluation.
+type Table5Result struct {
+	Rows []Table5Row
+	// TotalUnique reproduces the paper's Total-Unique row: for each
+	// category, the widest per-scenario extraction, with the distinct
+	// false positives of that category across all scenarios. (The
+	// paper's published row is not the strict set union of its
+	// per-scenario rows; see EXPERIMENTS.md.)
+	TotalUnique Table5Row
+	// Union is the strict set union across scenarios, reported for
+	// completeness.
+	Union Table5Row
+	// Mode is the taint mode the analysis ran with.
+	Mode taint.Mode
+}
+
+// TotalExtracted returns the headline dependency count (paper: 64).
+func (t *Table5Result) TotalExtracted() int {
+	return t.TotalUnique.SD.Extracted + t.TotalUnique.CPD.Extracted + t.TotalUnique.CCD.Extracted
+}
+
+// TotalFP returns the headline false-positive count (paper: 5).
+func (t *Table5Result) TotalFP() int {
+	return t.TotalUnique.SD.FP + t.TotalUnique.CPD.FP + t.TotalUnique.CCD.FP
+}
+
+// FPRate returns the headline FP rate (paper: 7.8%).
+func (t *Table5Result) FPRate() float64 {
+	if t.TotalExtracted() == 0 {
+		return 0
+	}
+	return float64(t.TotalFP()) / float64(t.TotalExtracted()) * 100
+}
+
+// RunTable5 executes the analyzer over every scenario and scores the
+// extractions against the corpus ground truth.
+func RunTable5(mode taint.Mode) (*Table5Result, error) {
+	comps := corpus.Components()
+	res := &Table5Result{Mode: mode}
+	union := depmodel.NewSet()
+	fpKeys := map[depmodel.Category]map[string]bool{
+		depmodel.SD: {}, depmodel.CPD: {}, depmodel.CCD: {},
+	}
+	for _, sc := range corpus.Scenarios() {
+		out, err := core.Analyze(comps, sc, core.Options{Mode: mode})
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Scenario: sc.Name, Deps: out.Deps}
+		_, fps := corpus.Score(out.Deps.Deps())
+		for _, d := range out.Deps.Deps() {
+			cell := row.cell(d.Kind.Category())
+			cell.Extracted++
+		}
+		for _, d := range fps {
+			row.cell(d.Kind.Category()).FP++
+			fpKeys[d.Kind.Category()][d.Key()] = true
+		}
+		res.Rows = append(res.Rows, row)
+		union.AddAll(out.Deps.Deps())
+	}
+	// Paper-style Total Unique: per-category maxima plus the distinct
+	// false positives of that category.
+	tu := Table5Row{Scenario: "Total Unique", Deps: union}
+	for _, row := range res.Rows {
+		for _, cat := range []depmodel.Category{depmodel.SD, depmodel.CPD, depmodel.CCD} {
+			if c := row.cellValue(cat); c.Extracted > tu.cell(cat).Extracted {
+				tu.cell(cat).Extracted = c.Extracted
+			}
+		}
+	}
+	tu.SD.FP = len(fpKeys[depmodel.SD])
+	tu.CPD.FP = len(fpKeys[depmodel.CPD])
+	tu.CCD.FP = len(fpKeys[depmodel.CCD])
+	res.TotalUnique = tu
+
+	// Strict union.
+	u := Table5Row{Scenario: "Strict Union", Deps: union}
+	_, fps := corpus.Score(union.Deps())
+	for _, d := range union.Deps() {
+		u.cell(d.Kind.Category()).Extracted++
+	}
+	for _, d := range fps {
+		u.cell(d.Kind.Category()).FP++
+	}
+	res.Union = u
+	return res, nil
+}
+
+func (r *Table5Row) cell(cat depmodel.Category) *CategoryCell {
+	switch cat {
+	case depmodel.SD:
+		return &r.SD
+	case depmodel.CPD:
+		return &r.CPD
+	default:
+		return &r.CCD
+	}
+}
+
+func (r *Table5Row) cellValue(cat depmodel.Category) CategoryCell {
+	return *r.cell(cat)
+}
+
+// Table5 runs the extraction (intra-procedural, as the paper's
+// prototype) and writes the evaluation table.
+func Table5(w io.Writer) error {
+	res, err := RunTable5(taint.Intra)
+	if err != nil {
+		return err
+	}
+	return res.Render(w)
+}
+
+// Render writes the result in the paper's layout.
+func (t *Table5Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Usage Scenario\tSD Extracted\tSD FP\tCPD Extracted\tCPD FP\tCCD Extracted\tCCD FP")
+	cell := func(c CategoryCell) (string, string) {
+		ext := fmt.Sprintf("%d", c.Extracted)
+		if c.Extracted == 0 {
+			return "0", "-"
+		}
+		if c.FP == 0 {
+			return ext, "0"
+		}
+		return ext, fmt.Sprintf("%d (%.1f%%)", c.FP, c.Rate())
+	}
+	rows := append(append([]Table5Row{}, t.Rows...), t.TotalUnique)
+	for _, r := range rows {
+		se, sf := cell(r.SD)
+		ce, cf := cell(r.CPD)
+		xe, xf := cell(r.CCD)
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", r.Scenario, se, sf, ce, cf, xe, xf)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nOverall: %d unique multi-level dependencies extracted, %d false positives (%.1f%%), %s mode\n",
+		t.TotalExtracted(), t.TotalFP(), t.FPRate(), t.Mode)
+	return nil
+}
+
+// All writes every table in order, with headers.
+func All(w io.Writer) error {
+	sections := []struct {
+		title string
+		fn    func(io.Writer) error
+	}{
+		{"Table 1: Configuration methods of different file systems", Table1},
+		{"Table 2: Configuration coverage of test suites", Table2},
+		{"Table 3: Distribution of configuration bugs in four scenarios", Table3},
+		{"Table 4: Taxonomy of critical configuration dependencies", Table4},
+		{"Table 5: Evaluation of extracting multi-level configuration dependencies", Table5},
+	}
+	for _, s := range sections {
+		fmt.Fprintf(w, "== %s ==\n", s.title)
+		if err := s.fn(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package taint
+
+import "math/bits"
+
+// SeedSet is a set of seed indices, implemented as a small bitset.
+// The zero value is the empty set. Sets are value types; Union returns
+// whether the receiver grew, enabling fixpoint detection.
+type SeedSet struct {
+	words []uint64
+}
+
+// NewSeedSet returns a set containing the given seed indices.
+func NewSeedSet(ids ...int) SeedSet {
+	var s SeedSet
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id, growing the set as needed.
+func (s *SeedSet) Add(id int) {
+	w := id / 64
+	for len(s.words) <= w {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << uint(id%64)
+}
+
+// Has reports membership.
+func (s SeedSet) Has(id int) bool {
+	w := id / 64
+	return w < len(s.words) && s.words[w]&(1<<uint(id%64)) != 0
+}
+
+// Union merges o into s, reporting whether s changed.
+func (s *SeedSet) Union(o SeedSet) bool {
+	changed := false
+	for i, w := range o.words {
+		for len(s.words) <= i {
+			s.words = append(s.words, 0)
+		}
+		if s.words[i]|w != s.words[i] {
+			s.words[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Empty reports whether the set has no members.
+func (s SeedSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of members.
+func (s SeedSet) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// IDs returns the members in ascending order.
+func (s SeedSet) IDs() []int {
+	var out []int
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, i*64+b)
+			w &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s SeedSet) Clone() SeedSet {
+	c := SeedSet{words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Intersects reports whether s and o share a member.
+func (s SeedSet) Intersects(o SeedSet) bool {
+	n := len(s.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

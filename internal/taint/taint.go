@@ -1,0 +1,576 @@
+// Package taint implements the classic taint analysis the paper's
+// static analyzer applies to configuration parameters (§4.1): it
+// maintains a set holding the initial configuration variables and every
+// variable derived from them, records the propagating instruction in a
+// per-seed taint trace, and tracks when one variable derives from
+// multiple parameters.
+//
+// Two modes mirror the paper:
+//
+//   - Intra-procedural (the paper's prototype): taint propagates only
+//     within each analyzed function; calls propagate nothing, so
+//     sanitization or derivation in callees is invisible. The analyzer
+//     therefore restricts extraction to a set of pre-selected functions
+//     per scenario, exactly as §4.1 describes.
+//   - Inter-procedural (the paper's stated future work, implemented
+//     here as an extension): arguments flow into parameters, return
+//     values flow back into call results, iterated to a fixpoint over
+//     the call graph.
+//
+// In both modes, fields of shared metadata structures (canonical
+// locations, e.g. ext2_super_block.s_log_block_size) behave as a global
+// store: a write taints the canonical field, and reads anywhere pick
+// the taint up. This is the paper's key bridging observation — all
+// components access the FS metadata structures.
+package taint
+
+import (
+	"sort"
+
+	"fsdep/internal/ir"
+	"fsdep/internal/minicc"
+)
+
+// Mode selects the propagation strategy.
+type Mode uint8
+
+// Analysis modes.
+const (
+	// Intra runs intra-procedural propagation only (the paper's
+	// preliminary prototype).
+	Intra Mode = iota
+	// Inter additionally propagates through calls and returns to a
+	// fixpoint (the paper's future work).
+	Inter
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Inter {
+		return "inter-procedural"
+	}
+	return "intra-procedural"
+}
+
+// Seed is an initial configuration variable to track.
+type Seed struct {
+	// Param is the configuration parameter name the seed represents.
+	Param string
+	// Func is the function in whose scope the seeded variable lives;
+	// "" seeds the variable in every analyzed function.
+	Func string
+	// Var is the variable (ir.Loc root) holding the parameter value.
+	Var string
+	// Field optionally seeds a member path below Var (dotted).
+	Field string
+}
+
+// loc returns the ir location of the seed (without canonical info; key
+// matching is by Var/Path).
+func (s Seed) key() string {
+	if s.Field == "" {
+		return s.Var
+	}
+	return s.Var + "." + s.Field
+}
+
+// Options configures an analysis run.
+type Options struct {
+	Mode Mode
+	// Functions restricts analysis to the named functions (the
+	// paper's pre-selected function lists). Empty means all.
+	Functions []string
+	// Sanitizers lists callee names whose results are considered
+	// clean even when arguments are tainted (e.g. a clamp helper).
+	// Only meaningful for calls whose results are assigned.
+	Sanitizers []string
+	// MaxIter bounds fixpoint iterations (safety valve; 0 = default).
+	MaxIter int
+}
+
+// FieldWrite records a tainted store to a canonical metadata field.
+type FieldWrite struct {
+	// Canon is the canonical field, e.g. "ext2_super_block.s_blocks_count".
+	Canon string
+	// Seeds carries the parameters whose taint reached the store.
+	Seeds SeedSet
+	// Func and Pos locate the store.
+	Func string
+	Pos  minicc.Pos
+}
+
+// FieldRead records a use of a canonical metadata field.
+type FieldRead struct {
+	Canon string
+	// Func and Pos locate the read.
+	Func string
+	Pos  minicc.Pos
+	// InBranch marks reads occurring in a branch condition.
+	InBranch bool
+}
+
+// Site is a constraint site: a branch whose condition uses tainted
+// locations. The dependency-derivation pass interprets Expr against
+// Taint to classify the constraint.
+type Site struct {
+	// Func is the containing function.
+	Func string
+	// Expr is the branch condition AST.
+	Expr minicc.Expr
+	// Pos locates the branch.
+	Pos minicc.Pos
+	// LocTaint maps location keys used in the condition to their seed
+	// sets at the fixpoint.
+	LocTaint map[string]SeedSet
+	// CanonOf maps location keys to canonical metadata names ("" if
+	// none).
+	CanonOf map[string]string
+}
+
+// Result is the outcome of a taint run over one component.
+type Result struct {
+	// Taint maps function name → location key → seeds.
+	Taint map[string]map[string]SeedSet
+	// Sites lists tainted branch conditions in deterministic order.
+	Sites []Site
+	// FieldWrites lists tainted stores to canonical metadata fields.
+	FieldWrites []FieldWrite
+	// FieldReads lists reads of canonical metadata fields (tainted or
+	// not — cross-component bridging needs the untainted ones too).
+	FieldReads []FieldRead
+	// Traces maps seed index → evidence positions (the taint trace).
+	Traces map[int][]minicc.Pos
+	// Seeds echoes the seed list, indexable by SeedSet IDs.
+	Seeds []Seed
+	// Multi maps location keys derived from ≥2 parameters in some
+	// function ("func\x00lockey" form) — the paper's map tracking
+	// variables derived from multiple parameters.
+	Multi map[string]SeedSet
+}
+
+// SeedsOf returns the taint of a location key within a function.
+func (r *Result) SeedsOf(fn, lockey string) SeedSet {
+	if m, ok := r.Taint[fn]; ok {
+		return m[lockey]
+	}
+	return SeedSet{}
+}
+
+// Run executes the analysis over prog with the given seeds.
+func Run(prog *ir.Program, seeds []Seed, opts Options) *Result {
+	a := &analysis{
+		prog:  prog,
+		seeds: seeds,
+		opts:  opts,
+		res: &Result{
+			Taint:  make(map[string]map[string]SeedSet),
+			Traces: make(map[int][]minicc.Pos),
+			Seeds:  seeds,
+			Multi:  make(map[string]SeedSet),
+		},
+		fieldTaint: make(map[string]SeedSet),
+		sanitize:   make(map[string]bool, len(opts.Sanitizers)),
+		funcRet:    make(map[string]SeedSet),
+	}
+	for _, s := range opts.Sanitizers {
+		a.sanitize[s] = true
+	}
+	a.run()
+	return a.res
+}
+
+type analysis struct {
+	prog       *ir.Program
+	seeds      []Seed
+	opts       Options
+	res        *Result
+	fieldTaint map[string]SeedSet // canonical field → seeds (global store)
+	sanitize   map[string]bool
+	funcRet    map[string]SeedSet // inter mode: function → return taint
+	paramIn    map[string][]SeedSet
+}
+
+// analyzedFuncs returns the function set in deterministic order.
+func (a *analysis) analyzedFuncs() []*ir.Func {
+	var names []string
+	if len(a.opts.Functions) > 0 {
+		names = append(names, a.opts.Functions...)
+	} else {
+		names = append(names, a.prog.FuncOrder...)
+	}
+	var out []*ir.Func
+	for _, n := range names {
+		if f, ok := a.prog.Funcs[n]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (a *analysis) run() {
+	funcs := a.analyzedFuncs()
+	a.paramIn = make(map[string][]SeedSet)
+	// The global field store and (in inter mode) call summaries make
+	// per-function results interdependent; iterate all functions to a
+	// joint fixpoint.
+	maxIter := a.opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 32
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for _, fn := range funcs {
+			if a.analyzeFunc(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Collect sites, writes, and reads in a final reporting pass.
+	for _, fn := range funcs {
+		a.report(fn)
+	}
+	sort.SliceStable(a.res.Sites, func(i, j int) bool {
+		si, sj := a.res.Sites[i], a.res.Sites[j]
+		if si.Pos.File != sj.Pos.File {
+			return si.Pos.File < sj.Pos.File
+		}
+		if si.Pos.Line != sj.Pos.Line {
+			return si.Pos.Line < sj.Pos.Line
+		}
+		return si.Pos.Col < sj.Pos.Col
+	})
+}
+
+// seedTaint returns the initial taint for a location in fn.
+func (a *analysis) seedTaint(fnName, lockey string) SeedSet {
+	var s SeedSet
+	for i, sd := range a.seeds {
+		if sd.key() != lockey {
+			continue
+		}
+		if sd.Func == "" || sd.Func == fnName {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+// analyzeFunc runs gen-only propagation over fn's instructions to a
+// local fixpoint; returns whether any global fact (field store, return
+// summary) changed.
+func (a *analysis) analyzeFunc(fn *ir.Func) bool {
+	t := a.res.Taint[fn.Name]
+	if t == nil {
+		t = make(map[string]SeedSet)
+		a.res.Taint[fn.Name] = t
+		// Store seed taint eagerly so Result.SeedsOf reports the
+		// initial configuration variables themselves.
+		for i, sd := range a.seeds {
+			if sd.Func == "" || sd.Func == fn.Name {
+				cur := t[sd.key()]
+				cur.Add(i)
+				t[sd.key()] = cur
+			}
+		}
+	}
+	get := func(l ir.Loc) SeedSet {
+		k := l.Key()
+		s := t[k].Clone()
+		s.Union(a.seedTaint(fn.Name, k))
+		if l.Canon != "" {
+			s.Union(a.fieldTaint[l.Canon])
+		}
+		// A field read through a tainted root (e.g. cfg->size where
+		// cfg is the tainted options struct) inherits the root taint.
+		if l.IsField() {
+			s.Union(t[l.Var])
+			s.Union(a.seedTaint(fn.Name, l.Var))
+		}
+		return s
+	}
+	globalChanged := false
+	// In inter mode, merge caller-provided parameter taint.
+	if a.opts.Mode == Inter {
+		if ins, ok := a.paramIn[fn.Name]; ok {
+			for i, p := range fn.Params {
+				if i < len(ins) {
+					cur := t[p.Key()]
+					if cur.Union(ins[i]) {
+						t[p.Key()] = cur
+					}
+				}
+			}
+		}
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		fn.Instrs(func(in *ir.Instr) {
+			var flow SeedSet
+			for _, u := range in.Uses {
+				flow.Union(get(u))
+			}
+			// Call results: sanitizers cut the flow; in inter mode,
+			// callee return summaries join in.
+			sanitized := false
+			for _, callee := range in.Calls {
+				if a.sanitize[callee] {
+					sanitized = true
+				}
+				if a.opts.Mode == Inter {
+					flow.Union(a.funcRet[callee])
+				}
+			}
+			if sanitized {
+				flow = SeedSet{}
+			}
+			switch in.Op {
+			case ir.OpAssign:
+				if flow.Empty() {
+					return
+				}
+				k := in.Dst.Key()
+				cur := t[k].Clone()
+				if cur.Union(flow) {
+					t[k] = cur
+					changed = true
+					for _, id := range flow.IDs() {
+						a.addTrace(id, in.Pos)
+					}
+					if cur.Len() >= 2 {
+						mk := fn.Name + "\x00" + k
+						mcur := a.res.Multi[mk]
+						mcur.Union(cur)
+						a.res.Multi[mk] = mcur
+					}
+				}
+				if in.Dst.Canon != "" && !flow.Empty() {
+					ft := a.fieldTaint[in.Dst.Canon]
+					if ft.Union(flow) {
+						a.fieldTaint[in.Dst.Canon] = ft
+						globalChanged = true
+					}
+				}
+			case ir.OpCall:
+				if a.opts.Mode == Inter {
+					if a.propagateCall(fn, t, in) {
+						globalChanged = true
+					}
+				}
+			case ir.OpReturn:
+				if a.opts.Mode == Inter && !flow.Empty() {
+					cur := a.funcRet[fn.Name]
+					if cur.Union(flow) {
+						a.funcRet[fn.Name] = cur
+						globalChanged = true
+					}
+				}
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+	// Post-pass: assignment instructions may themselves contain calls
+	// (x = parse_size(arg)); in inter mode propagate arg taint into
+	// callee params.
+	if a.opts.Mode == Inter {
+		fn.Instrs(func(in *ir.Instr) {
+			if len(in.Calls) > 0 {
+				if a.propagateCall(fn, t, in) {
+					globalChanged = true
+				}
+			}
+		})
+	}
+	return globalChanged
+}
+
+// propagateCall pushes argument taint into callee parameter slots.
+// Argument/parameter matching is positional, extracted from the call
+// expression inside in.Expr.
+func (a *analysis) propagateCall(fn *ir.Func, t map[string]SeedSet, in *ir.Instr) bool {
+	changed := false
+	minicc.WalkExpr(in.Expr, func(x minicc.Expr) bool {
+		call, ok := x.(*minicc.Call)
+		if !ok {
+			return true
+		}
+		callee, ok := a.prog.Funcs[call.Fun]
+		if !ok {
+			return true
+		}
+		ins := a.paramIn[call.Fun]
+		for len(ins) < len(callee.Params) {
+			ins = append(ins, SeedSet{})
+		}
+		for i, arg := range call.Args {
+			if i >= len(callee.Params) {
+				break
+			}
+			var argTaint SeedSet
+			for _, l := range a.locsInExpr(fn, arg) {
+				k := l.Key()
+				s := t[k].Clone()
+				s.Union(a.seedTaint(fn.Name, k))
+				if l.Canon != "" {
+					s.Union(a.fieldTaint[l.Canon])
+				}
+				if l.IsField() {
+					s.Union(t[l.Var])
+					s.Union(a.seedTaint(fn.Name, l.Var))
+				}
+				argTaint.Union(s)
+			}
+			if ins[i].Union(argTaint) {
+				changed = true
+			}
+		}
+		a.paramIn[call.Fun] = ins
+		return true
+	})
+	return changed
+}
+
+// locsInExpr mirrors the ir builder's location extraction for an
+// arbitrary expression in fn's scope.
+func (a *analysis) locsInExpr(fn *ir.Func, e minicc.Expr) []ir.Loc {
+	var out []ir.Loc
+	minicc.WalkExpr(e, func(x minicc.Expr) bool {
+		switch v := x.(type) {
+		case *minicc.Ident:
+			out = append(out, ir.Loc{Var: v.Name})
+		case *minicc.Member:
+			root, path, ok := minicc.MemberPath(v)
+			if ok {
+				l := ir.Loc{Var: root, Path: joinPath(path)}
+				l.Canon = canonOf(a.prog, fn, root, path)
+				out = append(out, l)
+				return false
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func joinPath(p []string) string {
+	out := ""
+	for i, s := range p {
+		if i > 0 {
+			out += "."
+		}
+		out += s
+	}
+	return out
+}
+
+// canonOf resolves root.path to a canonical struct field using fn's
+// variable types (the exported twin of ir's internal resolution).
+func canonOf(prog *ir.Program, fn *ir.Func, root string, path []string) string {
+	if len(path) == 0 {
+		return ""
+	}
+	t, ok := fn.VarTypes[root]
+	if !ok {
+		return ""
+	}
+	for i := 0; i < len(path); i++ {
+		if !t.IsStruct {
+			return ""
+		}
+		def, ok := prog.Structs[t.Name]
+		if !ok {
+			return ""
+		}
+		idx := def.FieldIndex(path[i])
+		if idx < 0 {
+			return ""
+		}
+		if i == len(path)-1 {
+			return def.Tag + "." + path[i]
+		}
+		t = def.Fields[idx].Type
+	}
+	return ""
+}
+
+func (a *analysis) addTrace(seed int, pos minicc.Pos) {
+	tr := a.res.Traces[seed]
+	for _, p := range tr {
+		if p == pos {
+			return
+		}
+	}
+	a.res.Traces[seed] = append(tr, pos)
+}
+
+// report performs the final collection pass over fn using the fixpoint
+// taint facts.
+func (a *analysis) report(fn *ir.Func) {
+	t := a.res.Taint[fn.Name]
+	taintOf := func(l ir.Loc) SeedSet {
+		k := l.Key()
+		s := t[k].Clone()
+		s.Union(a.seedTaint(fn.Name, k))
+		if l.Canon != "" {
+			s.Union(a.fieldTaint[l.Canon])
+		}
+		if l.IsField() {
+			s.Union(t[l.Var])
+			s.Union(a.seedTaint(fn.Name, l.Var))
+		}
+		return s
+	}
+	fn.Instrs(func(in *ir.Instr) {
+		// Record canonical reads.
+		for _, u := range in.Uses {
+			if u.Canon != "" {
+				a.res.FieldReads = append(a.res.FieldReads, FieldRead{
+					Canon: u.Canon, Func: fn.Name, Pos: in.Pos,
+					InBranch: in.Op == ir.OpBranch,
+				})
+			}
+		}
+		switch in.Op {
+		case ir.OpAssign:
+			if in.Dst.Canon != "" {
+				var flow SeedSet
+				for _, u := range in.Uses {
+					flow.Union(taintOf(u))
+				}
+				if !flow.Empty() {
+					a.res.FieldWrites = append(a.res.FieldWrites, FieldWrite{
+						Canon: in.Dst.Canon, Seeds: flow, Func: fn.Name, Pos: in.Pos,
+					})
+				}
+			}
+		case ir.OpBranch:
+			lt := make(map[string]SeedSet)
+			co := make(map[string]string)
+			any := false
+			for _, u := range in.Uses {
+				s := taintOf(u)
+				lt[u.Key()] = s
+				co[u.Key()] = u.Canon
+				if !s.Empty() {
+					any = true
+				}
+				// Branches on shared metadata fields are sites even
+				// without local taint: the cross-component join
+				// supplies the writer's taint later.
+				if u.Canon != "" {
+					any = true
+				}
+			}
+			if any {
+				a.res.Sites = append(a.res.Sites, Site{
+					Func: fn.Name, Expr: in.Expr, Pos: in.Pos,
+					LocTaint: lt, CanonOf: co,
+				})
+			}
+		}
+	})
+}

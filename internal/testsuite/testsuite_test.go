@@ -1,0 +1,103 @@
+package testsuite
+
+import "testing"
+
+func TestInventorySizesMatchPaper(t *testing.T) {
+	if n := len(Ext4Inventory); n != 85 {
+		t.Errorf("Ext4 inventory = %d, want 85 (paper: >85)", n)
+	}
+	if n := len(E2fsckInventory); n != 35 {
+		t.Errorf("e2fsck inventory = %d, want 35", n)
+	}
+	if n := len(Resize2fsInventory); n != 15 {
+		t.Errorf("resize2fs inventory = %d, want 15", n)
+	}
+}
+
+func TestNoDuplicateInventoryEntries(t *testing.T) {
+	for _, inv := range [][]string{Ext4Inventory, E2fsckInventory, Resize2fsInventory} {
+		seen := map[string]bool{}
+		for _, p := range inv {
+			if seen[p] {
+				t.Errorf("duplicate inventory entry %q", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestCoverageMatchesTable2(t *testing.T) {
+	type row struct {
+		used int
+		pct  float64
+	}
+	want := map[string]row{
+		"Ext4":      {29, 34.2},
+		"e2fsck":    {6, 17.2},
+		"resize2fs": {7, 46.7},
+	}
+	for _, s := range All() {
+		c := s.Coverage()
+		w := want[c.Target]
+		if c.Used != w.used {
+			t.Errorf("%s used = %d, want %d", c.Target, c.Used, w.used)
+		}
+		if c.Percent > w.pct {
+			t.Errorf("%s percent = %.1f, want <= %.1f", c.Target, c.Percent, w.pct)
+		}
+		if !c.OpenEnded {
+			t.Errorf("%s total should be open-ended (the paper's '>')", c.Target)
+		}
+	}
+}
+
+func TestUsedParamsAreInInventory(t *testing.T) {
+	for _, s := range All() {
+		inv := map[string]bool{}
+		for _, p := range s.Inventory {
+			inv[p] = true
+		}
+		for _, p := range s.UsedParams() {
+			if !inv[p] {
+				t.Errorf("%s: used param %q not in inventory", s.Name, p)
+			}
+		}
+	}
+}
+
+func TestCaseParamsResolve(t *testing.T) {
+	// Every parameter a modeled test case sets must exist in its
+	// suite's inventory (cases never invent parameters).
+	for _, s := range All() {
+		inv := map[string]bool{}
+		for _, p := range s.Inventory {
+			inv[p] = true
+		}
+		for _, c := range s.Cases {
+			for _, p := range c.Params {
+				if !inv[p] {
+					t.Errorf("%s %s sets unknown parameter %q", s.Name, c.ID, p)
+				}
+			}
+		}
+	}
+}
+
+func TestUncoveredPlusUsedEqualsInventory(t *testing.T) {
+	for _, s := range All() {
+		used := len(s.UsedParams())
+		uncovered := len(s.UncoveredParams())
+		if used+uncovered != len(s.Inventory) {
+			t.Errorf("%s: %d used + %d uncovered != %d total",
+				s.Name, used, uncovered, len(s.Inventory))
+		}
+	}
+}
+
+func TestEmptySuiteCoverage(t *testing.T) {
+	s := &Suite{Name: "empty", Target: "x"}
+	c := s.Coverage()
+	if c.Used != 0 || c.Percent != 0 {
+		t.Errorf("empty suite coverage = %+v", c)
+	}
+}

@@ -1,0 +1,190 @@
+// Package tune2fs simulates tune2fs(8): offline adjustment of an
+// existing file system's configuration. It is the ecosystem's fourth
+// offline utility and carries its own cross-parameter constraints —
+// notably which features can be toggled after creation at all. Flags
+// like bigalloc or meta_bg shape the on-disk layout, so enabling them
+// on an existing file system is refused, exactly as the real tool
+// does; the same multi-level dependencies that govern mke2fs apply to
+// the features that can be toggled.
+package tune2fs
+
+import (
+	"fmt"
+	"strings"
+
+	"fsdep/internal/fsim"
+)
+
+// Options is the tune2fs parameter surface.
+type Options struct {
+	// Label is -L (empty = leave unchanged; use ClearLabel to erase).
+	Label string
+	// ClearLabel erases the volume label.
+	ClearLabel bool
+	// MaxMountCount is -c (0 = leave unchanged; -1 = never check).
+	MaxMountCount int
+	// AddFeatures and RemoveFeatures are -O / -O ^feature lists.
+	AddFeatures, RemoveFeatures []string
+	// Force is -f.
+	Force bool
+}
+
+// UtilError is a tune2fs rejection naming the parameter at fault.
+type UtilError struct {
+	Param   string
+	Related string
+	Msg     string
+}
+
+// Error implements error.
+func (e *UtilError) Error() string {
+	if e.Related != "" {
+		return fmt.Sprintf("tune2fs: %s/%s: %s", e.Param, e.Related, e.Msg)
+	}
+	return fmt.Sprintf("tune2fs: %s: %s", e.Param, e.Msg)
+}
+
+// layoutFeatures cannot be toggled after creation: they determine the
+// on-disk layout mke2fs produced.
+var layoutFeatures = map[string]bool{
+	"bigalloc":      true,
+	"meta_bg":       true,
+	"resize_inode":  true,
+	"inline_data":   true,
+	"64bit":         true,
+	"sparse_super":  true,
+	"sparse_super2": true,
+}
+
+// Report describes what tune2fs changed.
+type Report struct {
+	// LabelChanged, MaxMountChanged mark superblock edits.
+	LabelChanged, MaxMountChanged bool
+	// FeaturesAdded and FeaturesRemoved list the applied toggles.
+	FeaturesAdded, FeaturesRemoved []string
+}
+
+// Run applies opts to the file system on dev.
+func Run(dev fsim.Device, opts Options) (*Report, error) {
+	fs, err := fsim.Open(dev)
+	if err != nil {
+		return nil, fmt.Errorf("tune2fs: %w", err)
+	}
+	sb := fs.SB
+	if sb.State&fsim.StateMounted != 0 {
+		return nil, &UtilError{Param: "device", Msg: "file system is mounted"}
+	}
+	if sb.State&fsim.StateErrors != 0 && !opts.Force {
+		return nil, &UtilError{Param: "device",
+			Msg: "file system has errors; run e2fsck first or use -f"}
+	}
+
+	// Validate before touching anything.
+	if len(opts.Label) > 16 {
+		return nil, &UtilError{Param: "label",
+			Msg: fmt.Sprintf("%q longer than 16 bytes", opts.Label)}
+	}
+	if opts.MaxMountCount < -1 || opts.MaxMountCount > 65535 {
+		return nil, &UtilError{Param: "max_mount_count",
+			Msg: fmt.Sprintf("%d outside -1..65535", opts.MaxMountCount)}
+	}
+	for _, f := range opts.AddFeatures {
+		if _, ok := fsim.Features[f]; !ok {
+			return nil, &UtilError{Param: f, Msg: "unknown feature"}
+		}
+		if layoutFeatures[f] {
+			return nil, &UtilError{Param: f,
+				Msg: "feature shapes the on-disk layout; recreate the file system with mke2fs"}
+		}
+	}
+	for _, f := range opts.RemoveFeatures {
+		if _, ok := fsim.Features[f]; !ok {
+			return nil, &UtilError{Param: f, Msg: "unknown feature"}
+		}
+		if layoutFeatures[f] {
+			return nil, &UtilError{Param: f,
+				Msg: "feature cannot be cleared offline; recreate the file system"}
+		}
+	}
+
+	// Cross-parameter dependencies on the post-toggle state.
+	after := func(name string) bool {
+		on := sb.HasFeature(name)
+		for _, f := range opts.AddFeatures {
+			if f == name {
+				on = true
+			}
+		}
+		for _, f := range opts.RemoveFeatures {
+			if f == name {
+				on = false
+			}
+		}
+		return on
+	}
+	if after("has_journal") && after("journal_dev") {
+		return nil, &UtilError{Param: "has_journal", Related: "journal_dev",
+			Msg: "internal and external journal are mutually exclusive"}
+	}
+	if after("dir_index") && !after("filetype") {
+		return nil, &UtilError{Param: "dir_index", Related: "filetype",
+			Msg: "dir_index requires filetype"}
+	}
+	if sb.HasFeature("inline_data") && !after("dir_index") {
+		return nil, &UtilError{Param: "dir_index", Related: "inline_data",
+			Msg: "cannot clear dir_index while inline_data is present"}
+	}
+
+	rep := &Report{}
+	if opts.Label != "" || opts.ClearLabel {
+		var name [16]byte
+		copy(name[:], opts.Label)
+		sb.VolumeName = name
+		rep.LabelChanged = true
+	}
+	if opts.MaxMountCount != 0 {
+		sb.MaxMntCount = int16(opts.MaxMountCount)
+		rep.MaxMountChanged = true
+	}
+	for _, f := range opts.AddFeatures {
+		if !sb.HasFeature(f) {
+			if err := sb.SetFeature(f, true); err != nil {
+				return nil, fmt.Errorf("tune2fs: %w", err)
+			}
+			rep.FeaturesAdded = append(rep.FeaturesAdded, f)
+		}
+	}
+	for _, f := range opts.RemoveFeatures {
+		if sb.HasFeature(f) {
+			if err := sb.SetFeature(f, false); err != nil {
+				return nil, fmt.Errorf("tune2fs: %w", err)
+			}
+			rep.FeaturesRemoved = append(rep.FeaturesRemoved, f)
+		}
+	}
+	if err := fs.Flush(); err != nil {
+		return nil, fmt.Errorf("tune2fs: flushing: %w", err)
+	}
+	return rep, nil
+}
+
+// Describe renders the report.
+func (r *Report) Describe() string {
+	var parts []string
+	if r.LabelChanged {
+		parts = append(parts, "label updated")
+	}
+	if r.MaxMountChanged {
+		parts = append(parts, "max mount count updated")
+	}
+	if len(r.FeaturesAdded) > 0 {
+		parts = append(parts, "enabled "+strings.Join(r.FeaturesAdded, ","))
+	}
+	if len(r.FeaturesRemoved) > 0 {
+		parts = append(parts, "disabled "+strings.Join(r.FeaturesRemoved, ","))
+	}
+	if len(parts) == 0 {
+		return "nothing to do"
+	}
+	return strings.Join(parts, "; ")
+}

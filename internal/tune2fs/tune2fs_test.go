@@ -1,0 +1,170 @@
+package tune2fs
+
+import (
+	"errors"
+	"testing"
+
+	"fsdep/internal/fsim"
+	"fsdep/internal/mke2fs"
+	"fsdep/internal/mountsim"
+)
+
+func format(t *testing.T, features []string) *fsim.MemDevice {
+	t.Helper()
+	dev := fsim.NewMemDevice(16 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: features}); err != nil {
+		t.Fatalf("mke2fs: %v", err)
+	}
+	return dev
+}
+
+func TestSetLabel(t *testing.T) {
+	dev := format(t, nil)
+	rep, err := Run(dev, Options{Label: "newlabel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LabelChanged {
+		t.Error("label change not reported")
+	}
+	fs, _ := fsim.Open(dev)
+	if got := string(fs.SB.VolumeName[:8]); got != "newlabel" {
+		t.Errorf("label = %q", got)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}
+
+func TestLabelTooLong(t *testing.T) {
+	dev := format(t, nil)
+	_, err := Run(dev, Options{Label: "way-too-long-for-a-volume-label"})
+	var ue *UtilError
+	if !errors.As(err, &ue) || ue.Param != "label" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestToggleSafeFeature(t *testing.T) {
+	dev := format(t, nil)
+	rep, err := Run(dev, Options{AddFeatures: []string{"has_journal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FeaturesAdded) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	fs, _ := fsim.Open(dev)
+	if !fs.SB.HasFeature("has_journal") {
+		t.Error("feature not persisted")
+	}
+	// And remove it again.
+	if _, err := Run(dev, Options{RemoveFeatures: []string{"has_journal"}}); err != nil {
+		t.Fatal(err)
+	}
+	fs2, _ := fsim.Open(dev)
+	if fs2.SB.HasFeature("has_journal") {
+		t.Error("feature not cleared")
+	}
+}
+
+func TestLayoutFeatureRefused(t *testing.T) {
+	dev := format(t, nil)
+	for _, f := range []string{"bigalloc", "meta_bg", "64bit", "sparse_super2"} {
+		_, err := Run(dev, Options{AddFeatures: []string{f}})
+		var ue *UtilError
+		if !errors.As(err, &ue) || ue.Param != f {
+			t.Errorf("adding %s: err = %v, want layout refusal", f, err)
+		}
+	}
+	// Clearing layout features is refused too.
+	_, err := Run(dev, Options{RemoveFeatures: []string{"resize_inode"}})
+	var ue *UtilError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalDevConflict(t *testing.T) {
+	dev := format(t, []string{"has_journal"})
+	_, err := Run(dev, Options{AddFeatures: []string{"journal_dev"}})
+	var ue *UtilError
+	if !errors.As(err, &ue) || ue.Related != "journal_dev" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDirIndexRequiresFiletype(t *testing.T) {
+	dev := format(t, []string{"^dir_index", "^filetype"})
+	_, err := Run(dev, Options{AddFeatures: []string{"dir_index"}})
+	var ue *UtilError
+	if !errors.As(err, &ue) || ue.Related != "filetype" {
+		t.Fatalf("err = %v", err)
+	}
+	// Adding both together is fine.
+	if _, err := Run(dev, Options{AddFeatures: []string{"dir_index", "filetype"}}); err != nil {
+		t.Fatalf("adding both: %v", err)
+	}
+}
+
+func TestRefusesMounted(t *testing.T) {
+	dev := format(t, nil)
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Unmount() }()
+	if _, err := Run(dev, Options{Label: "x"}); err == nil {
+		t.Fatal("tune2fs on mounted fs succeeded")
+	}
+}
+
+func TestMaxMountCount(t *testing.T) {
+	dev := format(t, nil)
+	if _, err := Run(dev, Options{MaxMountCount: -1}); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := fsim.Open(dev)
+	if fs.SB.MaxMntCount != -1 {
+		t.Errorf("max mount count = %d", fs.SB.MaxMntCount)
+	}
+	_, err := Run(dev, Options{MaxMountCount: -5})
+	var ue *UtilError
+	if !errors.As(err, &ue) || ue.Param != "max_mount_count" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownFeature(t *testing.T) {
+	dev := format(t, nil)
+	_, err := Run(dev, Options{AddFeatures: []string{"quantum"}})
+	var ue *UtilError
+	if !errors.As(err, &ue) || ue.Param != "quantum" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	r := &Report{LabelChanged: true, FeaturesAdded: []string{"has_journal"}}
+	if got := r.Describe(); got != "label updated; enabled has_journal" {
+		t.Errorf("describe = %q", got)
+	}
+	if got := (&Report{}).Describe(); got != "nothing to do" {
+		t.Errorf("empty describe = %q", got)
+	}
+}
+
+func TestNoopIsClean(t *testing.T) {
+	dev := format(t, nil)
+	rep, err := Run(dev, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Describe() != "nothing to do" {
+		t.Errorf("report = %+v", rep)
+	}
+	fs, _ := fsim.Open(dev)
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit: %v", probs)
+	}
+}

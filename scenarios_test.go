@@ -1,0 +1,291 @@
+// Integration tests: the four usage scenarios of Table 3, executed
+// end-to-end against the simulated ecosystem (Figure 2's pipelines),
+// plus analyzer ↔ runtime cross-checks: every runtime behaviour the
+// analyzer extracts a dependency for must actually hold in the
+// simulator, and vice versa for the violations ConHandleCk executes.
+package fsdep
+
+import (
+	"bytes"
+	"testing"
+
+	"fsdep/internal/bugdb"
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
+	"fsdep/internal/e2fsck"
+	"fsdep/internal/e4defrag"
+	"fsdep/internal/fsim"
+	"fsdep/internal/mke2fs"
+	"fsdep/internal/mountsim"
+	"fsdep/internal/resize2fs"
+)
+
+// TestScenarioCreateMountUse: mke2fs → mount → use (Table 3 row 1).
+func TestScenarioCreateMountUse(t *testing.T) {
+	dev := fsim.NewMemDevice(16 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := m.Mkdir(fsim.RootIno, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create(dir, "notes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("pipeline "), 400)
+	if err := m.Write(f, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := fsim.Open(dev)
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("scenario 1 left problems: %v", probs)
+	}
+	got, err := fs.ReadFile(f)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("data mismatch after remount: %v", err)
+	}
+}
+
+// TestScenarioOnlineDefrag: mke2fs → mount → e4defrag (row 2).
+func TestScenarioOnlineDefrag(t *testing.T) {
+	dev := fsim.NewMemDevice(16 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create(fsim.RootIno, "data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(f, bytes.Repeat([]byte{7}, 6*1024)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e4defrag.Run(m, e4defrag.Options{Verbose: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ScoreAfter > rep.ScoreBefore {
+		t.Errorf("defrag worsened fragmentation: %.2f -> %.2f", rep.ScoreBefore, rep.ScoreAfter)
+	}
+	if err := m.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := fsim.Open(dev)
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("scenario 2 left problems: %v", probs)
+	}
+}
+
+// TestScenarioOfflineResize: mke2fs → mount → umount → resize2fs
+// (row 3) — both the clean path and the Figure-1 trap.
+func TestScenarioOfflineResize(t *testing.T) {
+	dev := fsim.NewMemDevice(32 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, BlocksCount: 16384}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create(fsim.RootIno, "keep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(f, bytes.Repeat([]byte{9}, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := resize2fs.Run(dev, resize2fs.Options{Size: 16384 + 8192, FixedFreeBlocks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Grew {
+		t.Fatal("no growth")
+	}
+	fs, _ := fsim.Open(dev)
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("clean grow left problems: %v", probs)
+	}
+	got, err := fs.ReadFile(f)
+	if err != nil || len(got) != 4096 {
+		t.Fatalf("data lost across resize: %v", err)
+	}
+}
+
+// TestScenarioCheckConsistency: mke2fs → mount → umount → e2fsck
+// (row 4), including the mount-count behavioural dependency.
+func TestScenarioCheckConsistency(t *testing.T) {
+	dev := fsim.NewMemDevice(16 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	// Mount/unmount up to the max-mount-count threshold: e2fsck's
+	// behaviour depends on state the mount stage left behind.
+	for i := 0; i < 21; i++ {
+		m, err := mountsim.Do(dev, mountsim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Unmount(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := e2fsck.Run(dev, e2fsck.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped {
+		t.Fatal("fsck skipped although the mount count exceeded the threshold")
+	}
+	if rep.ExitCode != e2fsck.ExitClean {
+		t.Fatalf("clean fs reported exit %d: %v", rep.ExitCode, rep.Remaining)
+	}
+	fs, _ := fsim.Open(dev)
+	if fs.SB.MntCount != 0 {
+		t.Error("fsck did not reset the mount counter")
+	}
+}
+
+// TestFigure1DependencyExtractedAndReal cross-checks static and
+// dynamic views: the analyzer extracts the resize2fs←sparse_super2
+// dependency, and violating it really corrupts the file system.
+func TestFigure1DependencyExtractedAndReal(t *testing.T) {
+	comps := corpus.Components()
+	var resizeScenario core.Scenario
+	for _, sc := range corpus.Scenarios() {
+		if sc.Name == corpus.ScenarioResize {
+			resizeScenario = sc
+		}
+	}
+	res, err := core.Analyze(comps, resizeScenario, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "ccd-behavioral|resize2fs.|mke2fs.sparse_super2|behavioral"
+	if !res.Deps.ContainsKey(key) {
+		t.Fatalf("analyzer did not extract the Figure-1 dependency %q", key)
+	}
+
+	// Dynamic side.
+	dev := fsim.NewMemDevice(16 << 20)
+	mres, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: []string{"sparse_super2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resize2fs.Run(dev, resize2fs.Options{Size: mres.Fs.SB.BlocksCount + 8192}); err != nil {
+		t.Fatal(err)
+	}
+	fs, _ := fsim.Open(dev)
+	if probs := fs.Audit(); len(probs) == 0 {
+		t.Fatal("dependency violation did not corrupt the file system")
+	}
+}
+
+// TestBugdbScenariosMatchCorpusScenarios keeps the study dataset and
+// the extraction corpus aligned on scenario naming.
+func TestBugdbScenariosMatchCorpusScenarios(t *testing.T) {
+	corpusNames := map[string]bool{}
+	for _, sc := range corpus.Scenarios() {
+		corpusNames[sc.Name] = true
+	}
+	for _, name := range bugdb.ScenarioOrder {
+		if !corpusNames[name] {
+			t.Errorf("bugdb scenario %q missing from corpus scenarios", name)
+		}
+	}
+}
+
+// TestStudyDepsCoverExtractedCCDs: each CCD the analyzer extracts must
+// correspond to a critical dependency class present in the study
+// dataset (the study motivated the extraction).
+func TestStudyDepsCoverExtractedCCDs(t *testing.T) {
+	db := bugdb.Load()
+	studyPairs := map[string]bool{}
+	for _, d := range db.Deps {
+		if d.Kind.Category() == depmodel.CCD {
+			studyPairs[d.Params[0].Component+"|"+d.Params[1].String()] = true
+		}
+	}
+	comps := corpus.Components()
+	for _, sc := range corpus.Scenarios() {
+		res, err := core.Analyze(comps, sc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Deps.Deps() {
+			if d.Kind.Category() != depmodel.CCD || !corpus.TrueDeps[d.Key()] {
+				continue
+			}
+			pair := d.Source.Component + "|" + d.Target.String()
+			if !studyPairs[pair] {
+				t.Errorf("extracted CCD %s has no counterpart in the study dataset", pair)
+			}
+		}
+	}
+}
+
+// TestFullEcosystemLifecycle drives every stage against one image:
+// create, mount, write, defrag, unmount, grow, check, shrink, check.
+func TestFullEcosystemLifecycle(t *testing.T) {
+	dev := fsim.NewMemDevice(48 << 20)
+	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, BlocksCount: 16384}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mountsim.Do(dev, mountsim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []uint32
+	for i := 0; i < 5; i++ {
+		f, err := m.Create(fsim.RootIno, string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Write(f, bytes.Repeat([]byte{byte(i)}, 2048*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if _, err := e4defrag.Run(m, e4defrag.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resize2fs.Run(dev, resize2fs.Options{Size: 32768, FixedFreeBlocks: true}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := e2fsck.Run(dev, e2fsck.Options{Force: true, Yes: true})
+	if err != nil || ck.ExitCode != e2fsck.ExitClean {
+		t.Fatalf("fsck after grow: %v exit=%d remaining=%v", err, ck.ExitCode, ck.Remaining)
+	}
+	if _, err := resize2fs.Run(dev, resize2fs.Options{Size: 24576}); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	ck, err = e2fsck.Run(dev, e2fsck.Options{Force: true, Yes: true})
+	if err != nil || ck.ExitCode != e2fsck.ExitClean {
+		t.Fatalf("fsck after shrink: %v exit=%d remaining=%v", err, ck.ExitCode, ck.Remaining)
+	}
+	fs, _ := fsim.Open(dev)
+	for i, f := range files {
+		got, err := fs.ReadFile(f)
+		if err != nil || len(got) != 2048*(i+1) {
+			t.Fatalf("file %d damaged across lifecycle: %v", i, err)
+		}
+	}
+}
