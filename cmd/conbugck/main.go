@@ -8,35 +8,38 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"fsdep/internal/conbugck"
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
 	"fsdep/internal/depmodel"
+	"fsdep/internal/sched"
 	"fsdep/internal/testsuite"
 )
 
 func main() {
 	n := flag.Int("n", 25, "number of configuration states to generate")
 	seed := flag.Uint64("seed", 42, "generator seed (deterministic plans)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
 	flag.Parse()
+	sopts := sched.Options{Workers: *parallel}
 
-	comps := corpus.Components()
 	union := depmodel.NewSet()
-	for _, sc := range corpus.Scenarios() {
-		res, err := core.Analyze(comps, sc, core.Options{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "conbugck:", err)
-			os.Exit(1)
-		}
+	outs, err := core.AnalyzeAll(corpus.Components(), corpus.Scenarios(), core.Options{}, sopts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conbugck:", err)
+		os.Exit(1)
+	}
+	for _, res := range outs {
 		union.AddAll(res.Deps.Deps())
 	}
 
 	gen := conbugck.NewGenerator(union, *seed)
 	plan := gen.Plan(*n)
 	fmt.Printf("generated %d dependency-respecting configuration states\n", len(plan))
-	rep := conbugck.Execute(plan)
+	rep := conbugck.ExecuteParallel(plan, sopts)
 	fmt.Printf("executed pipeline (mkfs → mount → workload → umount → fsck -f) under each state\n")
 	fmt.Printf("  shallow rejections: %d (the generator's goal is zero)\n", rep.Shallow)
 	fmt.Printf("  deep failures:      %d\n", rep.Deep)

@@ -3,22 +3,26 @@
 //
 // Usage:
 //
-//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-v]
+//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-v]
 //
 // Without -scenario, every Table-5 scenario runs and the evaluation
 // table is printed. With -json, the extracted dependencies are written
-// as the analyzer's JSON document (§4.1 of the paper).
+// as the analyzer's JSON document (§4.1 of the paper). Scenarios run
+// concurrently on -parallel workers; the output is guaranteed to be
+// byte-identical to a sequential run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
 	"fsdep/internal/depmodel"
 	"fsdep/internal/report"
+	"fsdep/internal/sched"
 	"fsdep/internal/taint"
 )
 
@@ -27,8 +31,16 @@ func main() {
 	dump := flag.String("dump", "", "print the IR/CFG of a component (mke2fs, mount, ext4, e4defrag, resize2fs, e2fsck) and exit")
 	mode := flag.String("mode", "intra", "taint mode: intra (paper prototype) or inter (extension)")
 	jsonOut := flag.String("json", "", "write extracted dependencies to this JSON file")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of analysis workers (output is identical for any value)")
 	verbose := flag.Bool("v", false, "list every extracted dependency")
 	flag.Parse()
+	sopts := sched.Options{Workers: *parallel}
+
+	if *dump != "" && (*scenario != "" || *jsonOut != "") {
+		fmt.Fprintln(os.Stderr, "fsdep: -dump cannot be combined with -scenario or -json")
+		fmt.Fprintln(os.Stderr, "usage: fsdep -dump component | fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-v]")
+		os.Exit(2)
+	}
 
 	var tm taint.Mode
 	switch *mode {
@@ -58,7 +70,7 @@ func main() {
 	}
 
 	if *scenario == "" {
-		res, err := report.RunTable5(tm)
+		res, err := report.RunTable5Sched(tm, sopts)
 		if err != nil {
 			fatal(err)
 		}
@@ -85,10 +97,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsdep: unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
-	res, err := core.Analyze(corpus.Components(), *sc, core.Options{Mode: tm})
+	outs, err := core.AnalyzeAll(corpus.Components(), []core.Scenario{*sc}, core.Options{Mode: tm}, sopts)
 	if err != nil {
 		fatal(err)
 	}
+	res := outs[0]
 	tp, fp := corpus.Score(res.Deps.Deps())
 	cnt := res.Deps.CountByCategory()
 	fmt.Printf("scenario %s (%s): SD=%d CPD=%d CCD=%d — %d extracted, %d true, %d false positives\n",

@@ -22,6 +22,7 @@ import (
 	"fsdep/internal/fsim"
 	"fsdep/internal/mke2fs"
 	"fsdep/internal/mountsim"
+	"fsdep/internal/sched"
 )
 
 // Config is one generated configuration state.
@@ -179,24 +180,43 @@ type Report struct {
 }
 
 // Execute runs every configuration through the full pipeline.
-func Execute(cfgs []Config) *Report {
-	rep := &Report{ParamsTouched: make(map[string]bool)}
-	for _, cfg := range cfgs {
-		res := RunResult{Config: cfg}
-		err := runOne(cfg, rep.ParamsTouched)
-		if err != nil {
+func Execute(cfgs []Config) *Report { return ExecuteParallel(cfgs, sched.Sequential()) }
+
+// ExecuteParallel runs the configurations concurrently, bounded by
+// sopts. Each configuration drives its own fsim pipeline and records
+// coverage into a private map; results and coverage merge in plan
+// order, so the report is identical to a sequential Execute.
+func ExecuteParallel(cfgs []Config, sopts sched.Options) *Report {
+	type outcome struct {
+		res     RunResult
+		touched map[string]bool
+	}
+	outs, _ := sched.Map(sopts, cfgs, func(_ int, cfg Config) (outcome, error) {
+		o := outcome{res: RunResult{Config: cfg}, touched: make(map[string]bool)}
+		if err := runOne(cfg, o.touched); err != nil {
 			var pe *mke2fs.ParamError
 			var me *mountsim.MountError
 			if asErr(err, &pe) || asErr(err, &me) {
-				res.ShallowReject = true
-				rep.Shallow++
+				o.res.ShallowReject = true
 			} else {
-				res.DeepFailure = true
-				rep.Deep++
+				o.res.DeepFailure = true
 			}
-			res.Err = err
+			o.res.Err = err
 		}
-		rep.Results = append(rep.Results, res)
+		return o, nil
+	})
+	rep := &Report{ParamsTouched: make(map[string]bool)}
+	for _, o := range outs {
+		rep.Results = append(rep.Results, o.res)
+		if o.res.ShallowReject {
+			rep.Shallow++
+		}
+		if o.res.DeepFailure {
+			rep.Deep++
+		}
+		for p := range o.touched {
+			rep.ParamsTouched[p] = true
+		}
 	}
 	return rep
 }

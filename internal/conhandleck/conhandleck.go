@@ -19,6 +19,7 @@ import (
 	"fsdep/internal/mke2fs"
 	"fsdep/internal/mountsim"
 	"fsdep/internal/resize2fs"
+	"fsdep/internal/sched"
 )
 
 // Outcome classifies how the ecosystem handled a violation.
@@ -321,17 +322,27 @@ func drivers() []driver {
 
 // Run executes every violation whose dependency appears in deps (or
 // all of them when deps is nil) and classifies the outcomes.
-func Run(deps *depmodel.Set) *Report {
-	rep := &Report{Counts: make(map[Outcome]int)}
+func Run(deps *depmodel.Set) *Report { return RunParallel(deps, sched.Sequential()) }
+
+// RunParallel executes the selected violations concurrently, bounded
+// by sopts. Each trial builds its own fsim pipeline instance, and
+// trials are collected in driver order, so the report is identical to
+// a sequential Run.
+func RunParallel(deps *depmodel.Set, sopts sched.Options) *Report {
+	var selected []driver
 	for _, d := range drivers() {
 		if deps != nil && !d.fromStudy && !deps.ContainsKey(d.depKey) {
 			continue
 		}
+		selected = append(selected, d)
+	}
+	trials, _ := sched.Map(sopts, selected, func(_ int, d driver) (Trial, error) {
 		out, detail := d.run()
-		rep.Trials = append(rep.Trials, Trial{
-			DepKey: d.depKey, Desc: d.desc, Outcome: out, Detail: detail,
-		})
-		rep.Counts[out]++
+		return Trial{DepKey: d.depKey, Desc: d.desc, Outcome: out, Detail: detail}, nil
+	})
+	rep := &Report{Trials: trials, Counts: make(map[Outcome]int)}
+	for _, t := range trials {
+		rep.Counts[t.Outcome]++
 	}
 	return rep
 }

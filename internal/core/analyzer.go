@@ -29,10 +29,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fsdep/internal/depmodel"
 	"fsdep/internal/ir"
 	"fsdep/internal/minicc"
+	"fsdep/internal/sched"
 	"fsdep/internal/taint"
 )
 
@@ -62,24 +64,32 @@ type Component struct {
 	// prog is the compiled IR (populated by Compile).
 	prog *ir.Program
 	file *minicc.File
+
+	// compileOnce guards the lazy compilation; compileErr is the
+	// sticky result shared by every caller.
+	compileOnce sync.Once
+	compileErr  error
 }
 
-// Compile parses and lowers the component. Idempotent.
+// Compile parses and lowers the component. Idempotent and
+// goroutine-safe: the first caller does the work and its result —
+// including any error — sticks for all subsequent callers.
 func (c *Component) Compile() error {
-	if c.prog != nil {
-		return nil
-	}
-	f, err := minicc.Parse(c.Name+".c", c.Source)
-	if err != nil {
-		return fmt.Errorf("core: compiling %s: %w", c.Name, err)
-	}
-	p, err := ir.Build(f)
-	if err != nil {
-		return fmt.Errorf("core: lowering %s: %w", c.Name, err)
-	}
-	c.file = f
-	c.prog = p
-	return nil
+	c.compileOnce.Do(func() {
+		f, err := minicc.Parse(c.Name+".c", c.Source)
+		if err != nil {
+			c.compileErr = fmt.Errorf("core: compiling %s: %w", c.Name, err)
+			return
+		}
+		p, err := ir.Build(f)
+		if err != nil {
+			c.compileErr = fmt.Errorf("core: lowering %s: %w", c.Name, err)
+			return
+		}
+		c.file = f
+		c.prog = p
+	})
+	return c.compileErr
 }
 
 // Program exposes the compiled IR (tests, tooling).
@@ -191,6 +201,39 @@ func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, e
 	// Cross-component derivation via the metadata bridge.
 	deriveCrossComponent(res.Deps, runs)
 	return res, nil
+}
+
+// AnalyzeAll runs the analyzer over several scenarios concurrently,
+// bounded by sopts. Components shared between scenarios are compiled
+// exactly once (Compile is goroutine-safe), and results come back in
+// scenario order, so the output is byte-identical to calling Analyze
+// over the scenarios sequentially.
+func AnalyzeAll(comps map[string]*Component, scenarios []Scenario, opts Options, sopts sched.Options) ([]*Result, error) {
+	// Validate references up front and collect the unique components in
+	// first-reference order, so compile errors surface deterministically
+	// regardless of worker count.
+	var unique []*Component
+	seen := make(map[string]bool)
+	for _, sc := range scenarios {
+		for _, name := range sc.Components {
+			comp, ok := comps[name]
+			if !ok {
+				return nil, fmt.Errorf("core: scenario %s references unknown component %q", sc.Name, name)
+			}
+			if !seen[name] {
+				seen[name] = true
+				unique = append(unique, comp)
+			}
+		}
+	}
+	if _, err := sched.Map(sopts, unique, func(_ int, c *Component) (struct{}, error) {
+		return struct{}{}, c.Compile()
+	}); err != nil {
+		return nil, err
+	}
+	return sched.Map(sopts, scenarios, func(_ int, sc Scenario) (*Result, error) {
+		return Analyze(comps, sc, opts)
+	})
 }
 
 // seedParam returns the parameter name for seed id in tr.
@@ -585,7 +628,16 @@ func deriveCrossComponent(out *depmodel.Set, runs []compRun) {
 	}
 	for _, r := range runs {
 		for _, site := range r.tr.Sites {
-			for lockey, canon := range site.CanonOf {
+			// Iterate canonical locations in sorted order: map order
+			// would otherwise make CCD evidence positions differ from
+			// run to run.
+			lockeys := make([]string, 0, len(site.CanonOf))
+			for k := range site.CanonOf {
+				lockeys = append(lockeys, k)
+			}
+			sort.Strings(lockeys)
+			for _, lockey := range lockeys {
+				canon := site.CanonOf[lockey]
 				if canon == "" {
 					continue
 				}

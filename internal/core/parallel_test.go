@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"fsdep/internal/depmodel"
+	"fsdep/internal/sched"
+)
+
+// depFile encodes a run's dependency set in insertion order — the
+// order the derivation emits, where any map-iteration nondeterminism
+// would show up.
+func depFile(res *Result) ([]byte, error) {
+	f := &depmodel.File{
+		Ecosystem:    "test",
+		Scenario:     res.Scenario.Name,
+		Dependencies: res.Deps.Deps(),
+	}
+	return f.Encode()
+}
+
+// bridgeComponents builds a two-component ecosystem whose branch sites
+// mix several canonical metadata locations, exercising the CanonOf
+// iteration order in deriveCrossComponent.
+func bridgeComponents() (map[string]*Component, Scenario) {
+	writerSrc := `
+struct ext2_super_block { long s_log_block_size; long s_inodes_count; };
+struct opts { long blocksize; long inodes; };
+void setup(struct opts *opts, struct ext2_super_block *sb) {
+	sb->s_log_block_size = opts->blocksize;
+	sb->s_inodes_count = opts->inodes;
+}`
+	readerSrc := `
+struct ext2_super_block { long s_log_block_size; long s_inodes_count; };
+struct ropts { long newsize; };
+void check(struct ropts *opts, struct ext2_super_block *sb) {
+	if (opts->newsize < sb->s_log_block_size && sb->s_inodes_count > 0) {
+		return;
+	}
+}`
+	comps := map[string]*Component{
+		"writer": {Name: "writer", Source: writerSrc, Params: []Param{
+			{Name: "blocksize", Var: "opts.blocksize", CType: "int"},
+			{Name: "inodes", Var: "opts.inodes", CType: "int"},
+		}},
+		"reader": {Name: "reader", Source: readerSrc, Params: []Param{
+			{Name: "newsize", Var: "opts.newsize", CType: "int"},
+		}},
+	}
+	sc := Scenario{
+		Name:       "writer-reader",
+		Components: []string{"writer", "reader"},
+		Funcs: map[string][]string{
+			"writer": {"setup"},
+			"reader": {"check"},
+		},
+	}
+	return comps, sc
+}
+
+// resultJSON serializes a run's dependency set the way cmd/fsdep does.
+func resultJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	blob, err := depFile(res)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return blob
+}
+
+// TestCompileRace compiles one component from 8 goroutines; run with
+// -race this proves the sync.Once init has no check-then-set window.
+func TestCompileRace(t *testing.T) {
+	comps, _ := bridgeComponents()
+	comp := comps["writer"]
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = comp.Compile()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	if comp.prog == nil {
+		t.Fatal("component not compiled")
+	}
+}
+
+// TestCompileErrorSticks verifies the sticky-error contract: a failing
+// compile reports the same error to every caller, concurrent or not.
+func TestCompileErrorSticks(t *testing.T) {
+	comp := &Component{Name: "broken", Source: "void f( {"}
+	first := comp.Compile()
+	if first == nil {
+		t.Fatal("expected a compile error")
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = comp.Compile()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != first {
+			t.Fatalf("goroutine %d: error %v is not the sticky first error %v", i, err, first)
+		}
+	}
+}
+
+// TestAnalyzeDeterministic runs Analyze 5 times over fresh components
+// and asserts byte-identical JSON — the CCD evidence used to depend on
+// CanonOf map iteration order.
+func TestAnalyzeDeterministic(t *testing.T) {
+	var first []byte
+	for i := 0; i < 5; i++ {
+		comps, sc := bridgeComponents()
+		res, err := Analyze(comps, sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob := resultJSON(t, res)
+		if first == nil {
+			first = blob
+			continue
+		}
+		if !bytes.Equal(first, blob) {
+			t.Fatalf("run %d JSON differs from run 1:\n%s\n---\n%s", i+1, first, blob)
+		}
+	}
+}
+
+// TestAnalyzeAllMatchesSequential proves the determinism guarantee of
+// the engine: 8 workers produce byte-identical JSON to 1 worker.
+func TestAnalyzeAllMatchesSequential(t *testing.T) {
+	run := func(workers int) [][]byte {
+		comps, sc := bridgeComponents()
+		// Analyze the same scenario several times to give the pool
+		// real contention on the shared component cache.
+		scenarios := []Scenario{sc, sc, sc, sc, sc, sc}
+		outs, err := AnalyzeAll(comps, scenarios, Options{}, sched.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs := make([][]byte, len(outs))
+		for i, res := range outs {
+			blobs[i] = resultJSON(t, res)
+		}
+		return blobs
+	}
+	seq := run(1)
+	par := run(8)
+	if len(seq) != len(par) {
+		t.Fatalf("result counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Fatalf("scenario %d: parallel JSON differs from sequential:\n%s\n---\n%s", i, seq[i], par[i])
+		}
+	}
+	if len(seq) > 0 && len(seq[0]) == 0 {
+		t.Fatal("empty dependency JSON")
+	}
+}
+
+// TestAnalyzeAllUnknownComponent surfaces the validation error before
+// any workers start.
+func TestAnalyzeAllUnknownComponent(t *testing.T) {
+	comps, sc := bridgeComponents()
+	sc.Components = append(sc.Components, "ghost")
+	if _, err := AnalyzeAll(comps, []Scenario{sc}, Options{}, sched.Options{Workers: 4}); err == nil {
+		t.Fatal("expected unknown-component error")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fsdep/internal/corpus"
 	"fsdep/internal/depmodel"
 	"fsdep/internal/fscatalog"
+	"fsdep/internal/sched"
 	"fsdep/internal/taint"
 	"fsdep/internal/testsuite"
 )
@@ -170,17 +171,26 @@ func (t *Table5Result) FPRate() float64 {
 // RunTable5 executes the analyzer over every scenario and scores the
 // extractions against the corpus ground truth.
 func RunTable5(mode taint.Mode) (*Table5Result, error) {
+	return RunTable5Sched(mode, sched.Sequential())
+}
+
+// RunTable5Sched is RunTable5 with the scenarios analyzed concurrently
+// under sopts. Scoring and union accumulation stay in scenario order,
+// so the result is identical for any worker count.
+func RunTable5Sched(mode taint.Mode, sopts sched.Options) (*Table5Result, error) {
 	comps := corpus.Components()
+	scenarios := corpus.Scenarios()
 	res := &Table5Result{Mode: mode}
 	union := depmodel.NewSet()
 	fpKeys := map[depmodel.Category]map[string]bool{
 		depmodel.SD: {}, depmodel.CPD: {}, depmodel.CCD: {},
 	}
-	for _, sc := range corpus.Scenarios() {
-		out, err := core.Analyze(comps, sc, core.Options{Mode: mode})
-		if err != nil {
-			return nil, err
-		}
+	outs, err := core.AnalyzeAll(comps, scenarios, core.Options{Mode: mode}, sopts)
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		out := outs[i]
 		row := Table5Row{Scenario: sc.Name, Deps: out.Deps}
 		_, fps := corpus.Score(out.Deps.Deps())
 		for _, d := range out.Deps.Deps() {
@@ -239,8 +249,11 @@ func (r *Table5Row) cellValue(cat depmodel.Category) CategoryCell {
 
 // Table5 runs the extraction (intra-procedural, as the paper's
 // prototype) and writes the evaluation table.
-func Table5(w io.Writer) error {
-	res, err := RunTable5(taint.Intra)
+func Table5(w io.Writer) error { return Table5Sched(w, sched.Sequential()) }
+
+// Table5Sched is Table5 with scenario-level parallelism.
+func Table5Sched(w io.Writer, sopts sched.Options) error {
+	res, err := RunTable5Sched(taint.Intra, sopts)
 	if err != nil {
 		return err
 	}
@@ -277,7 +290,12 @@ func (t *Table5Result) Render(w io.Writer) error {
 }
 
 // All writes every table in order, with headers.
-func All(w io.Writer) error {
+func All(w io.Writer) error { return AllSched(w, sched.Sequential()) }
+
+// AllSched is All with the Table-5 extraction parallelized under
+// sopts; the rendered output is identical for any worker count.
+func AllSched(w io.Writer, sopts sched.Options) error {
+	table5 := func(w io.Writer) error { return Table5Sched(w, sopts) }
 	sections := []struct {
 		title string
 		fn    func(io.Writer) error
@@ -286,7 +304,7 @@ func All(w io.Writer) error {
 		{"Table 2: Configuration coverage of test suites", Table2},
 		{"Table 3: Distribution of configuration bugs in four scenarios", Table3},
 		{"Table 4: Taxonomy of critical configuration dependencies", Table4},
-		{"Table 5: Evaluation of extracting multi-level configuration dependencies", Table5},
+		{"Table 5: Evaluation of extracting multi-level configuration dependencies", table5},
 	}
 	for _, s := range sections {
 		fmt.Fprintf(w, "== %s ==\n", s.title)

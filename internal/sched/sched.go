@@ -1,0 +1,100 @@
+// Package sched provides a bounded worker pool with deterministic,
+// index-ordered result collection. It is the execution engine behind
+// the parallel analysis paths: scenario fan-out in core.AnalyzeAll,
+// the violation sweeps of ConHandleCk, and the configuration pipelines
+// of ConBugCk.
+//
+// The determinism contract is the whole point: for any worker count,
+// Map returns results in item order and reports the error of the
+// lowest-indexed failing item, so a parallel run is byte-identical to
+// a sequential one as long as the per-item function is pure with
+// respect to shared state. Callers keep merge points ordered (or
+// sorted) and gain wall-clock speedup without output drift.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a parallel run.
+type Options struct {
+	// Workers bounds the number of concurrently running goroutines.
+	// Zero or negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Sequential returns options that force single-worker execution — the
+// reference schedule every parallel run must reproduce.
+func Sequential() Options { return Options{Workers: 1} }
+
+// workers resolves the effective worker count for n items.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn over every item with at most opts.Workers concurrent
+// invocations and returns the results in item order. Every item runs
+// even when another fails; the returned error is the one of the
+// lowest-indexed failing item, so error selection does not depend on
+// goroutine scheduling.
+func Map[T, R any](opts Options, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, nil
+	}
+	results := make([]R, n)
+	errs := make([]error, n)
+	if w := opts.workers(n); w == 1 {
+		for i, item := range items {
+			results[i], errs[i] = fn(i, item)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i, items[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// ForEach runs fn for every index in [0, n) under the same bounded,
+// order-deterministic contract as Map.
+func ForEach(opts Options, n int, fn func(i int) error) error {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	_, err := Map(opts, idx, func(i int, _ int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 0, 200} {
+		got, err := Map(Options{Workers: workers}, items, func(i, item int) (string, error) {
+			return fmt.Sprintf("%d:%d", i, item), nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(items) {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, s := range got {
+			if want := fmt.Sprintf("%d:%d", i, i); s != want {
+				t.Fatalf("workers=%d: got[%d] = %q, want %q", workers, i, s, want)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(Options{}, nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: %v, %v", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	items := make([]int, 64)
+	for _, workers := range []int{1, 8} {
+		ran := make([]bool, len(items))
+		_, err := Map(Options{Workers: workers}, items, func(i, _ int) (int, error) {
+			ran[i] = true
+			switch i {
+			case 7:
+				return 0, errLow
+			case 50:
+				return 0, errHigh
+			}
+			return 0, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+		for i, r := range ran {
+			if !r {
+				t.Fatalf("workers=%d: item %d did not run after earlier failure", workers, i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(Options{Workers: workers}, make([]int, 64), func(int, int) (int, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency = %d, want <= %d", p, workers)
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[int]bool)
+	if err := ForEach(Options{Workers: 4}, 50, func(i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("visited %d indices, want 50", len(seen))
+	}
+}
+
+func TestSequentialIsOneWorker(t *testing.T) {
+	if w := Sequential().workers(100); w != 1 {
+		t.Fatalf("Sequential workers = %d", w)
+	}
+	if w := (Options{}).workers(1); w != 1 {
+		t.Fatalf("single item workers = %d", w)
+	}
+}

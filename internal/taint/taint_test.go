@@ -291,3 +291,61 @@ func TestSeedSetOps(t *testing.T) {
 		t.Error("second union should not change")
 	}
 }
+
+func TestSeedSetUnionSelfAliasing(t *testing.T) {
+	s := NewSeedSet(1, 63, 64, 200)
+	// s.Union(*s) aliases the receiver's backing array through the
+	// argument; it must neither change the set nor report growth.
+	if changed := s.Union(s); changed {
+		t.Error("self-union reported a change")
+	}
+	if ids := s.IDs(); len(ids) != 4 || ids[0] != 1 || ids[1] != 63 || ids[2] != 64 || ids[3] != 200 {
+		t.Errorf("self-union corrupted the set: %v", ids)
+	}
+}
+
+func TestSeedSetAddAcrossWordBoundaries(t *testing.T) {
+	var s SeedSet
+	s.Add(63)
+	if len(s.words) != 1 {
+		t.Fatalf("words = %d after Add(63), want 1", len(s.words))
+	}
+	s.Add(64)
+	if len(s.words) != 2 {
+		t.Fatalf("words = %d after Add(64), want 2", len(s.words))
+	}
+	s.Add(320)
+	if len(s.words) != 6 {
+		t.Fatalf("words = %d after Add(320), want 6", len(s.words))
+	}
+	for _, id := range []int{63, 64, 320} {
+		if !s.Has(id) {
+			t.Errorf("Has(%d) = false", id)
+		}
+	}
+	// Ids in the gap words must not appear.
+	if s.Has(65) || s.Has(128) || s.Has(319) || s.Has(321) {
+		t.Error("gap ids reported as members")
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSeedSetIntersectsMismatchedLengths(t *testing.T) {
+	long := NewSeedSet(0, 130)
+	short := NewSeedSet(0)
+	if !long.Intersects(short) || !short.Intersects(long) {
+		t.Error("shared member 0 not detected across lengths")
+	}
+	onlyHigh := NewSeedSet(130)
+	lowOnly := NewSeedSet(1)
+	// The intersection lies entirely beyond the shorter set's words.
+	if onlyHigh.Intersects(lowOnly) || lowOnly.Intersects(onlyHigh) {
+		t.Error("disjoint sets reported as intersecting")
+	}
+	var empty SeedSet
+	if long.Intersects(empty) || empty.Intersects(long) {
+		t.Error("empty set intersects")
+	}
+}

@@ -1,0 +1,55 @@
+// Parallel-engine benchmarks: the sequential/parallel variants of the
+// Table-5 extraction and the ConHandleCk violation sweep, so the
+// recorded BENCH_*.json captures the worker-pool speedup alongside the
+// headline-shape assertions.
+package fsdep
+
+import (
+	"runtime"
+	"testing"
+
+	"fsdep/internal/conhandleck"
+	"fsdep/internal/report"
+	"fsdep/internal/sched"
+	"fsdep/internal/taint"
+)
+
+func benchmarkExtraction(b *testing.B, workers int) {
+	opts := sched.Options{Workers: workers}
+	for i := 0; i < b.N; i++ {
+		res, err := report.RunTable5Sched(taint.Intra, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalExtracted() != 64 || res.TotalFP() != 5 {
+			b.Fatalf("extraction = %d deps, %d FP", res.TotalExtracted(), res.TotalFP())
+		}
+	}
+}
+
+// BenchmarkParallelExtraction runs the full four-scenario Table-5
+// extraction sequentially and on all cores; identical output, the
+// wall-clock ratio is the engine's speedup.
+func BenchmarkParallelExtraction(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchmarkExtraction(b, 1) })
+	b.Run("workers=max", func(b *testing.B) { benchmarkExtraction(b, runtime.GOMAXPROCS(0)) })
+}
+
+func benchmarkConHandleCk(b *testing.B, workers int) {
+	union := extractUnion(b)
+	opts := sched.Options{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := conhandleck.RunParallel(union, opts)
+		if n := len(rep.Corruptions()); n != 1 {
+			b.Fatalf("silent corruptions = %d, want 1", n)
+		}
+	}
+}
+
+// BenchmarkParallelConHandleCk sweeps every violation sequentially and
+// on all cores; each trial drives its own fsim pipeline instance.
+func BenchmarkParallelConHandleCk(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { benchmarkConHandleCk(b, 1) })
+	b.Run("workers=max", func(b *testing.B) { benchmarkConHandleCk(b, runtime.GOMAXPROCS(0)) })
+}
