@@ -5,9 +5,12 @@
 //
 //	fsdep-report [-table N] [-parallel N]
 //
-// Without -table, all five tables print in order. The Table-5
-// extraction runs its scenarios concurrently on -parallel workers;
-// the rendered tables are byte-identical for any worker count.
+// Without -table, all five paper tables print in order. Table 6 — the
+// ConCrashCk crash/fault robustness sweep — is printed only on
+// request, since it runs hundreds of full pipeline trials. The Table-5
+// extraction and the Table-6 sweep run concurrently on -parallel
+// workers; the rendered tables are byte-identical for any worker
+// count.
 package main
 
 import (
@@ -22,7 +25,7 @@ import (
 )
 
 func main() {
-	table := flag.Int("table", 0, "print a single table (1-5); 0 = all")
+	table := flag.Int("table", 0, "print a single table (1-6); 0 = all paper tables (1-5)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of analysis workers (output is identical for any value)")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
@@ -31,6 +34,7 @@ func main() {
 		1: report.Table1, 2: report.Table2, 3: report.Table3,
 		4: report.Table4,
 		5: func(w io.Writer) error { return report.Table5Sched(w, sopts) },
+		6: func(w io.Writer) error { return report.Table6Sched(w, sopts) },
 	}
 	if *table == 0 {
 		if err := report.AllSched(os.Stdout, sopts); err != nil {
@@ -40,7 +44,7 @@ func main() {
 	}
 	fn, ok := fns[*table]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "fsdep-report: no table %d (valid: 1-5)\n", *table)
+		fmt.Fprintf(os.Stderr, "fsdep-report: no table %d (valid: 1-6)\n", *table)
 		os.Exit(2)
 	}
 	if err := fn(os.Stdout); err != nil {

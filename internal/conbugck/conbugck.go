@@ -22,6 +22,7 @@ import (
 	"fsdep/internal/fsim"
 	"fsdep/internal/mke2fs"
 	"fsdep/internal/mountsim"
+	"fsdep/internal/prng"
 	"fsdep/internal/sched"
 )
 
@@ -38,27 +39,14 @@ type Config struct {
 // Generator produces dependency-respecting configurations.
 type Generator struct {
 	deps *depmodel.Set
-	// rng is a deterministic linear congruential generator; runs are
-	// reproducible for a given seed.
-	rng uint64
+	// rng is the shared deterministic generator; runs are reproducible
+	// for a given seed.
+	rng *prng.Source
 }
 
 // NewGenerator builds a generator over the extracted dependencies.
 func NewGenerator(deps *depmodel.Set, seed uint64) *Generator {
-	if seed == 0 {
-		seed = 0x9e3779b97f4a7c15
-	}
-	return &Generator{deps: deps, rng: seed}
-}
-
-func (g *Generator) next() uint64 {
-	g.rng = g.rng*6364136223846793005 + 1442695040888963407
-	return g.rng >> 11
-}
-
-// pick returns a pseudo-random element of xs.
-func pick[T any](g *Generator, xs []T) T {
-	return xs[g.next()%uint64(len(xs))]
+	return &Generator{deps: deps, rng: prng.New(seed)}
 }
 
 // rangeOf returns the extracted valid range for a parameter, with
@@ -115,7 +103,7 @@ func (g *Generator) featureSets(n int) [][]string {
 	}
 	var out [][]string
 	for i := 0; len(out) < n && i < 4*n; i++ {
-		out = append(out, pick(g, optional))
+		out = append(out, prng.Pick(g.rng, optional))
 	}
 	return out
 }
@@ -127,12 +115,12 @@ func (g *Generator) Plan(n int) []Config {
 	var cfgs []Config
 	bsMin, bsMax := g.rangeOf("mke2fs", "blocksize", fsim.MinBlockSize, fsim.MaxBlockSize)
 	for _, feats := range g.featureSets(n) {
-		bs := pick(g, blockSizes)
+		bs := prng.Pick(g.rng, blockSizes)
 		if int64(bs) < bsMin || int64(bs) > bsMax {
 			bs = uint32(bsMin)
 		}
 		rpMin, rpMax := g.rangeOf("mke2fs", "reserved_percent", 0, 50)
-		rp := int(rpMin + int64(g.next())%(rpMax-rpMin+1))
+		rp := int(rpMin + int64(g.rng.Next())%(rpMax-rpMin+1))
 		p := mke2fs.Params{
 			BlockSize:       bs,
 			ReservedPercent: rp,
@@ -147,7 +135,7 @@ func (g *Generator) Plan(n int) []Config {
 			}
 		}
 		if hasJournal {
-			mo.Data = pick(g, []string{"ordered", "writeback", "journal"})
+			mo.Data = prng.Pick(g.rng, []string{"ordered", "writeback", "journal"})
 		}
 		cfgs = append(cfgs, Config{
 			Mkfs: p, Mount: mo,

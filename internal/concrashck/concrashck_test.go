@@ -1,0 +1,174 @@
+package concrashck
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"fsdep/internal/sched"
+)
+
+func figure1Pair() []Scenario {
+	all := Scenarios()
+	var out []Scenario
+	for _, sc := range all {
+		if sc.Name == "figure1-sparse_super2-buggy" || sc.Name == "figure1-sparse_super2-fixed" {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// TestFigure1UnderFaultInjection is the subsystem's acceptance test:
+// sweeping the Figure-1 dependency violation across crash points, the
+// buggy resize2fs must produce at least one silent-corruption verdict,
+// and at every such fault point the fixed resize2fs must come out
+// clean or detected-and-repaired.
+func TestFigure1UnderFaultInjection(t *testing.T) {
+	rep, err := Sweep(figure1Pair(), Options{
+		MaxPointsPerMode: 12,
+		Modes:            []FaultMode{FaultCrash},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixed := make(map[string]Verdict)
+	for _, tr := range rep.Trials {
+		if tr.Scenario == "figure1-sparse_super2-fixed" {
+			fixed[fmt.Sprintf("%s@%d", tr.Mode, tr.Point)] = tr.Verdict
+		}
+	}
+
+	var silent []Trial
+	for _, tr := range rep.Trials {
+		if tr.Scenario == "figure1-sparse_super2-buggy" && tr.Verdict == VSilentCorruption {
+			silent = append(silent, tr)
+		}
+	}
+	if len(silent) == 0 {
+		t.Fatal("buggy resize2fs produced no silent corruption across the sweep")
+	}
+	for _, tr := range silent {
+		key := fmt.Sprintf("%s@%d", tr.Mode, tr.Point)
+		v, ok := fixed[key]
+		if !ok {
+			t.Errorf("no fixed-resize2fs trial for fault point %s", key)
+			continue
+		}
+		if v != VClean && v != VRepaired {
+			t.Errorf("fault point %s: buggy = silent-corruption but fixed = %s, want clean or detected-repaired", key, v)
+		}
+	}
+
+	if row, ok := rep.RowFor("figure1-sparse_super2-fixed"); !ok || row.Silent != 0 {
+		t.Errorf("fixed resize2fs row = %+v, want zero silent corruptions", row)
+	}
+	if row, ok := rep.RowFor("figure1-sparse_super2-buggy"); !ok || row.Repaired == 0 {
+		t.Errorf("buggy row = %+v, want some crash points detected and repaired by forced fsck", row)
+	}
+}
+
+// TestSweepByteIdenticalAcrossWorkers renders the same sweep five times
+// under different -parallel settings; every byte must match.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	scs := figure1Pair()
+	opts := Options{
+		Seed:             99,
+		MaxPointsPerMode: 4,
+		Modes:            []FaultMode{FaultCrash, FaultTorn},
+	}
+	var want []byte
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		rep, err := SweepParallel(scs, opts, sched.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatalf("workers=%d: render: %v", workers, err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("workers=%d output differs from workers=1:\n%s\n--- vs ---\n%s", workers, buf.Bytes(), want)
+		}
+	}
+}
+
+// TestAllScenariosPrepareAndSurviveFaultFreeRun: every catalog entry
+// must build its snapshot and complete a fault-free resize stage — the
+// enumeration counters come from that reference pass.
+func TestAllScenariosPrepareAndSurviveFaultFreeRun(t *testing.T) {
+	for _, sc := range Scenarios() {
+		p, err := prepare(sc)
+		if err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+			continue
+		}
+		if p.stageErr != "" {
+			t.Errorf("%s: fault-free resize stage failed: %s", sc.Name, p.stageErr)
+		}
+		if p.writeOps == 0 || p.readOps == 0 {
+			t.Errorf("%s: reference pass counted %d writes, %d reads", sc.Name, p.writeOps, p.readOps)
+		}
+		if p.backupBlk == 0 {
+			t.Errorf("%s: no backup superblock found for -b escalation", sc.Name)
+		}
+	}
+}
+
+func TestSamplePoints(t *testing.T) {
+	if got := samplePoints(5, 16); len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Errorf("samplePoints(5,16) = %v, want 1..5", got)
+	}
+	got := samplePoints(1000, 16)
+	if len(got) > 16 {
+		t.Fatalf("samplePoints(1000,16) returned %d points", len(got))
+	}
+	if got[0] != 1 || got[len(got)-1] != 1000 {
+		t.Errorf("samplePoints(1000,16) endpoints = %d, %d; want 1, 1000", got[0], got[len(got)-1])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("samplePoints not strictly increasing: %v", got)
+		}
+	}
+	if samplePoints(0, 16) != nil || samplePoints(10, 0) != nil {
+		t.Error("degenerate samplePoints inputs should return nil")
+	}
+}
+
+// TestVerdictCoverage: a full sweep over the Figure-1 pair with every
+// fault family must exercise clean, repaired, and silent verdicts.
+func TestVerdictCoverage(t *testing.T) {
+	rep, err := Sweep(figure1Pair(), Options{MaxPointsPerMode: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[Verdict]int)
+	for _, tr := range rep.Trials {
+		seen[tr.Verdict]++
+	}
+	for _, v := range []Verdict{VClean, VRepaired, VSilentCorruption} {
+		if seen[v] == 0 {
+			t.Errorf("sweep never produced verdict %s (saw %v)", v, seen)
+		}
+	}
+	if len(rep.Silent()) != seen[VSilentCorruption] {
+		t.Errorf("Silent() returned %d trials, counted %d", len(rep.Silent()), seen[VSilentCorruption])
+	}
+}
+
+func BenchmarkConCrashCk(b *testing.B) {
+	scs := figure1Pair()[:1]
+	opts := Options{MaxPointsPerMode: 3, Modes: []FaultMode{FaultCrash}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(scs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

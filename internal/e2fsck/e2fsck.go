@@ -153,17 +153,57 @@ func finishClean(fs *fsim.Fs, opts Options) {
 	_ = fs.Flush()
 }
 
-// repair fixes problems in dependency order: bitmaps first, then
-// counts derived from them, then link counts and connectivity.
+// clearBadExtents drops an inode's out-of-range extents and clamps a
+// corrupted on-disk extent count, returning the corrections made. File
+// contents mapped by the cleared extents are lost, as with e2fsck's
+// invalid-extent handling.
+func clearBadExtents(fs *fsim.Fs, ino uint32) (int, error) {
+	in, err := fs.ReadInode(ino)
+	if err != nil {
+		return 0, err
+	}
+	fixes := 0
+	if in.ExtentCount > fsim.MaxInlineExtents {
+		in.ExtentCount = fsim.MaxInlineExtents
+		fixes++
+	}
+	sb := fs.SB
+	for i := uint16(0); i < in.ExtentCount; i++ {
+		e := in.Extents[i]
+		if e.Len == 0 {
+			continue
+		}
+		if e.Start < sb.FirstDataBlock || e.Start+e.Len > sb.BlocksCount {
+			in.Extents[i] = fsim.Extent{}
+			fixes++
+		}
+	}
+	if fixes == 0 {
+		return 0, nil
+	}
+	return fixes, fs.WriteInode(ino, in)
+}
+
+// repair fixes problems in dependency order: extent damage and bitmaps
+// first, then counts derived from them, then link counts and
+// connectivity.
 func repair(fs *fsim.Fs, probs []fsim.Problem) (int, error) {
 	fixed := 0
-	// Order matters: rebuilding bitmaps invalidates count findings,
-	// so counts are recomputed afterwards regardless.
+	// Order matters: extent damage is cleared from the inodes first
+	// (e2fsck's "clear invalid extent" prompt), then bitmaps are
+	// rebuilt from the sanitized inodes, then counts derived from them.
 	needBitmapRebuild := false
 	for _, p := range probs {
 		switch p.Code {
 		case fsim.PBlockBitmap, fsim.PInodeBitmap, fsim.PExtentOverlap, fsim.PExtentRange:
 			needBitmapRebuild = true
+		}
+		if p.Code == fsim.PExtentRange && p.Ino != 0 {
+			n, err := clearBadExtents(fs, p.Ino)
+			if err != nil {
+				return fixed, err
+			}
+			fixed += n
 		}
 	}
 	if needBitmapRebuild {

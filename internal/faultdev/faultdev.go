@@ -1,0 +1,270 @@
+// Package faultdev wraps any fsim.Device with deterministic,
+// plan-driven fault injection. It is the substrate of ConCrashCk: the
+// paper's ConHandleCk perturbs configurations over a perfectly
+// reliable device, and this package supplies the missing axis — what
+// dependency-violating configurations do when the device crashes or
+// misbehaves underneath them.
+//
+// Faults are driven by an operation counter and a seeded prng.Source,
+// never by wall-clock or scheduling, so a (plan, seed) pair replays
+// byte-for-byte. Four fault families are supported:
+//
+//   - crash points: mutating operations (WriteAt/Resize) stop
+//     persisting at the Nth op — the crash op is dropped and every
+//     later mutation fails with ErrCrashed, modelling power loss;
+//   - torn writes: the crash op persists only a prng-chosen prefix of
+//     whole 512-byte sectors (a partial sector-sequence write);
+//   - bit flips: the crash op persists with prng-chosen bits flipped,
+//     modelling corruption in the dying write;
+//   - transient read errors: chosen read ops fail once with
+//     ErrTransientRead and succeed on retry.
+//
+// Each device also keeps a bounded structured event log (ConfInLog,
+// arXiv:2103.11561, motivates recording such logs so constraints can
+// later be inferred from them); see Plan.TraceCap and Trace.
+package faultdev
+
+import (
+	"errors"
+	"sync"
+
+	"fsdep/internal/fsim"
+	"fsdep/internal/prng"
+)
+
+// ErrCrashed reports a mutating operation at or after the plan's crash
+// point: the device has stopped persisting, as after power loss.
+var ErrCrashed = errors.New("faultdev: device crashed; mutation not persisted")
+
+// ErrTransientRead reports an injected read failure that will not
+// repeat: the same read succeeds if retried.
+var ErrTransientRead = errors.New("faultdev: transient read error")
+
+// SectorSize is the atomic persistence unit assumed for torn writes.
+const SectorSize = 512
+
+// Mode selects what happens to the write at the crash point.
+type Mode uint8
+
+// Crash-point handling modes.
+const (
+	// CrashDrop: the crash write is lost entirely.
+	CrashDrop Mode = iota
+	// CrashTorn: a prng-chosen prefix of whole sectors persists.
+	CrashTorn
+	// CrashFlip: the crash write persists with FlipBits flipped bits.
+	CrashFlip
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case CrashDrop:
+		return "drop"
+	case CrashTorn:
+		return "torn"
+	case CrashFlip:
+		return "flip"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// Plan describes the faults to inject. The zero value injects nothing
+// and turns the device into a pure operation counter.
+type Plan struct {
+	// CrashAtWrite is the 1-based index of the mutating operation
+	// (WriteAt or Resize) at which the device crashes; 0 = never.
+	// Mutations before it persist normally, the crash op is handled
+	// per Mode, and every mutation after it fails with ErrCrashed.
+	CrashAtWrite uint64
+	// Mode selects drop/torn/flip handling of the crash op.
+	Mode Mode
+	// FlipBits is how many prng-chosen bits CrashFlip flips in the
+	// crash write's payload (0 is treated as 1).
+	FlipBits int
+	// FailReads lists 1-based read-op indices that fail once with
+	// ErrTransientRead.
+	FailReads []uint64
+	// Seed drives the torn-prefix and bit-flip choices
+	// (0 = prng.DefaultSeed).
+	Seed uint64
+	// TraceCap bounds the structured event log; 0 disables tracing.
+	TraceCap int
+}
+
+// Event is one structured log entry describing an operation the
+// device observed (kept only when Plan.TraceCap > 0).
+type Event struct {
+	// Op is the 1-based index within the op's class (read or mutate).
+	Op uint64
+	// Kind is "read", "read-err", "write", "write-torn", "write-flip",
+	// "write-dropped", "resize", or "resize-dropped".
+	Kind string
+	// Off and Len locate the access ("Off" holds the new size for
+	// resizes).
+	Off int64
+	Len int
+}
+
+// Device wraps an underlying fsim.Device with a fault plan. It is safe
+// for concurrent use.
+type Device struct {
+	mu        sync.Mutex
+	under     fsim.Device
+	plan      Plan
+	rng       *prng.Source
+	failReads map[uint64]bool
+	reads     uint64
+	writes    uint64
+	crashed   bool
+	trace     []Event
+}
+
+// Wrap returns dev wrapped with plan.
+func Wrap(dev fsim.Device, plan Plan) *Device {
+	d := &Device{under: dev, plan: plan, rng: prng.New(plan.Seed)}
+	if len(plan.FailReads) > 0 {
+		d.failReads = make(map[uint64]bool, len(plan.FailReads))
+		for _, op := range plan.FailReads {
+			d.failReads[op] = true
+		}
+	}
+	return d
+}
+
+// Under returns the wrapped device — the state that actually
+// persisted, which recovery (reboot + fsck) operates on.
+func (d *Device) Under() fsim.Device { return d.under }
+
+// Reads returns how many ReadAt calls the device has observed.
+func (d *Device) Reads() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reads
+}
+
+// Writes returns how many mutating calls (WriteAt/Resize) the device
+// has observed.
+func (d *Device) Writes() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// Crashed reports whether the crash point has been reached.
+func (d *Device) Crashed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed
+}
+
+// Trace returns a copy of the recorded event log.
+func (d *Device) Trace() []Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Event(nil), d.trace...)
+}
+
+// log appends an event, keeping at most TraceCap entries (oldest are
+// evicted, like a flight recorder).
+func (d *Device) log(ev Event) {
+	if d.plan.TraceCap <= 0 {
+		return
+	}
+	if len(d.trace) >= d.plan.TraceCap {
+		copy(d.trace, d.trace[1:])
+		d.trace = d.trace[:len(d.trace)-1]
+	}
+	d.trace = append(d.trace, ev)
+}
+
+// ReadAt implements fsim.Device. Reads keep working after a crash —
+// the persisted state stays readable.
+func (d *Device) ReadAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reads++
+	if d.failReads[d.reads] {
+		delete(d.failReads, d.reads)
+		d.log(Event{Op: d.reads, Kind: "read-err", Off: off, Len: len(p)})
+		return ErrTransientRead
+	}
+	d.log(Event{Op: d.reads, Kind: "read", Off: off, Len: len(p)})
+	return d.under.ReadAt(p, off)
+}
+
+// WriteAt implements fsim.Device, applying the crash plan.
+func (d *Device) WriteAt(p []byte, off int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes++
+	switch {
+	case d.crashed:
+		d.log(Event{Op: d.writes, Kind: "write-dropped", Off: off, Len: len(p)})
+		return ErrCrashed
+	case d.plan.CrashAtWrite != 0 && d.writes == d.plan.CrashAtWrite:
+		d.crashed = true
+		return d.crashWrite(p, off)
+	}
+	d.log(Event{Op: d.writes, Kind: "write", Off: off, Len: len(p)})
+	return d.under.WriteAt(p, off)
+}
+
+// crashWrite handles the write at the crash point per the plan's Mode.
+// It always reports ErrCrashed to the writer — the machine died during
+// the op — while persisting whatever the mode dictates.
+func (d *Device) crashWrite(p []byte, off int64) error {
+	switch d.plan.Mode {
+	case CrashTorn:
+		sectors := (len(p) + SectorSize - 1) / SectorSize
+		keep := 0
+		if sectors > 0 {
+			keep = int(d.rng.Uint64n(uint64(sectors))) * SectorSize
+		}
+		if keep > len(p) {
+			keep = len(p)
+		}
+		d.log(Event{Op: d.writes, Kind: "write-torn", Off: off, Len: keep})
+		if keep > 0 {
+			if err := d.under.WriteAt(p[:keep], off); err != nil {
+				return err
+			}
+		}
+	case CrashFlip:
+		q := append([]byte(nil), p...)
+		flips := d.plan.FlipBits
+		if flips <= 0 {
+			flips = 1
+		}
+		for i := 0; i < flips && len(q) > 0; i++ {
+			bit := d.rng.Uint64n(uint64(len(q)) * 8)
+			q[bit/8] ^= 1 << (bit % 8)
+		}
+		d.log(Event{Op: d.writes, Kind: "write-flip", Off: off, Len: len(q)})
+		if err := d.under.WriteAt(q, off); err != nil {
+			return err
+		}
+	default: // CrashDrop
+		d.log(Event{Op: d.writes, Kind: "write-dropped", Off: off, Len: len(p)})
+	}
+	return ErrCrashed
+}
+
+// Size implements fsim.Device.
+func (d *Device) Size() int64 { return d.under.Size() }
+
+// Resize implements fsim.Device. Resizes count as mutating operations:
+// after the crash point the device geometry is frozen too.
+func (d *Device) Resize(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.writes++
+	if d.crashed || (d.plan.CrashAtWrite != 0 && d.writes >= d.plan.CrashAtWrite) {
+		d.crashed = true
+		d.log(Event{Op: d.writes, Kind: "resize-dropped", Off: n})
+		return ErrCrashed
+	}
+	d.log(Event{Op: d.writes, Kind: "resize", Off: n})
+	return d.under.Resize(n)
+}

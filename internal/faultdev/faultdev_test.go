@@ -1,0 +1,212 @@
+package faultdev
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fsdep/internal/fsim"
+)
+
+func fill(n int, b byte) []byte { return bytes.Repeat([]byte{b}, n) }
+
+func TestZeroPlanIsTransparentCounter(t *testing.T) {
+	d := Wrap(fsim.NewMemDevice(4096), Plan{})
+	if err := d.WriteAt(fill(1024, 0xAA), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Resize(8192); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1024)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, fill(1024, 0xAA)) {
+		t.Error("write did not pass through")
+	}
+	if d.Writes() != 2 || d.Reads() != 1 {
+		t.Errorf("counters = %d writes, %d reads; want 2, 1", d.Writes(), d.Reads())
+	}
+	if d.Crashed() {
+		t.Error("zero plan crashed")
+	}
+	if d.Size() != 8192 {
+		t.Errorf("size = %d after resize", d.Size())
+	}
+}
+
+func TestCrashDropFreezesDevice(t *testing.T) {
+	under := fsim.NewMemDevice(4096)
+	d := Wrap(under, Plan{CrashAtWrite: 2})
+	if err := d.WriteAt(fill(512, 1), 0); err != nil {
+		t.Fatalf("pre-crash write: %v", err)
+	}
+	if err := d.WriteAt(fill(512, 2), 512); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write err = %v, want ErrCrashed", err)
+	}
+	if err := d.WriteAt(fill(512, 3), 1024); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v, want ErrCrashed", err)
+	}
+	if err := d.Resize(16384); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash resize err = %v, want ErrCrashed", err)
+	}
+	if !d.Crashed() {
+		t.Error("Crashed() = false after crash point")
+	}
+	// Persisted state: first write only; crash write dropped.
+	buf := under.Bytes()
+	if !bytes.Equal(buf[:512], fill(512, 1)) {
+		t.Error("pre-crash write lost")
+	}
+	if !bytes.Equal(buf[512:1024], fill(512, 0)) {
+		t.Error("crash write persisted; want dropped")
+	}
+	// Reads still serve the frozen state.
+	got := make([]byte, 512)
+	if err := d.ReadAt(got, 0); err != nil || !bytes.Equal(got, fill(512, 1)) {
+		t.Errorf("post-crash read = %v, data ok = %v", err, bytes.Equal(got, fill(512, 1)))
+	}
+}
+
+func TestCrashTornPersistsSectorPrefix(t *testing.T) {
+	under := fsim.NewMemDevice(8192)
+	d := Wrap(under, Plan{CrashAtWrite: 1, Mode: CrashTorn, Seed: 7})
+	payload := fill(4*SectorSize, 0xEE)
+	if err := d.WriteAt(payload, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v, want ErrCrashed", err)
+	}
+	buf := under.Bytes()
+	// The persisted prefix must be whole sectors of payload followed by
+	// untouched zeros — never a partially-written sector.
+	torn := 0
+	for ; torn < 4; torn++ {
+		sec := buf[torn*SectorSize : (torn+1)*SectorSize]
+		if bytes.Equal(sec, fill(SectorSize, 0)) {
+			break
+		}
+		if !bytes.Equal(sec, fill(SectorSize, 0xEE)) {
+			t.Fatalf("sector %d partially written", torn)
+		}
+	}
+	for s := torn; s < 4; s++ {
+		if !bytes.Equal(buf[s*SectorSize:(s+1)*SectorSize], fill(SectorSize, 0)) {
+			t.Fatalf("sector %d written after the torn prefix", s)
+		}
+	}
+	if torn >= 4 {
+		t.Error("torn write persisted the full payload")
+	}
+}
+
+func TestCrashFlipFlipsExactlyNBits(t *testing.T) {
+	under := fsim.NewMemDevice(4096)
+	d := Wrap(under, Plan{CrashAtWrite: 1, Mode: CrashFlip, FlipBits: 3, Seed: 9})
+	payload := fill(1024, 0x00)
+	if err := d.WriteAt(payload, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("flip write err = %v, want ErrCrashed", err)
+	}
+	flipped := 0
+	for _, b := range under.Bytes()[:1024] {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped == 0 || flipped > 3 {
+		t.Errorf("flipped bits = %d, want 1..3 (distinct positions may collide)", flipped)
+	}
+}
+
+func TestTransientReadFailsOnce(t *testing.T) {
+	d := Wrap(fsim.NewMemDevice(4096), Plan{FailReads: []uint64{2}})
+	buf := make([]byte, 16)
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 1: %v", err)
+	}
+	if err := d.ReadAt(buf, 0); !errors.Is(err, ErrTransientRead) {
+		t.Fatalf("read 2 err = %v, want ErrTransientRead", err)
+	}
+	if err := d.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read 3 (retry): %v", err)
+	}
+}
+
+// TestDeterministicReplay proves the whole point: identical plans over
+// identical op streams leave byte-identical devices and traces.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]byte, []Event) {
+		under := fsim.NewMemDevice(8192)
+		d := Wrap(under, Plan{CrashAtWrite: 3, Mode: CrashFlip, FlipBits: 2, Seed: 123, TraceCap: 16})
+		buf := make([]byte, 256)
+		_ = d.ReadAt(buf, 0)
+		for i := 0; i < 5; i++ {
+			_ = d.WriteAt(fill(1024, byte(i+1)), int64(i)*1024)
+		}
+		return append([]byte(nil), under.Bytes()...), d.Trace()
+	}
+	b1, t1 := run()
+	b2, t2 := run()
+	if !bytes.Equal(b1, b2) {
+		t.Error("replay produced different device contents")
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Errorf("replay produced different traces:\n%v\n%v", t1, t2)
+	}
+}
+
+func TestTraceCapEvictsOldest(t *testing.T) {
+	d := Wrap(fsim.NewMemDevice(65536), Plan{TraceCap: 3})
+	for i := 0; i < 5; i++ {
+		if err := d.WriteAt(fill(16, 1), int64(i)*16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := d.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length = %d, want 3", len(tr))
+	}
+	if tr[0].Op != 3 || tr[2].Op != 5 {
+		t.Errorf("trace window = ops %d..%d, want 3..5", tr[0].Op, tr[2].Op)
+	}
+}
+
+func TestFsimPipelineSurvivesWrapping(t *testing.T) {
+	// A faultdev with no faults must be invisible to the file system.
+	d := Wrap(fsim.NewMemDevice(0), Plan{})
+	fs, err := fsim.Create(d, fsim.Geometry{
+		BlockSize: 1024, BlocksCount: 16384, InodeSize: 128, InodesPerGroup: 1024,
+		RoCompat: fsim.RoCompatSparseSuper, Incompat: fsim.IncompatFiletype,
+	})
+	if err != nil {
+		t.Fatalf("Create over faultdev: %v", err)
+	}
+	if probs := fs.Audit(); len(probs) != 0 {
+		t.Fatalf("audit through faultdev: %v", probs)
+	}
+	if d.Writes() == 0 || d.Reads() == 0 {
+		t.Errorf("counters did not observe fs traffic: %d writes, %d reads", d.Writes(), d.Reads())
+	}
+}
+
+func TestConcurrentAccessIsRaceFree(t *testing.T) {
+	d := Wrap(fsim.NewMemDevice(1<<20), Plan{CrashAtWrite: 64, TraceCap: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			for i := 0; i < 50; i++ {
+				_ = d.WriteAt(buf, int64(g)*4096)
+				_ = d.ReadAt(buf, int64(g)*4096)
+				_ = d.Crashed()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Writes() != 400 || d.Reads() != 400 {
+		t.Errorf("counters = %d writes, %d reads; want 400, 400", d.Writes(), d.Reads())
+	}
+}

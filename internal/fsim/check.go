@@ -134,7 +134,12 @@ func (fs *Fs) Audit() []Problem {
 		}
 		st := &inoState{in: in}
 		states[ino] = st
-		for i := uint16(0); i < in.ExtentCount; i++ {
+		if in.ExtentCount > MaxInlineExtents {
+			inodeErrs = append(inodeErrs, Problem{Code: PExtentRange, Group: NoGroup, Ino: ino,
+				Msg: fmt.Sprintf("inode %d extent count %d exceeds maximum %d",
+					ino, in.ExtentCount, MaxInlineExtents)})
+		}
+		for i := uint16(0); i < in.ValidExtents(); i++ {
 			e := in.Extents[i]
 			if e.Len == 0 {
 				continue

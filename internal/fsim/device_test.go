@@ -1,0 +1,119 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFixedDeviceRejectsOutOfRange(t *testing.T) {
+	d := NewFixedMemDevice(4096)
+	if err := d.WriteAt(make([]byte, 512), 4096-256); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("write past end: err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.WriteAt(make([]byte, 16), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("write at negative offset: err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadAt(make([]byte, 512), 4096-256); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read past end: err = %v, want ErrOutOfRange", err)
+	}
+	if err := d.ReadAt(make([]byte, 16), -1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read at negative offset: err = %v, want ErrOutOfRange", err)
+	}
+	// In-range traffic still works, and the failed write left no trace.
+	if err := d.WriteAt([]byte{1, 2, 3}, 4093); err != nil {
+		t.Fatalf("in-range write at the boundary: %v", err)
+	}
+	got := make([]byte, 3)
+	if err := d.ReadAt(got, 4093); err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("boundary read = %v, %v", got, err)
+	}
+	if d.Size() != 4096 {
+		t.Errorf("fixed device grew to %d", d.Size())
+	}
+}
+
+func TestGrowableDeviceGrowsOnWrite(t *testing.T) {
+	d := NewMemDevice(0)
+	if err := d.WriteAt([]byte{9}, 1000); err != nil {
+		t.Fatalf("growing write: %v", err)
+	}
+	if d.Size() != 1001 {
+		t.Errorf("size after growing write = %d, want 1001", d.Size())
+	}
+	// The gap below the write must read as zeros.
+	got := make([]byte, 1001)
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:1000], make([]byte, 1000)) || got[1000] != 9 {
+		t.Error("growing write did not zero-fill the gap")
+	}
+}
+
+func TestResizeShrinkThenRead(t *testing.T) {
+	d := NewMemDevice(8192)
+	if err := d.WriteAt(bytes.Repeat([]byte{0xAB}, 8192), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Resize(4096); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if d.Size() != 4096 {
+		t.Fatalf("size after shrink = %d", d.Size())
+	}
+	if err := d.ReadAt(make([]byte, 16), 4096); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read beyond the shrunk end: err = %v, want ErrOutOfRange", err)
+	}
+	// Regrowing must not resurrect the truncated contents.
+	if err := d.Resize(8192); err != nil {
+		t.Fatalf("regrow: %v", err)
+	}
+	got := make([]byte, 4096)
+	if err := d.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 4096)) {
+		t.Error("regrown region is not zero-filled")
+	}
+	if err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bytes.Repeat([]byte{0xAB}, 4096)) {
+		t.Error("surviving region lost its contents across shrink/regrow")
+	}
+}
+
+func TestResizeRejectsNegativeSize(t *testing.T) {
+	if err := NewMemDevice(64).Resize(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("negative resize: err = %v, want ErrOutOfRange", err)
+	}
+}
+
+// TestConcurrentDeviceAccess exercises the MemDevice locking under the
+// race detector: readers, writers, and sizers on overlapping regions.
+func TestConcurrentDeviceAccess(t *testing.T) {
+	d := NewMemDevice(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 256)
+			off := int64(g) * 4096
+			for i := 0; i < 100; i++ {
+				if err := d.WriteAt(buf, off); err != nil {
+					t.Errorf("concurrent write: %v", err)
+					return
+				}
+				if err := d.ReadAt(buf, off); err != nil {
+					t.Errorf("concurrent read: %v", err)
+					return
+				}
+				_ = d.Size()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -287,7 +287,7 @@ func (fs *Fs) writeData(in *Inode, data []byte) error {
 // truncateInode frees all blocks held by in (mapping only; the inode
 // is not persisted).
 func (fs *Fs) truncateInode(in *Inode) error {
-	for i := uint16(0); i < in.ExtentCount; i++ {
+	for i := uint16(0); i < in.ValidExtents(); i++ {
 		if err := fs.FreeExtent(in.Extents[i]); err != nil {
 			return err
 		}
@@ -325,7 +325,7 @@ func (fs *Fs) readData(in *Inode) ([]byte, error) {
 	}
 	bs := fs.SB.BlockSize()
 	out := make([]byte, 0, in.Size)
-	for i := uint16(0); i < in.ExtentCount; i++ {
+	for i := uint16(0); i < in.ValidExtents(); i++ {
 		e := in.Extents[i]
 		if e.Start+e.Len > fs.SB.BlocksCount {
 			return nil, fmt.Errorf("%w: extent [%d,+%d) beyond end", ErrCorrupt, e.Start, e.Len)
@@ -646,8 +646,8 @@ func (fs *Fs) Extents(ino uint32) ([]Extent, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Extent, 0, in.ExtentCount)
-	for i := uint16(0); i < in.ExtentCount; i++ {
+	out := make([]Extent, 0, in.ValidExtents())
+	for i := uint16(0); i < in.ValidExtents(); i++ {
 		out = append(out, in.Extents[i])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })

@@ -438,6 +438,17 @@ func DecodeInode(b []byte) (*Inode, error) {
 // IsDir reports whether the inode is a directory.
 func (in *Inode) IsDir() bool { return in.Mode&ModeDir != 0 }
 
+// ValidExtents returns how many extent slots can safely be indexed:
+// ExtentCount clamped to the fixed array size. A corrupted inode table
+// (torn or bit-flipped writes) can carry an arbitrary on-disk count, so
+// every reader iterating Extents must bound itself with this.
+func (in *Inode) ValidExtents() uint16 {
+	if in.ExtentCount > MaxInlineExtents {
+		return MaxInlineExtents
+	}
+	return in.ExtentCount
+}
+
 // IsFile reports whether the inode is a regular file.
 func (in *Inode) IsFile() bool { return in.Mode&ModeFile != 0 }
 

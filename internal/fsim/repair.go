@@ -55,7 +55,7 @@ func (fs *Fs) RebuildBitmaps() (int, error) {
 			continue
 		}
 		live[ino] = in
-		for i := uint16(0); i < in.ExtentCount; i++ {
+		for i := uint16(0); i < in.ValidExtents(); i++ {
 			e := in.Extents[i]
 			for b := e.Start; b < e.Start+e.Len && b < sb.BlocksCount; b++ {
 				owned[b] = true

@@ -1,0 +1,76 @@
+// Package prng is the repository's shared deterministic
+// pseudo-randomness. Every randomized path — ConBugCk's configuration
+// sampling, faultdev's torn-write and bit-flip choices — draws from a
+// Source seeded explicitly, so any run is replayable byte-for-byte
+// from its seed. The generator is a 64-bit linear congruential
+// generator (Knuth's MMIX parameters) with the high bits returned;
+// it was extracted from conbugck's private implementation, and the
+// sequences are unchanged for a given seed.
+package prng
+
+// DefaultSeed is substituted for a zero seed so that the zero value of
+// a configuration still yields a well-mixed stream.
+const DefaultSeed uint64 = 0x9e3779b97f4a7c15
+
+// Source is a deterministic pseudo-random stream. It is not safe for
+// concurrent use; give each goroutine its own Source (use Derive to
+// split seeds).
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with seed (0 means DefaultSeed).
+func New(seed uint64) *Source {
+	if seed == 0 {
+		seed = DefaultSeed
+	}
+	return &Source{state: seed}
+}
+
+// Next advances the stream and returns the next value.
+func (s *Source) Next() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state >> 11
+}
+
+// Uint64n returns a value in [0, n). n must be positive.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with n = 0")
+	}
+	return s.Next() % n
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Pick returns a pseudo-random element of xs.
+func Pick[T any](s *Source, xs []T) T {
+	return xs[s.Uint64n(uint64(len(xs)))]
+}
+
+// Derive mixes a base seed with salts into an independent sub-stream
+// seed (SplitMix64 finalization per salt). Use it to give each
+// parallel trial its own Source while keeping the whole sweep a pure
+// function of the base seed.
+func Derive(seed uint64, salts ...uint64) uint64 {
+	z := seed
+	if z == 0 {
+		z = DefaultSeed
+	}
+	for _, salt := range salts {
+		z += 0x9e3779b97f4a7c15 + salt
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	if z == 0 {
+		z = DefaultSeed
+	}
+	return z
+}

@@ -12,6 +12,7 @@ import (
 	"text/tabwriter"
 
 	"fsdep/internal/bugdb"
+	"fsdep/internal/concrashck"
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
 	"fsdep/internal/depmodel"
@@ -314,4 +315,21 @@ func AllSched(w io.Writer, sopts sched.Options) error {
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// Table6 writes the ConCrashCk crash/fault robustness table: the
+// built-in dependency-violation scenarios swept across enumerated
+// fault points of the resize stage. It is not part of All — the sweep
+// runs hundreds of full pipeline trials — and is reached via
+// fsdep-report -table 6.
+func Table6(w io.Writer) error { return Table6Sched(w, sched.Sequential()) }
+
+// Table6Sched is Table6 with the sweep parallelized under sopts; the
+// rendered output is identical for any worker count.
+func Table6Sched(w io.Writer, sopts sched.Options) error {
+	rep, err := concrashck.SweepParallel(concrashck.Scenarios(), concrashck.Options{}, sopts)
+	if err != nil {
+		return err
+	}
+	return rep.Render(w)
 }
