@@ -23,17 +23,23 @@ func main() {
 	n := flag.Int("n", 25, "number of configuration states to generate")
 	seed := flag.Uint64("seed", 42, "generator seed (deterministic plans)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
+	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
 	union := depmodel.NewSet()
-	outs, err := core.AnalyzeAll(corpus.Components(), corpus.Scenarios(), core.Options{}, sopts)
+	comps := corpus.Components()
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "conbugck:", err)
 		os.Exit(1)
 	}
 	for _, res := range outs {
 		union.AddAll(res.Deps.Deps())
+	}
+	if *stats {
+		cs := core.TotalCacheStats(comps)
+		fmt.Fprintf(os.Stderr, "conbugck: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
 	}
 
 	gen := conbugck.NewGenerator(union, *seed)

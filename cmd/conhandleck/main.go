@@ -24,17 +24,23 @@ import (
 
 func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
+	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
 	union := depmodel.NewSet()
-	outs, err := core.AnalyzeAll(corpus.Components(), corpus.Scenarios(), core.Options{}, sopts)
+	comps := corpus.Components()
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "conhandleck:", err)
 		os.Exit(1)
 	}
 	for _, res := range outs {
 		union.AddAll(res.Deps.Deps())
+	}
+	if *stats {
+		cs := core.TotalCacheStats(comps)
+		fmt.Fprintf(os.Stderr, "conhandleck: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
 	}
 	rep := conhandleck.RunParallel(union, sopts)
 	fmt.Printf("%-62s %-18s %s\n", "VIOLATION", "OUTCOME", "DETAIL")

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-v]
+//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-stats] [-v]
 //
 // Without -scenario, every Table-5 scenario runs and the evaluation
 // table is printed. With -json, the extracted dependencies are written
@@ -33,6 +33,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write extracted dependencies to this JSON file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of analysis workers (output is identical for any value)")
 	verbose := flag.Bool("v", false, "list every extracted dependency")
+	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
@@ -70,7 +71,8 @@ func main() {
 	}
 
 	if *scenario == "" {
-		res, err := report.RunTable5Sched(tm, sopts)
+		comps := corpus.Components()
+		res, err := report.RunTable5Comps(comps, tm, sopts)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,6 +85,7 @@ func main() {
 		if *jsonOut != "" {
 			writeJSON(*jsonOut, "all-scenarios", res.Union.Deps)
 		}
+		printStats(*stats, comps)
 		return
 	}
 
@@ -97,10 +100,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsdep: unknown scenario %q\n", *scenario)
 		os.Exit(2)
 	}
-	outs, err := core.AnalyzeAll(corpus.Components(), []core.Scenario{*sc}, core.Options{Mode: tm}, sopts)
+	comps := corpus.Components()
+	outs, err := core.AnalyzeAll(comps, []core.Scenario{*sc}, core.Options{Mode: tm}, sopts)
 	if err != nil {
 		fatal(err)
 	}
+	defer printStats(*stats, comps)
 	res := outs[0]
 	tp, fp := corpus.Score(res.Deps.Deps())
 	cnt := res.Deps.CountByCategory()
@@ -139,6 +144,14 @@ func writeJSON(path, scenario string, set *depmodel.Set) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %d dependencies to %s\n", set.Len(), path)
+}
+
+func printStats(enabled bool, comps map[string]*core.Component) {
+	if !enabled {
+		return
+	}
+	cs := core.TotalCacheStats(comps)
+	fmt.Fprintf(os.Stderr, "fsdep: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
 }
 
 func fatal(err error) {

@@ -28,7 +28,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 
 	"fsdep/internal/depmodel"
@@ -53,6 +52,11 @@ type Param struct {
 }
 
 // Component is one member of the FS ecosystem.
+//
+// A Component memoizes its compiled program and every taint run over
+// it (see analyzeTaint), so Source and Params must not be mutated once
+// the first analysis has started — later scenarios reuse the earlier
+// results.
 type Component struct {
 	// Name identifies the component (mke2fs, mount, ext4, ...).
 	Name string
@@ -69,6 +73,12 @@ type Component struct {
 	// sticky result shared by every caller.
 	compileOnce sync.Once
 	compileErr  error
+
+	// taintMemo caches taint runs by canonical signature (cache.go);
+	// cacheHits/cacheMisses are its atomic counters.
+	taintMemo   sync.Map
+	cacheHits   uint64
+	cacheMisses uint64
 }
 
 // Compile parses and lowers the component. Idempotent and
@@ -174,20 +184,9 @@ func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, e
 		if len(funcs) == 0 {
 			continue // component not analyzed in this scenario
 		}
-		seeds := make([]taint.Seed, 0, len(comp.Params))
-		for _, p := range comp.Params {
-			sd := taint.Seed{Param: p.Name, Func: p.Func, Var: p.Var}
-			// A dotted Var ("opts.blocksize") seeds a struct field.
-			if i := strings.IndexByte(p.Var, '.'); i >= 0 {
-				sd.Var, sd.Field = p.Var[:i], p.Var[i+1:]
-			}
-			seeds = append(seeds, sd)
-		}
-		tr := taint.Run(comp.prog, seeds, taint.Options{
-			Mode:       opts.Mode,
-			Functions:  funcs,
-			Sanitizers: opts.Sanitizers,
-		})
+		// Memoized: scenarios selecting the same (mode, sanitizers,
+		// function set) on this component share one taint run.
+		tr, seeds := comp.analyzeTaint(funcs, opts)
 		runs = append(runs, compRun{comp, tr})
 		res.PerComponent = append(res.PerComponent, ComponentResult{
 			Component: comp.Name, Taint: tr, Seeds: seeds,
@@ -630,13 +629,10 @@ func deriveCrossComponent(out *depmodel.Set, runs []compRun) {
 		for _, site := range r.tr.Sites {
 			// Iterate canonical locations in sorted order: map order
 			// would otherwise make CCD evidence positions differ from
-			// run to run.
-			lockeys := make([]string, 0, len(site.CanonOf))
-			for k := range site.CanonOf {
-				lockeys = append(lockeys, k)
-			}
-			sort.Strings(lockeys)
-			for _, lockey := range lockeys {
+			// run to run. The taint engine precomputes both sorted
+			// views in its reporting pass, so no per-run re-sorting
+			// happens here.
+			for _, lockey := range site.Keys {
 				canon := site.CanonOf[lockey]
 				if canon == "" {
 					continue
@@ -645,20 +641,10 @@ func deriveCrossComponent(out *depmodel.Set, runs []compRun) {
 				// Prefer plain (non-metadata) locations, in sorted
 				// order for determinism.
 				var readerParam string
-				var keys []string
-				for otherKey := range site.LocTaint {
-					if otherKey != lockey {
-						keys = append(keys, otherKey)
+				for _, otherKey := range site.PlainFirstKeys {
+					if otherKey == lockey {
+						continue
 					}
-				}
-				sort.Slice(keys, func(i, j int) bool {
-					ci, cj := site.CanonOf[keys[i]] != "", site.CanonOf[keys[j]] != ""
-					if ci != cj {
-						return !ci
-					}
-					return keys[i] < keys[j]
-				})
-				for _, otherKey := range keys {
 					if id, ok := singleSeed(site.LocTaint[otherKey]); ok {
 						readerParam = seedParam(r.tr, id)
 						break

@@ -1,0 +1,125 @@
+// Taint memoization: Analyze recomputes nothing that an earlier
+// scenario already derived. A taint run over a component is a pure
+// function of (compiled program, seeds, mode, function set, sanitizer
+// set) — the program is compiled once per Component, the seeds derive
+// only from Params, and the engine normalizes function order — so the
+// result is cached on the Component under a canonical signature of the
+// remaining inputs. The cache is singleflight-style and sticky like
+// Compile: concurrent first users of a signature share one run, and
+// every later caller gets the same *taint.Result. Cached results are
+// shared across scenarios and must be treated as read-only; every
+// derivation pass in this package only reads them, which is what keeps
+// cached output byte-identical to a cold run.
+
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fsdep/internal/taint"
+)
+
+// CacheStats counts taint-memo outcomes. A "miss" is a signature that
+// actually ran the engine; a "hit" reused a finished (or in-flight)
+// run.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// taintEntry is one memoized taint run.
+type taintEntry struct {
+	once  sync.Once
+	res   *taint.Result
+	seeds []taint.Seed
+}
+
+// taintSig builds the canonical cache key: mode, sorted sanitizers,
+// sorted function names. Sorting makes the key insensitive to caller
+// ordering, which is sound because the engine analyzes in program
+// order (the result depends only on the sets).
+func taintSig(mode taint.Mode, sanitizers, funcs []string) string {
+	var b strings.Builder
+	b.WriteByte(byte(mode))
+	for _, s := range sortedCopy(sanitizers) {
+		b.WriteByte(0)
+		b.WriteString(s)
+	}
+	b.WriteByte(1)
+	for _, f := range sortedCopy(funcs) {
+		b.WriteByte(0)
+		b.WriteString(f)
+	}
+	return b.String()
+}
+
+func sortedCopy(ss []string) []string {
+	if len(ss) < 2 {
+		return ss
+	}
+	out := append([]string(nil), ss...)
+	sort.Strings(out)
+	return out
+}
+
+// seedsOf builds the taint seeds for a component's parameter list.
+func seedsOf(params []Param) []taint.Seed {
+	seeds := make([]taint.Seed, 0, len(params))
+	for _, p := range params {
+		sd := taint.Seed{Param: p.Name, Func: p.Func, Var: p.Var}
+		// A dotted Var ("opts.blocksize") seeds a struct field.
+		if i := strings.IndexByte(p.Var, '.'); i >= 0 {
+			sd.Var, sd.Field = p.Var[:i], p.Var[i+1:]
+		}
+		seeds = append(seeds, sd)
+	}
+	return seeds
+}
+
+// analyzeTaint returns the component's memoized taint result for the
+// given function selection, running the engine at most once per
+// distinct (mode, sanitizer set, function set) signature. The
+// component must be compiled. Goroutine-safe.
+func (c *Component) analyzeTaint(funcs []string, opts Options) (*taint.Result, []taint.Seed) {
+	sig := taintSig(opts.Mode, opts.Sanitizers, funcs)
+	e, _ := c.taintMemo.LoadOrStore(sig, &taintEntry{})
+	ent := e.(*taintEntry)
+	ran := false
+	ent.once.Do(func() {
+		ran = true
+		ent.seeds = seedsOf(c.Params)
+		ent.res = taint.Run(c.prog, ent.seeds, taint.Options{
+			Mode:       opts.Mode,
+			Functions:  funcs,
+			Sanitizers: opts.Sanitizers,
+		})
+	})
+	if ran {
+		atomic.AddUint64(&c.cacheMisses, 1)
+	} else {
+		atomic.AddUint64(&c.cacheHits, 1)
+	}
+	return ent.res, ent.seeds
+}
+
+// TaintCacheStats reports the component's memo counters.
+func (c *Component) TaintCacheStats() CacheStats {
+	return CacheStats{
+		Hits:   atomic.LoadUint64(&c.cacheHits),
+		Misses: atomic.LoadUint64(&c.cacheMisses),
+	}
+}
+
+// TotalCacheStats sums the memo counters over an ecosystem.
+func TotalCacheStats(comps map[string]*Component) CacheStats {
+	var total CacheStats
+	for _, c := range comps {
+		cs := c.TaintCacheStats()
+		total.Hits += cs.Hits
+		total.Misses += cs.Misses
+	}
+	return total
+}

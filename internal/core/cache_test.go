@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"fsdep/internal/taint"
+)
+
+// cacheComponent returns a fresh two-function component whose taint
+// result differs per analyzed function, so any cache-key confusion is
+// observable in the output.
+func cacheComponent() *Component {
+	return miniComponent("tool", `
+struct opts { long size; long count; };
+void parse(struct opts *opts, char **argv) {
+	opts->size = strtoul(argv[1], 0, 10);
+}
+int check(struct opts *opts) {
+	if (opts->size < 16 || opts->size > 256) {
+		return fail();
+	}
+	return 0;
+}`, Param{Name: "size", Var: "opts.size", CType: "int"},
+		Param{Name: "count", Var: "opts.count", CType: "int"})
+}
+
+func scenarioFor(funcs ...string) Scenario {
+	return Scenario{
+		Name: "t", Components: []string{"tool"},
+		Funcs: map[string][]string{"tool": funcs},
+	}
+}
+
+// TestTaintCacheKeyDiscrimination: same component, different function
+// sets, sanitizer sets, or modes must land in distinct cache entries.
+func TestTaintCacheKeyDiscrimination(t *testing.T) {
+	c := cacheComponent()
+	comps := map[string]*Component{"tool": c}
+
+	distinct := []struct {
+		name string
+		sc   Scenario
+		opts Options
+	}{
+		{"parse-intra", scenarioFor("parse"), Options{}},
+		{"check-intra", scenarioFor("check"), Options{}},
+		{"both-intra", scenarioFor("parse", "check"), Options{}},
+		{"both-inter", scenarioFor("parse", "check"), Options{Mode: taint.Inter}},
+		{"both-sanitized", scenarioFor("parse", "check"), Options{Sanitizers: []string{"strtoul"}}},
+	}
+	for i, tc := range distinct {
+		analyze(t, comps, tc.sc, tc.opts)
+		cs := c.TaintCacheStats()
+		if cs.Misses != uint64(i+1) || cs.Hits != 0 {
+			t.Fatalf("after %s: stats = %+v, want %d misses, 0 hits", tc.name, cs, i+1)
+		}
+	}
+	// Re-running every variant must hit, not re-analyze.
+	for _, tc := range distinct {
+		analyze(t, comps, tc.sc, tc.opts)
+	}
+	cs := c.TaintCacheStats()
+	if cs.Misses != uint64(len(distinct)) || cs.Hits != uint64(len(distinct)) {
+		t.Fatalf("after re-run: stats = %+v, want %d misses, %d hits", cs, len(distinct), len(distinct))
+	}
+}
+
+// TestTaintCacheOrderInsensitive: the cache key is canonical, so
+// permuted function and sanitizer orders reuse the same entry — and
+// get the identical result object.
+func TestTaintCacheOrderInsensitive(t *testing.T) {
+	c := cacheComponent()
+	comps := map[string]*Component{"tool": c}
+
+	a := analyze(t, comps, scenarioFor("parse", "check"),
+		Options{Sanitizers: []string{"clamp", "sanitize"}})
+	b := analyze(t, comps, scenarioFor("check", "parse"),
+		Options{Sanitizers: []string{"sanitize", "clamp"}})
+	cs := c.TaintCacheStats()
+	if cs.Misses != 1 || cs.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", cs)
+	}
+	if a.PerComponent[0].Taint != b.PerComponent[0].Taint {
+		t.Fatal("permuted orders did not share the memoized taint result")
+	}
+}
+
+// TestTaintCacheConcurrentFirstUse: many goroutines racing on a cold
+// signature must run the engine exactly once (singleflight) and all
+// observe the same result. Run under -race in CI.
+func TestTaintCacheConcurrentFirstUse(t *testing.T) {
+	c := cacheComponent()
+	comps := map[string]*Component{"tool": c}
+	sc := scenarioFor("parse", "check")
+
+	const goroutines = 16
+	results := make([]*Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := Analyze(comps, sc, Options{})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	cs := c.TaintCacheStats()
+	if cs.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 engine run", cs.Misses)
+	}
+	if cs.Hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", cs.Hits, goroutines-1)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] == nil || results[0] == nil {
+			continue // already reported via t.Errorf above
+		}
+		if results[g].PerComponent[0].Taint != results[0].PerComponent[0].Taint {
+			t.Fatalf("goroutine %d got a different taint result object", g)
+		}
+	}
+}
+
+// TestTotalCacheStats sums counters across components.
+func TestTotalCacheStats(t *testing.T) {
+	comps := map[string]*Component{"tool": cacheComponent()}
+	sc := scenarioFor("check")
+	analyze(t, comps, sc, Options{})
+	analyze(t, comps, sc, Options{})
+	total := TotalCacheStats(comps)
+	if total.Misses != 1 || total.Hits != 1 {
+		t.Fatalf("total = %+v, want 1 miss + 1 hit", total)
+	}
+}

@@ -138,6 +138,68 @@ type Program struct {
 	Structs map[string]*minicc.StructDef
 	// File is the originating AST.
 	File *minicc.File
+	// Locs interns every location key (Loc.Key()) and root variable
+	// appearing in the program — params, instruction destinations, and
+	// uses — into dense ids. Built once by Build; read-only afterwards,
+	// so concurrent lookups are safe. Analyses index their per-location
+	// state by these ids instead of hashing dotted key strings.
+	Locs *LocTab
+	// Canons interns every canonical metadata field name
+	// ("structTag.field") the program touches, giving the taint
+	// engine's global field store a dense index as well.
+	Canons *LocTab
+}
+
+// LocTab interns strings into dense, 0-based ids. The zero id space is
+// append-only: ids are assigned in first-insertion order and never
+// reused. A LocTab is not goroutine-safe while being filled; once
+// filled (e.g. after Build returns), concurrent ID/KeyOf/Len calls are
+// safe.
+type LocTab struct {
+	ids  map[string]int
+	keys []string
+}
+
+// NewLocTab returns an empty table.
+func NewLocTab() *LocTab {
+	return &LocTab{ids: make(map[string]int)}
+}
+
+// Intern returns the id of s, assigning the next dense id on first
+// sight.
+func (t *LocTab) Intern(s string) int {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := len(t.keys)
+	t.ids[s] = id
+	t.keys = append(t.keys, s)
+	return id
+}
+
+// ID looks s up without interning it.
+func (t *LocTab) ID(s string) (int, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// Len returns the number of interned strings.
+func (t *LocTab) Len() int { return len(t.keys) }
+
+// KeyOf returns the string with the given id.
+func (t *LocTab) KeyOf(id int) string { return t.keys[id] }
+
+// internLoc registers every lookup key a dataflow analysis may derive
+// from l: the full location key, the root variable (field reads
+// consult the root's taint), and the canonical metadata name.
+func (p *Program) internLoc(l Loc) {
+	p.Locs.Intern(l.Key())
+	if l.IsField() {
+		p.Locs.Intern(l.Var)
+	}
+	if l.Canon != "" {
+		p.Canons.Intern(l.Canon)
+	}
 }
 
 // Instrs iterates all instructions of fn in block order.
@@ -156,6 +218,8 @@ func Build(f *minicc.File) (*Program, error) {
 		Funcs:   make(map[string]*Func),
 		Structs: make(map[string]*minicc.StructDef),
 		File:    f,
+		Locs:    NewLocTab(),
+		Canons:  NewLocTab(),
 	}
 	for _, s := range f.Structs {
 		if s.Tag != "" {
@@ -173,6 +237,20 @@ func Build(f *minicc.File) (*Program, error) {
 		fn := lowerFunc(p, fd, globals)
 		p.Funcs[fd.Name] = fn
 		p.FuncOrder = append(p.FuncOrder, fd.Name)
+	}
+	for _, name := range p.FuncOrder {
+		fn := p.Funcs[name]
+		for _, prm := range fn.Params {
+			p.internLoc(prm)
+		}
+		fn.Instrs(func(in *Instr) {
+			if in.HasDst {
+				p.internLoc(in.Dst)
+			}
+			for _, u := range in.Uses {
+				p.internLoc(u)
+			}
+		})
 	}
 	return p, nil
 }

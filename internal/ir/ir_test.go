@@ -301,3 +301,76 @@ void fn(int n) {
 		t.Error("statement after loop with break was lost")
 	}
 }
+
+func TestLocTabInterning(t *testing.T) {
+	tab := NewLocTab()
+	a := tab.Intern("a")
+	b := tab.Intern("b.c")
+	if a == b {
+		t.Fatal("distinct keys shared an id")
+	}
+	if got := tab.Intern("a"); got != a {
+		t.Errorf("re-intern of a = %d, want %d", got, a)
+	}
+	if id, ok := tab.ID("b.c"); !ok || id != b {
+		t.Errorf("ID(b.c) = %d,%v want %d,true", id, ok, b)
+	}
+	if _, ok := tab.ID("missing"); ok {
+		t.Error("missing key reported present")
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tab.Len())
+	}
+	if tab.KeyOf(a) != "a" || tab.KeyOf(b) != "b.c" {
+		t.Errorf("KeyOf round-trip broken: %q %q", tab.KeyOf(a), tab.KeyOf(b))
+	}
+}
+
+func TestBuildPopulatesLocTables(t *testing.T) {
+	// Every location key a dataflow analysis can derive from the
+	// program — params, destinations, uses, field roots — must be in
+	// Locs, and every canonical name in Canons, so id-indexed engines
+	// never fall back to their overlay for program-text locations.
+	p := build(t, `
+struct sb { u32 size; };
+void fn(struct sb *s, int conf) {
+	int local;
+	local = conf + 1;
+	s->size = local;
+	if (s->size > 6) {
+		fail();
+	}
+}`)
+	check := func(l Loc) {
+		if _, ok := p.Locs.ID(l.Key()); !ok {
+			t.Errorf("loc key %q not interned", l.Key())
+		}
+		if l.IsField() {
+			if _, ok := p.Locs.ID(l.Var); !ok {
+				t.Errorf("field root %q not interned", l.Var)
+			}
+		}
+		if l.Canon != "" {
+			if _, ok := p.Canons.ID(l.Canon); !ok {
+				t.Errorf("canon %q not interned", l.Canon)
+			}
+		}
+	}
+	for _, name := range p.FuncOrder {
+		fn := p.Funcs[name]
+		for _, prm := range fn.Params {
+			check(prm)
+		}
+		fn.Instrs(func(in *Instr) {
+			if in.HasDst {
+				check(in.Dst)
+			}
+			for _, u := range in.Uses {
+				check(u)
+			}
+		})
+	}
+	if _, ok := p.Canons.ID("sb.size"); !ok {
+		t.Error("canonical field sb.size missing from Canons")
+	}
+}

@@ -179,7 +179,13 @@ func RunTable5(mode taint.Mode) (*Table5Result, error) {
 // under sopts. Scoring and union accumulation stay in scenario order,
 // so the result is identical for any worker count.
 func RunTable5Sched(mode taint.Mode, sopts sched.Options) (*Table5Result, error) {
-	comps := corpus.Components()
+	return RunTable5Comps(corpus.Components(), mode, sopts)
+}
+
+// RunTable5Comps is RunTable5Sched over a caller-supplied component
+// map, letting callers share (and inspect) the per-component taint
+// cache across runs. The result is identical to a fresh map.
+func RunTable5Comps(comps map[string]*core.Component, mode taint.Mode, sopts sched.Options) (*Table5Result, error) {
 	scenarios := corpus.Scenarios()
 	res := &Table5Result{Mode: mode}
 	union := depmodel.NewSet()

@@ -1,0 +1,51 @@
+package taint
+
+import "fsdep/internal/ir"
+
+// runTab resolves strings to dense ids by overlaying a program's
+// build-time ir.LocTab with run-local entries. The base table is
+// shared between concurrent runs over the same program and is never
+// mutated; only keys absent from the program text (e.g. seed variables
+// that never appear in an analyzed function) land in the overlay, so
+// the overlay stays tiny and each run owns its own.
+type runTab struct {
+	base  *ir.LocTab
+	extra map[string]int
+	keys  []string // overlay keys, id = base.Len() + index
+}
+
+func newRunTab(base *ir.LocTab) *runTab {
+	if base == nil {
+		base = ir.NewLocTab()
+	}
+	return &runTab{base: base}
+}
+
+// id interns s, assigning an overlay id when the program table lacks
+// it.
+func (t *runTab) id(s string) int {
+	if id, ok := t.base.ID(s); ok {
+		return id
+	}
+	if id, ok := t.extra[s]; ok {
+		return id
+	}
+	if t.extra == nil {
+		t.extra = make(map[string]int)
+	}
+	id := t.base.Len() + len(t.keys)
+	t.extra[s] = id
+	t.keys = append(t.keys, s)
+	return id
+}
+
+// len returns the total id space (base + overlay).
+func (t *runTab) len() int { return t.base.Len() + len(t.keys) }
+
+// keyOf returns the string with the given id.
+func (t *runTab) keyOf(id int) string {
+	if id < t.base.Len() {
+		return t.base.KeyOf(id)
+	}
+	return t.keys[id-t.base.Len()]
+}

@@ -22,6 +22,21 @@
 // store: a write taints the canonical field, and reads anywhere pick
 // the taint up. This is the paper's key bridging observation — all
 // components access the FS metadata structures.
+//
+// # Data layout and the worklist fixpoint
+//
+// The engine does no string hashing on the hot path. Location keys and
+// canonical names are interned into dense ids (the program-wide tables
+// built at lowering, overlaid per run for seed-only keys), per-function
+// taint is an id-indexed slice, and each instruction's operands are
+// resolved to id triples (location, root, canonical field) once per
+// run. The cross-function fixpoint is a dependency-driven worklist:
+// after the initial pass, a function is re-analyzed only when a global
+// fact it consumes — a canonical field it reads, a callee's return
+// summary, its own inbound parameter taint — actually changed. All
+// transfer functions are monotone set unions, so the worklist converges
+// to the same least fixpoint as the previous whole-program sweeps, and
+// the final reporting pass runs in deterministic program order.
 package taint
 
 import (
@@ -78,13 +93,17 @@ func (s Seed) key() string {
 type Options struct {
 	Mode Mode
 	// Functions restricts analysis to the named functions (the
-	// paper's pre-selected function lists). Empty means all.
+	// paper's pre-selected function lists). Empty means all. The
+	// engine analyzes and reports in program (source) order and drops
+	// duplicates, so the result depends only on the *set* of names —
+	// the property core's memo cache keys on.
 	Functions []string
 	// Sanitizers lists callee names whose results are considered
 	// clean even when arguments are tainted (e.g. a clamp helper).
 	// Only meaningful for calls whose results are assigned.
 	Sanitizers []string
-	// MaxIter bounds fixpoint iterations (safety valve; 0 = default).
+	// MaxIter bounds fixpoint work (safety valve; 0 = default). The
+	// worklist processes at most MaxIter visits per analyzed function.
 	MaxIter int
 }
 
@@ -125,6 +144,13 @@ type Site struct {
 	// CanonOf maps location keys to canonical metadata names ("" if
 	// none).
 	CanonOf map[string]string
+	// Keys lists LocTaint's keys in ascending order, precomputed in
+	// the reporting pass so downstream derivation never re-sorts.
+	Keys []string
+	// PlainFirstKeys lists the same keys with plain (non-canonical)
+	// locations first, each group ascending — the reader-preference
+	// order the cross-component join uses.
+	PlainFirstKeys []string
 }
 
 // Result is the outcome of a taint run over one component.
@@ -168,9 +194,10 @@ func Run(prog *ir.Program, seeds []Seed, opts Options) *Result {
 			Seeds:  seeds,
 			Multi:  make(map[string]SeedSet),
 		},
-		fieldTaint: make(map[string]SeedSet),
-		sanitize:   make(map[string]bool, len(opts.Sanitizers)),
-		funcRet:    make(map[string]SeedSet),
+		locs:     newRunTab(prog.Locs),
+		canons:   newRunTab(prog.Canons),
+		sanitize: make(map[string]bool, len(opts.Sanitizers)),
+		funcRet:  make(map[string]SeedSet),
 	}
 	for _, s := range opts.Sanitizers {
 		a.sanitize[s] = true
@@ -179,58 +206,186 @@ func Run(prog *ir.Program, seeds []Seed, opts Options) *Result {
 	return a.res
 }
 
+// useRef is an instruction operand with all lookup keys resolved to
+// dense ids, computed once per run per function.
+type useRef struct {
+	id    int // location id (runTab over prog.Locs)
+	root  int // root variable id for field accesses; -1 otherwise
+	canon int // canonical field id (runTab over prog.Canons); -1 if none
+}
+
+// argFlow is one call expression inside an instruction with its
+// argument locations resolved, for inter-procedural propagation.
+type argFlow struct {
+	callee string
+	args   [][]useRef // aligned with the callee's leading params
+}
+
+// instrInfo is the resolved form of one ir.Instr.
+type instrInfo struct {
+	in        *ir.Instr
+	uses      []useRef // aligned with in.Uses
+	dst       useRef
+	dstKey    string // in.Dst.Key(), for the Multi map
+	sanitized bool   // a sanitizer appears among the callees
+	argFlows  []argFlow
+}
+
+// funcState is the per-function dense analysis state.
+type funcState struct {
+	fn       *ir.Func
+	taint    []SeedSet // location id → seeds
+	paramIDs []int
+	infos    []instrInfo
+	inited   bool
+}
+
+// at returns the taint of a location id (empty beyond the slice).
+func (st *funcState) at(id int) SeedSet {
+	if id < len(st.taint) {
+		return st.taint[id]
+	}
+	return SeedSet{}
+}
+
+// union merges s into the location's taint, reporting growth.
+func (st *funcState) union(id int, s SeedSet) bool {
+	for len(st.taint) <= id {
+		st.taint = append(st.taint, SeedSet{})
+	}
+	return st.taint[id].Union(s)
+}
+
+// seedRef is one seed resolved to its location id.
+type seedRef struct {
+	loc  int
+	seed int
+	fn   string // "" seeds every analyzed function
+}
+
 type analysis struct {
-	prog       *ir.Program
-	seeds      []Seed
-	opts       Options
-	res        *Result
-	fieldTaint map[string]SeedSet // canonical field → seeds (global store)
+	prog  *ir.Program
+	seeds []Seed
+	opts  Options
+	res   *Result
+
+	locs   *runTab
+	canons *runTab
+
+	fieldTaint []SeedSet // canonical field id → seeds (global store)
 	sanitize   map[string]bool
 	funcRet    map[string]SeedSet // inter mode: function → return taint
 	paramIn    map[string][]SeedSet
+
+	// seedRefs resolves every seed to its location id once per run —
+	// the former per-location linear scan over all seeds is gone.
+	seedRefs []seedRef
+
+	funcs  []*ir.Func
+	fidx   map[string]int
+	states []*funcState
+
+	// readers/callers are the worklist dependency edges, registered
+	// when a function's state is first built.
+	readers map[int][]int    // canonical field id → reader func indices
+	callers map[string][]int // callee name → caller func indices
+
+	// dirty* collect the global facts one analyzeFunc call changed.
+	dirtyCanons []int
+	dirtyRet    bool
+	dirtyParams []string
 }
 
-// analyzedFuncs returns the function set in deterministic order.
+// analyzedFuncs returns the analyzed function set in program (source)
+// order, duplicates dropped. Normalizing the order makes the result a
+// pure function of the requested *set* — required for core's memo
+// cache, which keys on the sorted list — and fixes the duplicate-name
+// case that used to analyze and report a function twice.
 func (a *analysis) analyzedFuncs() []*ir.Func {
-	var names []string
+	var want map[string]bool
 	if len(a.opts.Functions) > 0 {
-		names = append(names, a.opts.Functions...)
-	} else {
-		names = append(names, a.prog.FuncOrder...)
+		want = make(map[string]bool, len(a.opts.Functions))
+		for _, n := range a.opts.Functions {
+			want[n] = true
+		}
 	}
-	var out []*ir.Func
-	for _, n := range names {
-		if f, ok := a.prog.Funcs[n]; ok {
-			out = append(out, f)
+	out := make([]*ir.Func, 0, len(a.prog.FuncOrder))
+	for _, n := range a.prog.FuncOrder {
+		if want == nil || want[n] {
+			out = append(out, a.prog.Funcs[n])
 		}
 	}
 	return out
 }
 
 func (a *analysis) run() {
-	funcs := a.analyzedFuncs()
-	a.paramIn = make(map[string][]SeedSet)
-	// The global field store and (in inter mode) call summaries make
-	// per-function results interdependent; iterate all functions to a
-	// joint fixpoint.
+	a.funcs = a.analyzedFuncs()
+	n := len(a.funcs)
+	a.fidx = make(map[string]int, n)
+	a.states = make([]*funcState, n)
+	for i, fn := range a.funcs {
+		a.fidx[fn.Name] = i
+		a.states[i] = &funcState{fn: fn}
+	}
+	for i, sd := range a.seeds {
+		a.seedRefs = append(a.seedRefs, seedRef{loc: a.locs.id(sd.key()), seed: i, fn: sd.Func})
+	}
+	a.fieldTaint = make([]SeedSet, a.canons.len())
+	a.readers = make(map[int][]int)
+	if a.opts.Mode == Inter {
+		a.paramIn = make(map[string][]SeedSet)
+		a.callers = make(map[string][]int)
+	}
+
+	// Dependency-driven worklist: every function is visited once in
+	// program order; afterwards a function re-enters the queue only
+	// when a global fact it consumes changed. The budget preserves the
+	// old MaxIter safety valve (at most MaxIter visits per function).
 	maxIter := a.opts.MaxIter
 	if maxIter <= 0 {
 		maxIter = 32
 	}
-	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for _, fn := range funcs {
-			if a.analyzeFunc(fn) {
-				changed = true
-			}
-		}
-		if !changed {
-			break
+	budget := maxIter * n
+	queue := make([]int, 0, n)
+	queued := make([]bool, n)
+	enqueue := func(i int) {
+		if !queued[i] {
+			queued[i] = true
+			queue = append(queue, i)
 		}
 	}
-	// Collect sites, writes, and reads in a final reporting pass.
-	for _, fn := range funcs {
-		a.report(fn)
+	for i := 0; i < n; i++ {
+		enqueue(i)
+	}
+	for head := 0; head < len(queue) && budget > 0; head++ {
+		i := queue[head]
+		queued[i] = false
+		budget--
+		a.dirtyCanons = a.dirtyCanons[:0]
+		a.dirtyRet = false
+		a.dirtyParams = a.dirtyParams[:0]
+		a.analyzeFunc(i)
+		for _, c := range a.dirtyCanons {
+			for _, r := range a.readers[c] {
+				enqueue(r)
+			}
+		}
+		if a.dirtyRet {
+			for _, r := range a.callers[a.funcs[i].Name] {
+				enqueue(r)
+			}
+		}
+		for _, callee := range a.dirtyParams {
+			if j, ok := a.fidx[callee]; ok {
+				enqueue(j)
+			}
+		}
+	}
+
+	// Collect sites, writes, and reads in a final reporting pass over
+	// the functions in program order.
+	for i := range a.funcs {
+		a.report(i)
 	}
 	sort.SliceStable(a.res.Sites, func(i, j int) bool {
 		si, sj := a.res.Sites[i], a.res.Sites[j]
@@ -244,155 +399,74 @@ func (a *analysis) run() {
 	})
 }
 
-// seedTaint returns the initial taint for a location in fn.
-func (a *analysis) seedTaint(fnName, lockey string) SeedSet {
-	var s SeedSet
-	for i, sd := range a.seeds {
-		if sd.key() != lockey {
-			continue
-		}
-		if sd.Func == "" || sd.Func == fnName {
-			s.Add(i)
-		}
+// useRefOf resolves one operand's lookup keys to dense ids.
+func (a *analysis) useRefOf(l ir.Loc) useRef {
+	r := useRef{id: a.locs.id(l.Key()), root: -1, canon: -1}
+	if l.IsField() {
+		r.root = a.locs.id(l.Var)
 	}
-	return s
+	if l.Canon != "" {
+		r.canon = a.canons.id(l.Canon)
+	}
+	return r
 }
 
-// analyzeFunc runs gen-only propagation over fn's instructions to a
-// local fixpoint; returns whether any global fact (field store, return
-// summary) changed.
-func (a *analysis) analyzeFunc(fn *ir.Func) bool {
-	t := a.res.Taint[fn.Name]
-	if t == nil {
-		t = make(map[string]SeedSet)
-		a.res.Taint[fn.Name] = t
-		// Store seed taint eagerly so Result.SeedsOf reports the
-		// initial configuration variables themselves.
-		for i, sd := range a.seeds {
-			if sd.Func == "" || sd.Func == fn.Name {
-				cur := t[sd.key()]
-				cur.Add(i)
-				t[sd.key()] = cur
-			}
+// initState builds fn's dense state: seed taint, resolved instruction
+// operands, and the worklist dependency edges (canonical fields read,
+// call edges).
+func (a *analysis) initState(idx int) {
+	st := a.states[idx]
+	fn := st.fn
+	// Store seed taint eagerly so Result.SeedsOf reports the initial
+	// configuration variables themselves; every later read unions the
+	// stored fact, so no per-instruction seed scan is needed.
+	for _, ref := range a.seedRefs {
+		if ref.fn == "" || ref.fn == fn.Name {
+			st.union(ref.loc, NewSeedSet(ref.seed))
 		}
 	}
-	get := func(l ir.Loc) SeedSet {
-		k := l.Key()
-		s := t[k].Clone()
-		s.Union(a.seedTaint(fn.Name, k))
-		if l.Canon != "" {
-			s.Union(a.fieldTaint[l.Canon])
-		}
-		// A field read through a tainted root (e.g. cfg->size where
-		// cfg is the tainted options struct) inherits the root taint.
-		if l.IsField() {
-			s.Union(t[l.Var])
-			s.Union(a.seedTaint(fn.Name, l.Var))
-		}
-		return s
+	for _, p := range fn.Params {
+		st.paramIDs = append(st.paramIDs, a.locs.id(p.Key()))
 	}
-	globalChanged := false
-	// In inter mode, merge caller-provided parameter taint.
-	if a.opts.Mode == Inter {
-		if ins, ok := a.paramIn[fn.Name]; ok {
-			for i, p := range fn.Params {
-				if i < len(ins) {
-					cur := t[p.Key()]
-					if cur.Union(ins[i]) {
-						t[p.Key()] = cur
-					}
-				}
+	seenCanon := make(map[int]bool)
+	seenCallee := make(map[string]bool)
+	fn.Instrs(func(in *ir.Instr) {
+		info := instrInfo{in: in, uses: make([]useRef, len(in.Uses))}
+		for i, u := range in.Uses {
+			info.uses[i] = a.useRefOf(u)
+			if c := info.uses[i].canon; c >= 0 && !seenCanon[c] {
+				seenCanon[c] = true
+				a.readers[c] = append(a.readers[c], idx)
 			}
 		}
-	}
-	for iter := 0; iter < 64; iter++ {
-		changed := false
-		fn.Instrs(func(in *ir.Instr) {
-			var flow SeedSet
-			for _, u := range in.Uses {
-				flow.Union(get(u))
-			}
-			// Call results: sanitizers cut the flow; in inter mode,
-			// callee return summaries join in.
-			sanitized := false
-			for _, callee := range in.Calls {
-				if a.sanitize[callee] {
-					sanitized = true
-				}
-				if a.opts.Mode == Inter {
-					flow.Union(a.funcRet[callee])
-				}
-			}
-			if sanitized {
-				flow = SeedSet{}
-			}
-			switch in.Op {
-			case ir.OpAssign:
-				if flow.Empty() {
-					return
-				}
-				k := in.Dst.Key()
-				cur := t[k].Clone()
-				if cur.Union(flow) {
-					t[k] = cur
-					changed = true
-					for _, id := range flow.IDs() {
-						a.addTrace(id, in.Pos)
-					}
-					if cur.Len() >= 2 {
-						mk := fn.Name + "\x00" + k
-						mcur := a.res.Multi[mk]
-						mcur.Union(cur)
-						a.res.Multi[mk] = mcur
-					}
-				}
-				if in.Dst.Canon != "" && !flow.Empty() {
-					ft := a.fieldTaint[in.Dst.Canon]
-					if ft.Union(flow) {
-						a.fieldTaint[in.Dst.Canon] = ft
-						globalChanged = true
-					}
-				}
-			case ir.OpCall:
-				if a.opts.Mode == Inter {
-					if a.propagateCall(fn, t, in) {
-						globalChanged = true
-					}
-				}
-			case ir.OpReturn:
-				if a.opts.Mode == Inter && !flow.Empty() {
-					cur := a.funcRet[fn.Name]
-					if cur.Union(flow) {
-						a.funcRet[fn.Name] = cur
-						globalChanged = true
-					}
-				}
-			}
-		})
-		if !changed {
-			break
+		if in.HasDst {
+			info.dst = a.useRefOf(in.Dst)
+			info.dstKey = in.Dst.Key()
 		}
-	}
-	// Post-pass: assignment instructions may themselves contain calls
-	// (x = parse_size(arg)); in inter mode propagate arg taint into
-	// callee params.
-	if a.opts.Mode == Inter {
-		fn.Instrs(func(in *ir.Instr) {
-			if len(in.Calls) > 0 {
-				if a.propagateCall(fn, t, in) {
-					globalChanged = true
-				}
+		for _, callee := range in.Calls {
+			if a.sanitize[callee] {
+				info.sanitized = true
 			}
-		})
-	}
-	return globalChanged
+			if a.opts.Mode == Inter && !seenCallee[callee] {
+				seenCallee[callee] = true
+				a.callers[callee] = append(a.callers[callee], idx)
+			}
+		}
+		if a.opts.Mode == Inter {
+			info.argFlows = a.argFlowsOf(fn, in)
+		}
+		st.infos = append(st.infos, info)
+	})
 }
 
-// propagateCall pushes argument taint into callee parameter slots.
-// Argument/parameter matching is positional, extracted from the call
-// expression inside in.Expr.
-func (a *analysis) propagateCall(fn *ir.Func, t map[string]SeedSet, in *ir.Instr) bool {
-	changed := false
+// argFlowsOf resolves every call expression inside in to its callee
+// and per-argument locations. Argument/parameter matching is
+// positional.
+func (a *analysis) argFlowsOf(fn *ir.Func, in *ir.Instr) []argFlow {
+	if len(in.Calls) == 0 || in.Expr == nil {
+		return nil
+	}
+	var out []argFlow
 	minicc.WalkExpr(in.Expr, func(x minicc.Expr) bool {
 		call, ok := x.(*minicc.Call)
 		if !ok {
@@ -402,36 +476,168 @@ func (a *analysis) propagateCall(fn *ir.Func, t map[string]SeedSet, in *ir.Instr
 		if !ok {
 			return true
 		}
-		ins := a.paramIn[call.Fun]
-		for len(ins) < len(callee.Params) {
-			ins = append(ins, SeedSet{})
-		}
+		af := argFlow{callee: call.Fun}
 		for i, arg := range call.Args {
 			if i >= len(callee.Params) {
 				break
 			}
+			locs := a.locsInExpr(fn, arg)
+			refs := make([]useRef, len(locs))
+			for j, l := range locs {
+				refs[j] = a.useRefOf(l)
+			}
+			af.args = append(af.args, refs)
+		}
+		out = append(out, af)
+		return true
+	})
+	return out
+}
+
+// unionLocTaint unions the current taint of u into dst without
+// cloning: the local fact, the canonical store, and — for field reads
+// through a tainted root (e.g. cfg->size where cfg is the tainted
+// options struct) — the root's taint.
+func (a *analysis) unionLocTaint(dst *SeedSet, st *funcState, u useRef) {
+	dst.Union(st.at(u.id))
+	if u.canon >= 0 {
+		dst.Union(a.fieldAt(u.canon))
+	}
+	if u.root >= 0 {
+		dst.Union(st.at(u.root))
+	}
+}
+
+// fieldAt returns the global store's taint for a canonical field id.
+func (a *analysis) fieldAt(id int) SeedSet {
+	if id < len(a.fieldTaint) {
+		return a.fieldTaint[id]
+	}
+	return SeedSet{}
+}
+
+// fieldUnion merges s into the global store, reporting growth.
+func (a *analysis) fieldUnion(id int, s SeedSet) bool {
+	for len(a.fieldTaint) <= id {
+		a.fieldTaint = append(a.fieldTaint, SeedSet{})
+	}
+	return a.fieldTaint[id].Union(s)
+}
+
+// analyzeFunc runs gen-only propagation over fn's instructions to a
+// local fixpoint, recording changed global facts in the dirty sets.
+func (a *analysis) analyzeFunc(idx int) {
+	st := a.states[idx]
+	if !st.inited {
+		a.initState(idx)
+		st.inited = true
+	}
+	fn := st.fn
+	// In inter mode, merge caller-provided parameter taint.
+	if a.opts.Mode == Inter {
+		if ins, ok := a.paramIn[fn.Name]; ok {
+			for i, id := range st.paramIDs {
+				if i < len(ins) {
+					st.union(id, ins[i])
+				}
+			}
+		}
+	}
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		for ii := range st.infos {
+			info := &st.infos[ii]
+			in := info.in
+			var flow SeedSet
+			for _, u := range info.uses {
+				a.unionLocTaint(&flow, st, u)
+			}
+			// Call results: sanitizers cut the flow; in inter mode,
+			// callee return summaries join in.
+			if a.opts.Mode == Inter {
+				for _, callee := range in.Calls {
+					flow.Union(a.funcRet[callee])
+				}
+			}
+			if info.sanitized {
+				flow = SeedSet{}
+			}
+			switch in.Op {
+			case ir.OpAssign:
+				if flow.Empty() {
+					continue
+				}
+				if st.union(info.dst.id, flow) {
+					changed = true
+					for _, id := range flow.IDs() {
+						a.addTrace(id, in.Pos)
+					}
+					if cur := st.at(info.dst.id); cur.Len() >= 2 {
+						mk := fn.Name + "\x00" + info.dstKey
+						mcur := a.res.Multi[mk]
+						mcur.Union(cur)
+						a.res.Multi[mk] = mcur
+					}
+				}
+				if info.dst.canon >= 0 {
+					if a.fieldUnion(info.dst.canon, flow) {
+						a.dirtyCanons = append(a.dirtyCanons, info.dst.canon)
+					}
+				}
+			case ir.OpCall:
+				if a.opts.Mode == Inter {
+					a.propagateCall(st, info)
+				}
+			case ir.OpReturn:
+				if a.opts.Mode == Inter && !flow.Empty() {
+					cur := a.funcRet[fn.Name]
+					if cur.Union(flow) {
+						a.funcRet[fn.Name] = cur
+						a.dirtyRet = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Post-pass: assignment instructions may themselves contain calls
+	// (x = parse_size(arg)); in inter mode propagate arg taint into
+	// callee params.
+	if a.opts.Mode == Inter {
+		for ii := range st.infos {
+			if len(st.infos[ii].argFlows) > 0 {
+				a.propagateCall(st, &st.infos[ii])
+			}
+		}
+	}
+}
+
+// propagateCall pushes argument taint into callee parameter slots.
+func (a *analysis) propagateCall(st *funcState, info *instrInfo) {
+	for fi := range info.argFlows {
+		af := &info.argFlows[fi]
+		callee := a.prog.Funcs[af.callee]
+		ins := a.paramIn[af.callee]
+		for len(ins) < len(callee.Params) {
+			ins = append(ins, SeedSet{})
+		}
+		changed := false
+		for i, refs := range af.args {
 			var argTaint SeedSet
-			for _, l := range a.locsInExpr(fn, arg) {
-				k := l.Key()
-				s := t[k].Clone()
-				s.Union(a.seedTaint(fn.Name, k))
-				if l.Canon != "" {
-					s.Union(a.fieldTaint[l.Canon])
-				}
-				if l.IsField() {
-					s.Union(t[l.Var])
-					s.Union(a.seedTaint(fn.Name, l.Var))
-				}
-				argTaint.Union(s)
+			for _, r := range refs {
+				a.unionLocTaint(&argTaint, st, r)
 			}
 			if ins[i].Union(argTaint) {
 				changed = true
 			}
 		}
-		a.paramIn[call.Fun] = ins
-		return true
-	})
-	return changed
+		a.paramIn[af.callee] = ins
+		if changed {
+			a.dirtyParams = append(a.dirtyParams, af.callee)
+		}
+	}
 }
 
 // locsInExpr mirrors the ir builder's location extraction for an
@@ -508,23 +714,27 @@ func (a *analysis) addTrace(seed int, pos minicc.Pos) {
 }
 
 // report performs the final collection pass over fn using the fixpoint
-// taint facts.
-func (a *analysis) report(fn *ir.Func) {
-	t := a.res.Taint[fn.Name]
-	taintOf := func(l ir.Loc) SeedSet {
-		k := l.Key()
-		s := t[k].Clone()
-		s.Union(a.seedTaint(fn.Name, k))
-		if l.Canon != "" {
-			s.Union(a.fieldTaint[l.Canon])
+// taint facts, and materializes the function's public Taint map from
+// the dense state.
+func (a *analysis) report(idx int) {
+	st := a.states[idx]
+	fn := st.fn
+	t := make(map[string]SeedSet)
+	for id, s := range st.taint {
+		if !s.Empty() {
+			t[a.locs.keyOf(id)] = s
 		}
-		if l.IsField() {
-			s.Union(t[l.Var])
-			s.Union(a.seedTaint(fn.Name, l.Var))
-		}
+	}
+	a.res.Taint[fn.Name] = t
+
+	taintOf := func(u useRef) SeedSet {
+		var s SeedSet
+		a.unionLocTaint(&s, st, u)
 		return s
 	}
-	fn.Instrs(func(in *ir.Instr) {
+	for ii := range st.infos {
+		info := &st.infos[ii]
+		in := info.in
 		// Record canonical reads.
 		for _, u := range in.Uses {
 			if u.Canon != "" {
@@ -538,8 +748,8 @@ func (a *analysis) report(fn *ir.Func) {
 		case ir.OpAssign:
 			if in.Dst.Canon != "" {
 				var flow SeedSet
-				for _, u := range in.Uses {
-					flow.Union(taintOf(u))
+				for _, u := range info.uses {
+					a.unionLocTaint(&flow, st, u)
 				}
 				if !flow.Empty() {
 					a.res.FieldWrites = append(a.res.FieldWrites, FieldWrite{
@@ -551,10 +761,11 @@ func (a *analysis) report(fn *ir.Func) {
 			lt := make(map[string]SeedSet)
 			co := make(map[string]string)
 			any := false
-			for _, u := range in.Uses {
-				s := taintOf(u)
-				lt[u.Key()] = s
-				co[u.Key()] = u.Canon
+			for i, u := range in.Uses {
+				s := taintOf(info.uses[i])
+				k := u.Key()
+				lt[k] = s
+				co[k] = u.Canon
 				if !s.Empty() {
 					any = true
 				}
@@ -566,11 +777,22 @@ func (a *analysis) report(fn *ir.Func) {
 				}
 			}
 			if any {
+				keys := make([]string, 0, len(lt))
+				for k := range lt {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				plain := append([]string(nil), keys...)
+				sort.SliceStable(plain, func(i, j int) bool {
+					ci, cj := co[plain[i]] != "", co[plain[j]] != ""
+					return ci != cj && !ci
+				})
 				a.res.Sites = append(a.res.Sites, Site{
 					Func: fn.Name, Expr: in.Expr, Pos: in.Pos,
 					LocTaint: lt, CanonOf: co,
+					Keys: keys, PlainFirstKeys: plain,
 				})
 			}
 		}
-	})
+	}
 }

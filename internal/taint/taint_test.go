@@ -1,6 +1,7 @@
 package taint
 
 import (
+	"reflect"
 	"testing"
 
 	"fsdep/internal/ir"
@@ -256,6 +257,141 @@ int check(struct ext2_super_block *sb) {
 	}
 	if !found {
 		t.Errorf("field reads = %+v", res.FieldReads)
+	}
+}
+
+func TestWorklistCrossFunctionFieldChain(t *testing.T) {
+	// The readers are defined BEFORE the writers, so a single sweep in
+	// program order discovers nothing: taint must flow w1 → r1 → r2
+	// through two canonical fields, forcing the worklist to revisit
+	// both readers after their inputs change.
+	p := program(t, `
+struct sb { u32 a; u32 b; };
+void r2(struct sb *s) {
+	int y;
+	y = s->b;
+	if (y > 6) {
+		fail();
+	}
+}
+void r1(struct sb *s) {
+	s->b = s->a;
+}
+void w1(struct sb *s, int conf) {
+	s->a = conf;
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "w1", Var: "conf"}}, Options{})
+	if !res.SeedsOf("r2", "y").Has(0) {
+		t.Error("taint did not chain through sb.a → sb.b to r2")
+	}
+	if len(res.Sites) != 1 || res.Sites[0].Func != "r2" {
+		t.Fatalf("sites = %+v, want the r2 branch", res.Sites)
+	}
+	wantWrites := map[string]bool{"sb.a": false, "sb.b": false}
+	for _, fw := range res.FieldWrites {
+		if _, ok := wantWrites[fw.Canon]; ok && fw.Seeds.Has(0) {
+			wantWrites[fw.Canon] = true
+		}
+	}
+	for canon, seen := range wantWrites {
+		if !seen {
+			t.Errorf("tainted write to %s not recorded: %+v", canon, res.FieldWrites)
+		}
+	}
+}
+
+func TestDuplicateFunctionsAnalyzedOnce(t *testing.T) {
+	p := program(t, `
+void fn(int conf) {
+	if (conf < 8) {
+		fail();
+	}
+}`)
+	res := Run(p, []Seed{{Param: "conf", Var: "conf"}},
+		Options{Functions: []string{"fn", "fn"}})
+	// A duplicated name used to analyze and report the function twice,
+	// duplicating every site.
+	if len(res.Sites) != 1 {
+		t.Fatalf("sites = %d, want 1 (duplicates must be dropped)", len(res.Sites))
+	}
+}
+
+func TestFunctionOrderInsensitive(t *testing.T) {
+	// The engine normalizes to program order, so the caller's list
+	// order must not affect any part of the result — the property
+	// core's sorted cache key relies on.
+	src := `
+struct sb { u32 a; };
+void writer(struct sb *s, int conf) {
+	s->a = conf;
+}
+void reader(struct sb *s, int other) {
+	int x;
+	x = s->a;
+	if (x > 2 || other < 1) {
+		fail();
+	}
+}`
+	p := program(t, src)
+	seeds := []Seed{
+		{Param: "conf", Func: "writer", Var: "conf"},
+		{Param: "other", Func: "reader", Var: "other"},
+	}
+	fwd := Run(p, seeds, Options{Functions: []string{"writer", "reader"}})
+	rev := Run(p, seeds, Options{Functions: []string{"reader", "writer"}})
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Errorf("results differ by function list order:\nfwd: %+v\nrev: %+v", fwd, rev)
+	}
+}
+
+func TestSitePrecomputedKeys(t *testing.T) {
+	p := program(t, `
+struct sb { u32 zfield; };
+void fn(struct sb *s, int conf) {
+	if (conf < 4 || s->zfield > 2) {
+		fail();
+	}
+}`)
+	res := Run(p, []Seed{{Param: "conf", Func: "fn", Var: "conf"}}, Options{})
+	if len(res.Sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(res.Sites))
+	}
+	site := res.Sites[0]
+	if want := []string{"conf", "s.zfield"}; !reflect.DeepEqual(site.Keys, want) {
+		t.Errorf("Keys = %v, want %v (ascending)", site.Keys, want)
+	}
+	// Plain-first: "conf" (no canon) precedes "s.zfield" even though it
+	// also sorts first; with a canonical key sorting before the plain
+	// one the plain key must still lead.
+	if want := []string{"conf", "s.zfield"}; !reflect.DeepEqual(site.PlainFirstKeys, want) {
+		t.Errorf("PlainFirstKeys = %v, want %v", site.PlainFirstKeys, want)
+	}
+	if len(site.Keys) != len(site.LocTaint) || len(site.Keys) != len(site.CanonOf) {
+		t.Errorf("Keys length %d does not cover LocTaint %d / CanonOf %d",
+			len(site.Keys), len(site.LocTaint), len(site.CanonOf))
+	}
+}
+
+func TestSitePlainFirstKeysOrder(t *testing.T) {
+	// "a.field" (canonical) sorts before "zz" lexically, but the
+	// plain-first view must put the plain local first.
+	p := program(t, `
+struct meta { u32 field; };
+void fn(struct meta *a, int zz) {
+	if (a->field > 1 || zz < 2) {
+		fail();
+	}
+}`)
+	res := Run(p, []Seed{{Param: "zz", Func: "fn", Var: "zz"}}, Options{})
+	if len(res.Sites) != 1 {
+		t.Fatalf("sites = %d, want 1", len(res.Sites))
+	}
+	site := res.Sites[0]
+	if want := []string{"a.field", "zz"}; !reflect.DeepEqual(site.Keys, want) {
+		t.Errorf("Keys = %v, want %v", site.Keys, want)
+	}
+	if want := []string{"zz", "a.field"}; !reflect.DeepEqual(site.PlainFirstKeys, want) {
+		t.Errorf("PlainFirstKeys = %v, want %v", site.PlainFirstKeys, want)
 	}
 }
 

@@ -9,6 +9,9 @@ import (
 	"testing"
 
 	"fsdep/internal/conhandleck"
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
 	"fsdep/internal/report"
 	"fsdep/internal/sched"
 	"fsdep/internal/taint"
@@ -52,4 +55,110 @@ func benchmarkConHandleCk(b *testing.B, workers int) {
 func BenchmarkParallelConHandleCk(b *testing.B) {
 	b.Run("workers=1", func(b *testing.B) { benchmarkConHandleCk(b, 1) })
 	b.Run("workers=max", func(b *testing.B) { benchmarkConHandleCk(b, runtime.GOMAXPROCS(0)) })
+}
+
+// analyzeAllCorpus runs the four Table-5 scenarios against the given
+// component map and checks the headline dependency count.
+func analyzeAllCorpus(b *testing.B, comps map[string]*core.Component) []*core.Result {
+	b.Helper()
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{Mode: taint.Intra},
+		sched.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := 0
+	for _, res := range outs {
+		total += res.Deps.Len()
+	}
+	// 232 raw per-scenario dependencies (55+55+64+58) before the
+	// Table-5 scoring pass deduplicates and matches ground truth.
+	if total != 232 {
+		b.Fatalf("extracted deps = %d, want 232", total)
+	}
+	return outs
+}
+
+// BenchmarkExtractionColdVsWarm is the headline memoization number:
+// "cold" recompiles the corpus and repeats all four scenarios from an
+// empty taint cache each iteration; "warm" shares one component map, so
+// every iteration after the pre-warm is pure cache lookups plus
+// dependency derivation. The cold/warm ns-per-op ratio is the speedup
+// the memo layer buys repeated-scenario extraction.
+func BenchmarkExtractionColdVsWarm(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analyzeAllCorpus(b, corpus.Components())
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		comps := corpus.Components()
+		analyzeAllCorpus(b, comps)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			analyzeAllCorpus(b, comps)
+		}
+	})
+}
+
+// BenchmarkAnalyzeAllCorpusCached runs the full corpus repeatedly over
+// one shared component map and asserts that the taint cache is actually
+// being reused — a run with zero hits means the memo layer regressed.
+func BenchmarkAnalyzeAllCorpusCached(b *testing.B) {
+	comps := corpus.Components()
+	for i := 0; i < b.N; i++ {
+		analyzeAllCorpus(b, comps)
+	}
+	if stats := core.TotalCacheStats(comps); stats.Hits == 0 {
+		b.Fatal("corpus AnalyzeAll produced no taint-cache hits")
+	}
+}
+
+// conHandleCkUnion is the extraction stage every sweep app starts
+// with: run all Table-5 scenarios and union the dependency sets.
+func conHandleCkUnion(b *testing.B, comps map[string]*core.Component) *depmodel.Set {
+	b.Helper()
+	union := depmodel.NewSet()
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{},
+		sched.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, res := range outs {
+		union.AddAll(res.Deps.Deps())
+	}
+	return union
+}
+
+// BenchmarkConHandleCkExtractColdVsWarm measures the memo layer's
+// effect on a sweep app's extraction stage: ConHandleCk re-derives the
+// corpus dependency union before sweeping, and with a shared component
+// map that union comes entirely from cached taint runs. The sweep
+// itself runs once outside the timer as a shape check (1 silent
+// corruption, as in §4.3).
+func BenchmarkConHandleCkExtractColdVsWarm(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		var union *depmodel.Set
+		for i := 0; i < b.N; i++ {
+			union = conHandleCkUnion(b, corpus.Components())
+		}
+		b.StopTimer()
+		rep := conhandleck.RunParallel(union, sched.Options{Workers: runtime.GOMAXPROCS(0)})
+		if n := len(rep.Corruptions()); n != 1 {
+			b.Fatalf("silent corruptions = %d, want 1", n)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		comps := corpus.Components()
+		conHandleCkUnion(b, comps)
+		b.ResetTimer()
+		var union *depmodel.Set
+		for i := 0; i < b.N; i++ {
+			union = conHandleCkUnion(b, comps)
+		}
+		b.StopTimer()
+		rep := conhandleck.RunParallel(union, sched.Options{Workers: runtime.GOMAXPROCS(0)})
+		if n := len(rep.Corruptions()); n != 1 {
+			b.Fatalf("silent corruptions = %d, want 1", n)
+		}
+	})
 }

@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench.sh — run the repo's benchmark suite and emit a JSON summary of
+# {ns_per_op, allocs_per_op} per benchmark.
+#
+# Usage:
+#   scripts/bench.sh [--smoke] [output.json]
+#
+#   --smoke   run each benchmark exactly once (-benchtime=1x); fast
+#             shape check for CI, numbers are not representative
+#   output    path for the JSON summary (default: BENCH_0.json)
+#
+# The suite's benchmarks assert the paper's headline figures, so this
+# run doubles as a reproduction pass; a benchmark failure fails the
+# script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime=""
+out="BENCH_0.json"
+for arg in "$@"; do
+	case "$arg" in
+	--smoke) benchtime="-benchtime=1x" ;;
+	-*)
+		echo "unknown flag: $arg" >&2
+		exit 2
+		;;
+	*) out="$arg" ;;
+	esac
+done
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# shellcheck disable=SC2086 # benchtime is intentionally word-split
+go test -run '^$' -bench . -benchmem -count=1 $benchtime ./... | tee "$raw"
+
+# Benchmark result lines look like:
+#   BenchmarkName-8  386  3048734 ns/op  1958769 B/op  17251 allocs/op
+awk '
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ && /ns\/op/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i - 1)
+		if ($i == "allocs/op") allocs = $(i - 1)
+	}
+	if (ns == "") next
+	if (allocs == "") allocs = 0
+	if (n++) printf ",\n"
+	printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+}
+END { print "\n}" }
+' "$raw" >"$out"
+
+echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2
