@@ -2,6 +2,14 @@
 // configuration states, executes the full ecosystem pipeline under
 // each, and reports the configuration coverage gained over the stock
 // (modeled) xfstest suite.
+//
+// With -checkpoint FILE each executed configuration is journaled, and
+// a killed run restarted with -resume replays the journal and re-runs
+// only the remainder — producing the same report as an uninterrupted
+// run (the plan is deterministic for a given -seed).
+//
+// Exit codes: 0 success, 1 analysis failure or pipeline failures
+// found, 2 usage error.
 package main
 
 import (
@@ -11,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 
+	"fsdep/internal/cliutil"
 	"fsdep/internal/conbugck"
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
@@ -24,15 +33,19 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generator seed (deterministic plans)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
 	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
+	ckpt := flag.String("checkpoint", "", "journal executed configurations to this file")
+	resume := flag.Bool("resume", false, "replay executed configurations from the -checkpoint journal")
 	flag.Parse()
+	if *n <= 0 {
+		cliutil.Usagef("conbugck", "-n must be positive (got %d)", *n)
+	}
 	sopts := sched.Options{Workers: *parallel}
 
 	union := depmodel.NewSet()
 	comps := corpus.Components()
 	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "conbugck:", err)
-		os.Exit(1)
+		cliutil.Failf("conbugck", err)
 	}
 	for _, res := range outs {
 		union.AddAll(res.Deps.Deps())
@@ -45,7 +58,18 @@ func main() {
 	gen := conbugck.NewGenerator(union, *seed)
 	plan := gen.Plan(*n)
 	fmt.Printf("generated %d dependency-respecting configuration states\n", len(plan))
-	rep := conbugck.ExecuteParallel(plan, sopts)
+	j := cliutil.OpenJournal("conbugck", *ckpt, *resume)
+	rep, err := conbugck.ExecuteCheckpointed(plan, sopts, j)
+	if err != nil {
+		cliutil.Failf("conbugck", err)
+	}
+	if j != nil {
+		replayed, recorded := j.Stats()
+		fmt.Fprintf(os.Stderr, "conbugck: checkpoint: %d replayed, %d recorded\n", replayed, recorded)
+		if err := j.Close(); err != nil {
+			cliutil.Failf("conbugck", err)
+		}
+	}
 	fmt.Printf("executed pipeline (mkfs → mount → workload → umount → fsck -f) under each state\n")
 	fmt.Printf("  shallow rejections: %d (the generator's goal is zero)\n", rep.Shallow)
 	fmt.Printf("  deep failures:      %d\n", rep.Deep)
@@ -56,6 +80,6 @@ func main() {
 		fmt.Printf("  newly exercised: %s\n", strings.Join(newParams, ", "))
 	}
 	if rep.Shallow > 0 || rep.Deep > 0 {
-		os.Exit(1)
+		os.Exit(cliutil.ExitFailure)
 	}
 }

@@ -4,9 +4,18 @@
 // ecosystem recovers (clean, detected-and-repaired, silent corruption,
 // crash loop). Any silent corruption exits nonzero.
 //
-// The sweep fans out on -parallel workers; every fault choice derives
-// from -seed, so the report is byte-identical for any worker count and
-// fully replayable.
+// The sweep is driven by the analyzer's extraction: the corpus is
+// analyzed first and only catalog scenarios whose violated dependency
+// was actually extracted (plus the controls) are swept. The sweep fans
+// out on -parallel workers; every fault choice derives from -seed, so
+// the report is byte-identical for any worker count and fully
+// replayable. With -checkpoint FILE each finished trial is journaled,
+// and a killed sweep restarted with -resume replays the journal and
+// re-runs only the remainder — producing the same report as an
+// uninterrupted run.
+//
+// Exit codes: 0 success, 1 analysis failure or silent corruption
+// found, 2 usage error.
 package main
 
 import (
@@ -15,7 +24,11 @@ import (
 	"os"
 	"runtime"
 
+	"fsdep/internal/cliutil"
 	"fsdep/internal/concrashck"
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/depmodel"
 	"fsdep/internal/sched"
 )
 
@@ -23,19 +36,49 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
 	seed := flag.Uint64("seed", 0, "base seed for fault choices (0 = default)")
 	points := flag.Int("points", 0, "max fault points per mode and scenario (0 = default 16)")
+	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
+	ckpt := flag.String("checkpoint", "", "journal finished trials to this file")
+	resume := flag.Bool("resume", false, "replay finished trials from the -checkpoint journal")
 	flag.Parse()
+	if *points < 0 {
+		cliutil.Usagef("concrashck", "-points must be non-negative (got %d)", *points)
+	}
+	sopts := sched.Options{Workers: *parallel}
 
-	rep, err := concrashck.SweepParallel(concrashck.Scenarios(), concrashck.Options{
+	// The sweep catalog is selected by the extraction: analyze the
+	// corpus once and keep only the scenarios whose violated dependency
+	// the analyzer actually found.
+	union := depmodel.NewSet()
+	comps := corpus.Components()
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
+	if err != nil {
+		cliutil.Failf("concrashck", err)
+	}
+	for _, res := range outs {
+		union.AddAll(res.Deps.Deps())
+	}
+	if *stats {
+		cs := core.TotalCacheStats(comps)
+		fmt.Fprintf(os.Stderr, "concrashck: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
+	}
+
+	j := cliutil.OpenJournal("concrashck", *ckpt, *resume)
+	rep, err := concrashck.SweepCheckpointed(concrashck.ScenariosFor(union), concrashck.Options{
 		Seed:             *seed,
 		MaxPointsPerMode: *points,
-	}, sched.Options{Workers: *parallel})
+	}, sopts, j)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "concrashck:", err)
-		os.Exit(1)
+		cliutil.Failf("concrashck", err)
+	}
+	if j != nil {
+		replayed, recorded := j.Stats()
+		fmt.Fprintf(os.Stderr, "concrashck: checkpoint: %d replayed, %d recorded\n", replayed, recorded)
+		if err := j.Close(); err != nil {
+			cliutil.Failf("concrashck", err)
+		}
 	}
 	if err := rep.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "concrashck:", err)
-		os.Exit(1)
+		cliutil.Failf("concrashck", err)
 	}
 
 	// The Figure-1 comparison: same dependency violation, buggy vs
@@ -48,6 +91,6 @@ func main() {
 	}
 
 	if silent := rep.Silent(); len(silent) > 0 {
-		os.Exit(1)
+		os.Exit(cliutil.ExitFailure)
 	}
 }

@@ -6,7 +6,13 @@
 //
 // Both the extraction and the violation sweep run concurrently on
 // -parallel workers (each violation gets its own fsim pipeline
-// instance); the report is byte-identical for any worker count.
+// instance); the report is byte-identical for any worker count. With
+// -checkpoint FILE each finished violation is journaled, and a killed
+// run restarted with -resume replays the journal and re-runs only the
+// remainder — producing the same report as an uninterrupted run.
+//
+// Exit codes: 0 success, 1 analysis failure or silent corruption
+// found, 2 usage error.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 	"runtime"
 
+	"fsdep/internal/cliutil"
 	"fsdep/internal/conhandleck"
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
@@ -25,6 +32,8 @@ import (
 func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
 	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
+	ckpt := flag.String("checkpoint", "", "journal finished violations to this file")
+	resume := flag.Bool("resume", false, "replay finished violations from the -checkpoint journal")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
@@ -32,8 +41,7 @@ func main() {
 	comps := corpus.Components()
 	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "conhandleck:", err)
-		os.Exit(1)
+		cliutil.Failf("conhandleck", err)
 	}
 	for _, res := range outs {
 		union.AddAll(res.Deps.Deps())
@@ -42,7 +50,18 @@ func main() {
 		cs := core.TotalCacheStats(comps)
 		fmt.Fprintf(os.Stderr, "conhandleck: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
 	}
-	rep := conhandleck.RunParallel(union, sopts)
+	j := cliutil.OpenJournal("conhandleck", *ckpt, *resume)
+	rep, err := conhandleck.RunCheckpointed(union, sopts, j)
+	if err != nil {
+		cliutil.Failf("conhandleck", err)
+	}
+	if j != nil {
+		replayed, recorded := j.Stats()
+		fmt.Fprintf(os.Stderr, "conhandleck: checkpoint: %d replayed, %d recorded\n", replayed, recorded)
+		if err := j.Close(); err != nil {
+			cliutil.Failf("conhandleck", err)
+		}
+	}
 	fmt.Printf("%-62s %-18s %s\n", "VIOLATION", "OUTCOME", "DETAIL")
 	for _, tr := range rep.Trials {
 		detail := tr.Detail
@@ -59,6 +78,6 @@ func main() {
 		for _, tr := range rep.Corruptions() {
 			fmt.Printf("  %s → %s\n", tr.Desc, tr.Detail)
 		}
-		os.Exit(1)
+		os.Exit(cliutil.ExitFailure)
 	}
 }

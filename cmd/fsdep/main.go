@@ -3,13 +3,22 @@
 //
 // Usage:
 //
-//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-stats] [-v]
+//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-degraded] [-stats] [-v]
 //
 // Without -scenario, every Table-5 scenario runs and the evaluation
 // table is printed. With -json, the extracted dependencies are written
 // as the analyzer's JSON document (§4.1 of the paper). Scenarios run
 // concurrently on -parallel workers; the output is guaranteed to be
 // byte-identical to a sequential run.
+//
+// With -degraded, components whose parse, compile, or taint analysis
+// fails are quarantined instead of aborting the run: every healthy
+// component still extracts, the quarantines are summarized on stderr,
+// and the command exits 0. Without it any component failure aborts
+// with exit 1.
+//
+// Exit codes: 0 success (including degraded-but-completed runs),
+// 1 analysis failure, 2 usage error.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"os"
 	"runtime"
 
+	"fsdep/internal/cliutil"
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
 	"fsdep/internal/depmodel"
@@ -32,15 +42,15 @@ func main() {
 	mode := flag.String("mode", "intra", "taint mode: intra (paper prototype) or inter (extension)")
 	jsonOut := flag.String("json", "", "write extracted dependencies to this JSON file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of analysis workers (output is identical for any value)")
+	degraded := flag.Bool("degraded", false, "quarantine failing components instead of aborting (exit 0 with a stderr summary)")
 	verbose := flag.Bool("v", false, "list every extracted dependency")
 	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
-	if *dump != "" && (*scenario != "" || *jsonOut != "") {
-		fmt.Fprintln(os.Stderr, "fsdep: -dump cannot be combined with -scenario or -json")
-		fmt.Fprintln(os.Stderr, "usage: fsdep -dump component | fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-v]")
-		os.Exit(2)
+	if *dump != "" && (*scenario != "" || *jsonOut != "" || *degraded) {
+		cliutil.Usagef("fsdep", "-dump cannot be combined with -scenario, -json, or -degraded\n"+
+			"usage: fsdep -dump component | fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-degraded] [-v]")
 	}
 
 	var tm taint.Mode
@@ -50,19 +60,17 @@ func main() {
 	case "inter":
 		tm = taint.Inter
 	default:
-		fmt.Fprintf(os.Stderr, "fsdep: unknown mode %q\n", *mode)
-		os.Exit(2)
+		cliutil.Usagef("fsdep", "unknown mode %q", *mode)
 	}
 
 	if *dump != "" {
 		comp, ok := corpus.Components()[*dump]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "fsdep: unknown component %q\n", *dump)
-			os.Exit(2)
+			cliutil.Usagef("fsdep", "unknown component %q", *dump)
 		}
 		prog, err := comp.Program()
 		if err != nil {
-			fatal(err)
+			cliutil.Failf("fsdep", err)
 		}
 		for _, name := range prog.FuncOrder {
 			fmt.Println(prog.Funcs[name].Dump())
@@ -70,14 +78,35 @@ func main() {
 		return
 	}
 
+	scenarios := corpus.Scenarios()
+	if *scenario != "" {
+		var sel []core.Scenario
+		for _, s := range scenarios {
+			if s.Name == *scenario {
+				sel = append(sel, s)
+			}
+		}
+		if len(sel) == 0 {
+			cliutil.Usagef("fsdep", "unknown scenario %q", *scenario)
+		}
+		scenarios = sel
+	}
+
+	comps := corpus.Components()
+	defer printStats(*stats, comps)
+
+	if *degraded {
+		runDegraded(comps, scenarios, tm, sopts, *verbose, *jsonOut)
+		return
+	}
+
 	if *scenario == "" {
-		comps := corpus.Components()
 		res, err := report.RunTable5Comps(comps, tm, sopts)
 		if err != nil {
-			fatal(err)
+			cliutil.Failf("fsdep", err)
 		}
 		if err := res.Render(os.Stdout); err != nil {
-			fatal(err)
+			cliutil.Failf("fsdep", err)
 		}
 		if *verbose {
 			listDeps(res.Union.Deps)
@@ -85,39 +114,54 @@ func main() {
 		if *jsonOut != "" {
 			writeJSON(*jsonOut, "all-scenarios", res.Union.Deps)
 		}
-		printStats(*stats, comps)
 		return
 	}
 
-	var sc *core.Scenario
-	for _, s := range corpus.Scenarios() {
-		if s.Name == *scenario {
-			ss := s
-			sc = &ss
-		}
-	}
-	if sc == nil {
-		fmt.Fprintf(os.Stderr, "fsdep: unknown scenario %q\n", *scenario)
-		os.Exit(2)
-	}
-	comps := corpus.Components()
-	outs, err := core.AnalyzeAll(comps, []core.Scenario{*sc}, core.Options{Mode: tm}, sopts)
+	outs, err := core.AnalyzeAll(comps, scenarios, core.Options{Mode: tm}, sopts)
 	if err != nil {
-		fatal(err)
+		cliutil.Failf("fsdep", err)
 	}
-	defer printStats(*stats, comps)
 	res := outs[0]
-	tp, fp := corpus.Score(res.Deps.Deps())
-	cnt := res.Deps.CountByCategory()
-	fmt.Printf("scenario %s (%s): SD=%d CPD=%d CCD=%d — %d extracted, %d true, %d false positives\n",
-		sc.Name, tm, cnt[depmodel.SD], cnt[depmodel.CPD], cnt[depmodel.CCD],
-		res.Deps.Len(), len(tp), len(fp))
+	printScenarioLine(res, tm)
 	if *verbose {
 		listDeps(res.Deps)
 	}
 	if *jsonOut != "" {
-		writeJSON(*jsonOut, sc.Name, res.Deps)
+		writeJSON(*jsonOut, res.Scenario.Name, res.Deps)
 	}
+}
+
+// runDegraded analyzes the scenarios with failing components
+// quarantined, prints per-scenario summaries plus the union, and
+// exits 0 — the stderr summary is the only trace of the quarantines.
+func runDegraded(comps map[string]*core.Component, scenarios []core.Scenario, tm taint.Mode, sopts sched.Options, verbose bool, jsonOut string) {
+	run, err := core.AnalyzeAllDegraded(comps, scenarios, core.Options{Mode: tm}, sopts)
+	if err != nil {
+		cliutil.Failf("fsdep", err)
+	}
+	union := depmodel.NewSet()
+	for _, res := range run.Results {
+		printScenarioLine(res, tm)
+		if n := len(res.UnresolvedCCD); n > 0 {
+			fmt.Printf("  (%d unresolved CCD edges against quarantined components)\n", n)
+		}
+		union.AddAll(res.Deps.Deps())
+	}
+	if verbose {
+		listDeps(union)
+	}
+	if jsonOut != "" {
+		writeJSON(jsonOut, "all-scenarios-degraded", union)
+	}
+	cliutil.WarnDegradations("fsdep", run.Degradations)
+}
+
+func printScenarioLine(res *core.Result, tm taint.Mode) {
+	tp, fp := corpus.Score(res.Deps.Deps())
+	cnt := res.Deps.CountByCategory()
+	fmt.Printf("scenario %s (%s): SD=%d CPD=%d CCD=%d — %d extracted, %d true, %d false positives\n",
+		res.Scenario.Name, tm, cnt[depmodel.SD], cnt[depmodel.CPD], cnt[depmodel.CCD],
+		res.Deps.Len(), len(tp), len(fp))
 }
 
 func listDeps(set *depmodel.Set) {
@@ -138,10 +182,10 @@ func writeJSON(path, scenario string, set *depmodel.Set) {
 	}
 	blob, err := f.Encode()
 	if err != nil {
-		fatal(err)
+		cliutil.Failf("fsdep", err)
 	}
 	if err := os.WriteFile(path, blob, 0o644); err != nil {
-		fatal(err)
+		cliutil.Failf("fsdep", err)
 	}
 	fmt.Printf("wrote %d dependencies to %s\n", set.Len(), path)
 }
@@ -152,9 +196,4 @@ func printStats(enabled bool, comps map[string]*core.Component) {
 	}
 	cs := core.TotalCacheStats(comps)
 	fmt.Fprintf(os.Stderr, "fsdep: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fsdep:", err)
-	os.Exit(1)
 }

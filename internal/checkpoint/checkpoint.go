@@ -1,0 +1,185 @@
+// Package checkpoint journals completed trial results so an
+// interrupted sweep can resume without redoing finished work. The
+// sweep CLIs (conhandleck, conbugck, concrashck) key every trial by a
+// deterministic signature — scenario ⊕ fault plan ⊕ seed — and wrap
+// the trial body in Do: on a fresh run the body executes and its
+// result is appended to the journal; on a resumed run the journaled
+// result is replayed instead. Because trial signatures and sweep
+// enumeration are both deterministic, a killed-and-resumed sweep
+// produces byte-identical output to an uninterrupted one.
+//
+// # Format
+//
+// The journal is append-only JSONL: one {"k": key, "v": result}
+// object per line. A process killed mid-append leaves a torn final
+// line; Open tolerates exactly that — the torn tail is truncated away
+// and its trial simply re-runs. Corruption anywhere earlier is a real
+// error (the file is not a journal), reported rather than repaired.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// entry is one journaled line.
+type entry struct {
+	K string          `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// Journal is an append-only store of finished trial results keyed by
+// deterministic trial signatures. Safe for concurrent use: sweeps
+// record from sched worker goroutines.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	done     map[string]json.RawMessage
+	replayed int
+	recorded int
+}
+
+// Open opens (creating if absent) the journal at path and loads every
+// complete entry. A torn trailing line — the signature of a process
+// killed mid-append — is truncated away; any earlier malformed line is
+// an error.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j := &Journal{f: f, done: make(map[string]json.RawMessage)}
+	if err := j.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// load reads the journal, keeping the last complete entry per key and
+// truncating a torn tail.
+func (j *Journal) load() error {
+	data, err := os.ReadFile(j.f.Name())
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	valid := 0 // byte length of the well-formed prefix
+	for len(data) > valid {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			// No terminator: a torn tail, only acceptable at EOF.
+			break
+		}
+		line := data[valid : valid+nl]
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil || e.K == "" {
+			// A malformed *terminated* line is corruption, not a torn
+			// append — refuse to guess.
+			return fmt.Errorf("checkpoint: %s: corrupt entry at byte %d", j.f.Name(), valid)
+		}
+		j.done[e.K] = e.V
+		valid += nl + 1
+	}
+	if valid < len(data) {
+		if err := j.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("checkpoint: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(int64(valid), 0); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Lookup returns the journaled raw result for key, if any.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.done[key]
+	return v, ok
+}
+
+// Record journals one finished trial. The entry is flushed to the OS
+// before Record returns, so a crash immediately after loses nothing.
+func (j *Journal) Record(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshaling %q: %w", key, err)
+	}
+	line, err := json.Marshal(entry{K: key, V: raw})
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	j.done[key] = raw
+	j.recorded++
+	return nil
+}
+
+// Stats reports how many trials were replayed from the journal and how
+// many were recorded by this process.
+func (j *Journal) Stats() (replayed, recorded int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed, j.recorded
+}
+
+// Len returns the number of distinct journaled keys.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return j.f.Close()
+}
+
+// Do returns the journaled result for key, or runs fn and journals its
+// result. A nil journal always runs fn (sweeps without -checkpoint
+// pass nil and pay nothing). fn errors are never journaled — the trial
+// re-runs on resume. T must round-trip through JSON, which is what
+// makes a replayed sweep byte-identical to an uninterrupted one.
+func Do[T any](j *Journal, key string, fn func() (T, error)) (T, error) {
+	if j == nil {
+		return fn()
+	}
+	if raw, ok := j.Lookup(key); ok {
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return v, fmt.Errorf("checkpoint: replaying %q: %w", key, err)
+		}
+		j.mu.Lock()
+		j.replayed++
+		j.mu.Unlock()
+		return v, nil
+	}
+	v, err := fn()
+	if err != nil {
+		return v, err
+	}
+	if err := j.Record(key, v); err != nil {
+		return v, err
+	}
+	return v, nil
+}

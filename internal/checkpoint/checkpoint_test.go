@@ -1,0 +1,172 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type trial struct {
+	Name    string `json:"name"`
+	Verdict string `json:"verdict"`
+	Point   int    `json:"point"`
+}
+
+func openT(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j
+}
+
+func TestDoRecordsAndReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j := openT(t, path)
+	ran := 0
+	run := func() (trial, error) {
+		ran++
+		return trial{Name: "a", Verdict: "clean", Point: 7}, nil
+	}
+	first, err := Do(j, "k1", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Do(j, "k1", run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("fn ran %d times, want 1", ran)
+	}
+	if first != again {
+		t.Fatalf("replay differs: %+v vs %+v", first, again)
+	}
+	if rep, rec := j.Stats(); rep != 1 || rec != 1 {
+		t.Fatalf("stats = %d replayed / %d recorded, want 1/1", rep, rec)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process sees the journaled trial.
+	j2 := openT(t, path)
+	defer j2.Close()
+	got, err := Do(j2, "k1", func() (trial, error) {
+		t.Fatal("journaled trial re-ran after reopen")
+		return trial{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != first {
+		t.Fatalf("reopened replay = %+v, want %+v", got, first)
+	}
+}
+
+func TestDoNilJournalRuns(t *testing.T) {
+	ran := 0
+	v, err := Do(nil, "k", func() (int, error) { ran++; return 42, nil })
+	if err != nil || v != 42 || ran != 1 {
+		t.Fatalf("nil journal: v=%d ran=%d err=%v", v, ran, err)
+	}
+}
+
+func TestDoErrorNotJournaled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j := openT(t, path)
+	defer j.Close()
+	boom := errors.New("boom")
+	if _, err := Do(j, "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if j.Len() != 0 {
+		t.Fatal("failed trial was journaled")
+	}
+	// The trial re-runs and can succeed later.
+	v, err := Do(j, "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry after error: v=%d err=%v", v, err)
+	}
+}
+
+func TestTornTrailingLineTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j := openT(t, path)
+	for i := 0; i < 4; i++ {
+		if err := j.Record(fmt.Sprintf("k%d", i), trial{Name: "t", Point: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: cut the file inside the last line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, path)
+	if j2.Len() != 3 {
+		t.Fatalf("entries after torn tail = %d, want 3", j2.Len())
+	}
+	if _, ok := j2.Lookup("k3"); ok {
+		t.Fatal("torn entry survived")
+	}
+	// The journal accepts new appends after truncation, and the file
+	// parses cleanly on the next open.
+	if err := j2.Record("k3", trial{Name: "t", Point: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3 := openT(t, path)
+	defer j3.Close()
+	if j3.Len() != 4 {
+		t.Fatalf("entries after repair = %d, want 4", j3.Len())
+	}
+}
+
+func TestCorruptInteriorLineRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n{\"k\":\"a\",\"v\":1}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("corrupt interior line accepted")
+	}
+}
+
+func TestConcurrentDo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	j := openT(t, path)
+	defer j.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", i)
+				v, err := Do(j, key, func() (int, error) { return i * i, nil })
+				if err != nil || v != i*i {
+					t.Errorf("goroutine %d: key %s = %d, %v", g, key, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if j.Len() != 50 {
+		t.Fatalf("journal holds %d keys, want 50", j.Len())
+	}
+}

@@ -1,0 +1,77 @@
+// Package cliutil fixes the exit-code convention shared by every
+// command in this repository and holds the small helpers the commands
+// repeat: usage failures exit 2, analysis failures exit 1, and a
+// degraded-but-completed run exits 0 after summarizing what was
+// quarantined on stderr. It also owns the -checkpoint/-resume journal
+// plumbing so the sweep commands agree on the semantics: -checkpoint
+// alone starts a fresh journal (clobbering any previous one),
+// -checkpoint with -resume replays finished trials from it.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"fsdep/internal/checkpoint"
+	"fsdep/internal/core"
+)
+
+// Exit codes shared by every command.
+const (
+	// ExitOK: success, including degraded-but-completed runs.
+	ExitOK = 0
+	// ExitFailure: the analysis or sweep itself failed, or it completed
+	// and found real problems.
+	ExitFailure = 1
+	// ExitUsage: the invocation was malformed.
+	ExitUsage = 2
+)
+
+// Usagef reports a malformed invocation and exits 2.
+func Usagef(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(ExitUsage)
+}
+
+// Failf reports an analysis failure and exits 1.
+func Failf(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(ExitFailure)
+}
+
+// WarnDegradations summarizes a degraded run on stderr. The caller
+// still exits 0: quarantined components are a warning, not a failure —
+// every healthy component produced results.
+func WarnDegradations(tool string, degs []core.Degradation) {
+	if len(degs) == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: degraded run: %d component(s) quarantined\n", tool, len(degs))
+	for _, d := range degs {
+		fmt.Fprintf(os.Stderr, "%s:   %s\n", tool, d)
+	}
+}
+
+// OpenJournal opens the -checkpoint journal. An empty path disables
+// journaling (nil journal, nothing recorded). Without resume a fresh
+// journal replaces any previous file; with resume the existing entries
+// replay. resume without a path is a usage error, and an unreadable or
+// corrupt journal is an analysis failure.
+func OpenJournal(tool, path string, resume bool) *checkpoint.Journal {
+	if path == "" {
+		if resume {
+			Usagef(tool, "-resume requires -checkpoint FILE")
+		}
+		return nil
+	}
+	if !resume {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			Failf(tool, err)
+		}
+	}
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		Failf(tool, err)
+	}
+	return j
+}

@@ -14,9 +14,11 @@
 package conbugck
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"fsdep/internal/checkpoint"
 	"fsdep/internal/depmodel"
 	"fsdep/internal/e2fsck"
 	"fsdep/internal/fsim"
@@ -175,38 +177,72 @@ func Execute(cfgs []Config) *Report { return ExecuteParallel(cfgs, sched.Sequent
 // coverage into a private map; results and coverage merge in plan
 // order, so the report is identical to a sequential Execute.
 func ExecuteParallel(cfgs []Config, sopts sched.Options) *Report {
-	type outcome struct {
-		res     RunResult
-		touched map[string]bool
-	}
-	outs, _ := sched.Map(sopts, cfgs, func(_ int, cfg Config) (outcome, error) {
-		o := outcome{res: RunResult{Config: cfg}, touched: make(map[string]bool)}
-		if err := runOne(cfg, o.touched); err != nil {
-			var pe *mke2fs.ParamError
-			var me *mountsim.MountError
-			if asErr(err, &pe) || asErr(err, &me) {
-				o.res.ShallowReject = true
-			} else {
-				o.res.DeepFailure = true
+	rep, _ := ExecuteCheckpointed(cfgs, sopts, nil)
+	return rep
+}
+
+// trialRecord is the journal-safe form of one executed configuration:
+// RunResult carries an error value, which does not round-trip through
+// JSON, so the journal stores its message instead.
+type trialRecord struct {
+	Shallow bool     `json:"shallow,omitempty"`
+	Deep    bool     `json:"deep,omitempty"`
+	Err     string   `json:"err,omitempty"`
+	Touched []string `json:"touched,omitempty"`
+}
+
+// ExecuteCheckpointed is ExecuteParallel with an optional resume
+// journal: journaled configurations replay instead of re-executing,
+// fresh ones are journaled as they finish. The plan is deterministic
+// for a given dependency set and seed, so a killed-and-resumed run
+// yields a report byte-identical to an uninterrupted one. A nil
+// journal behaves exactly like ExecuteParallel.
+func ExecuteCheckpointed(cfgs []Config, sopts sched.Options, j *checkpoint.Journal) (*Report, error) {
+	recs, err := sched.Map(sopts, cfgs, func(i int, cfg Config) (trialRecord, error) {
+		// The label alone may collide across plan entries; the index
+		// pins the record to its position in the enumeration.
+		key := fmt.Sprintf("cbc1|%d|%s", i, cfg.Label)
+		return checkpoint.Do(j, key, func() (trialRecord, error) {
+			touched := make(map[string]bool)
+			rec := trialRecord{}
+			if err := runOne(cfg, touched); err != nil {
+				var pe *mke2fs.ParamError
+				var me *mountsim.MountError
+				if asErr(err, &pe) || asErr(err, &me) {
+					rec.Shallow = true
+				} else {
+					rec.Deep = true
+				}
+				rec.Err = err.Error()
 			}
-			o.res.Err = err
-		}
-		return o, nil
+			for p := range touched {
+				rec.Touched = append(rec.Touched, p)
+			}
+			sort.Strings(rec.Touched)
+			return rec, nil
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{ParamsTouched: make(map[string]bool)}
-	for _, o := range outs {
-		rep.Results = append(rep.Results, o.res)
-		if o.res.ShallowReject {
+	for i, rec := range recs {
+		res := RunResult{Config: cfgs[i], ShallowReject: rec.Shallow, DeepFailure: rec.Deep}
+		if rec.Err != "" {
+			res.Err = errors.New(rec.Err)
+		}
+		rep.Results = append(rep.Results, res)
+		if rec.Shallow {
 			rep.Shallow++
 		}
-		if o.res.DeepFailure {
+		if rec.Deep {
 			rep.Deep++
 		}
-		for p := range o.touched {
+		for _, p := range rec.Touched {
 			rep.ParamsTouched[p] = true
 		}
 	}
-	return rep
+	return rep, nil
 }
 
 func asErr[T error](err error, target *T) bool {

@@ -1,11 +1,19 @@
 package conbugck
 
 import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
+	"fsdep/internal/checkpoint"
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
 	"fsdep/internal/depmodel"
+	"fsdep/internal/sched"
 	"fsdep/internal/testsuite"
 )
 
@@ -123,5 +131,85 @@ func TestConfigsRespectConflicts(t *testing.T) {
 			t.Errorf("config enables meta_bg without clearing resize_inode: %v",
 				cfg.Mkfs.Features)
 		}
+	}
+}
+
+// renderReport serializes everything cmd/conbugck derives from a
+// report, for byte-level comparison across resumed runs.
+func renderReport(rep *Report) string {
+	var b strings.Builder
+	for _, r := range rep.Results {
+		errStr := ""
+		if r.Err != nil {
+			errStr = r.Err.Error()
+		}
+		fmt.Fprintf(&b, "%s|%v|%v|%s\n", r.Config.Label, r.ShallowReject, r.DeepFailure, errStr)
+	}
+	fmt.Fprintf(&b, "shallow:%d deep:%d\n", rep.Shallow, rep.Deep)
+	touched := make([]string, 0, len(rep.ParamsTouched))
+	for p := range rep.ParamsTouched {
+		touched = append(touched, p)
+	}
+	sort.Strings(touched)
+	fmt.Fprintf(&b, "touched:%v\n", touched)
+	return b.String()
+}
+
+func TestExecuteCheckpointResumeByteIdentical(t *testing.T) {
+	cfgs := NewGenerator(extractedDeps(t), 42).Plan(12)
+	sopts := sched.Options{Workers: 4}
+	want := renderReport(ExecuteParallel(cfgs, sopts))
+
+	path := filepath.Join(t.TempDir(), "chk.jsonl")
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ExecuteCheckpointed(cfgs, sopts, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderReport(rep); got != want {
+		t.Fatalf("checkpointed run differs from plain run:\n%s\nvs\n%s", got, want)
+	}
+	replayed, recorded := j.Stats()
+	if replayed != 0 || recorded != len(cfgs) {
+		t.Fatalf("stats = %d replayed / %d recorded, want 0/%d", replayed, recorded, len(cfgs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill mid-sweep: keep half the journal plus a torn fragment, then
+	// resume and demand byte-identity.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	keep := len(cfgs) / 2
+	cut := bytes.Join(lines[:keep], nil)
+	cut = append(cut, lines[keep][:len(lines[keep])/2]...)
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	rep2, err := ExecuteCheckpointed(cfgs, sopts, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderReport(rep2); got != want {
+		t.Fatalf("resumed run differs from uninterrupted run:\n%s\nvs\n%s", got, want)
+	}
+	replayed, recorded = j2.Stats()
+	if replayed != keep {
+		t.Errorf("resume replayed %d trials, want %d", replayed, keep)
+	}
+	if replayed+recorded != len(cfgs) {
+		t.Errorf("replayed %d + recorded %d != %d configs", replayed, recorded, len(cfgs))
 	}
 }

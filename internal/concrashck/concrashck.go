@@ -27,10 +27,13 @@
 package concrashck
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
+	"fsdep/internal/checkpoint"
+	"fsdep/internal/depmodel"
 	"fsdep/internal/e2fsck"
 	"fsdep/internal/faultdev"
 	"fsdep/internal/fsim"
@@ -170,6 +173,24 @@ func Scenarios() []Scenario {
 	}
 }
 
+// ScenariosFor filters the catalog by an extracted dependency set:
+// scenarios violating a dependency the analyzer actually extracted,
+// plus the controls (empty DepKey), which always run. A nil set keeps
+// the whole catalog.
+func ScenariosFor(deps *depmodel.Set) []Scenario {
+	all := Scenarios()
+	if deps == nil {
+		return all
+	}
+	out := make([]Scenario, 0, len(all))
+	for _, sc := range all {
+		if sc.DepKey == "" || deps.ContainsKey(sc.DepKey) {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
 // Options configures a sweep. The zero value gives the defaults.
 type Options struct {
 	// Seed is the sweep's base randomness (0 = prng.DefaultSeed).
@@ -180,6 +201,12 @@ type Options struct {
 	MaxPointsPerMode int
 	// Modes restricts the injected fault families (nil = all four).
 	Modes []FaultMode
+	// ReadRetries bounds how many times a trial re-runs the resize
+	// stage after a transient read error, so a transient fault is
+	// distinguished from a real verdict. The schedule is fixed — retry
+	// immediately, no wall-clock backoff — keeping trials replayable.
+	// 0 = default (2); negative = retries disabled.
+	ReadRetries int
 }
 
 func (o Options) maxPoints() int {
@@ -194,6 +221,17 @@ func (o Options) modes() []FaultMode {
 		return []FaultMode{FaultCrash, FaultTorn, FaultFlip, FaultReadErr}
 	}
 	return o.Modes
+}
+
+func (o Options) readRetries() int {
+	switch {
+	case o.ReadRetries < 0:
+		return 0
+	case o.ReadRetries == 0:
+		return 2
+	default:
+		return o.ReadRetries
+	}
 }
 
 // Trial is one executed (scenario, fault) combination.
@@ -212,6 +250,9 @@ type Trial struct {
 	// StageErr records how the faulted resize stage failed ("" when it
 	// claimed success).
 	StageErr string
+	// Retries counts how many times the resize stage was re-run after
+	// a transient read error before the verdict was taken.
+	Retries int
 }
 
 // Row aggregates one scenario's robustness.
@@ -385,6 +426,25 @@ func Sweep(scs []Scenario, opts Options) (*Report, error) {
 // enumeration order, so the report is byte-identical for any worker
 // count.
 func SweepParallel(scs []Scenario, opts Options, sopts sched.Options) (*Report, error) {
+	return SweepCheckpointed(scs, opts, sopts, nil)
+}
+
+// key is the trial's deterministic checkpoint signature: scenario ⊕
+// fault plan ⊕ seed. It includes the scenario's full shape (not just
+// its name), its position (the derived plan seed depends on it), and
+// the retry budget — everything that can change the journaled result.
+func (s spec) key(p *prep, opts Options) string {
+	sc := p.sc
+	return fmt.Sprintf("ccc1|%s|%v|%d|%d|%v|%d|%x|%d|%d|%d",
+		sc.Name, sc.Features, sc.DeviceMB, sc.GrowBlocks, sc.FixedResize,
+		s.prepIdx, opts.Seed, s.mode, s.point, opts.readRetries())
+}
+
+// SweepCheckpointed is SweepParallel with a resume journal: finished
+// trials found in j are replayed instead of re-executed, new trials
+// are journaled as they complete, and the report is byte-identical to
+// an uninterrupted run. A nil journal runs everything.
+func SweepCheckpointed(scs []Scenario, opts Options, sopts sched.Options, j *checkpoint.Journal) (*Report, error) {
 	preps := make([]*prep, 0, len(scs))
 	for _, sc := range scs {
 		p, err := prepare(sc)
@@ -409,7 +469,9 @@ func SweepParallel(scs []Scenario, opts Options, sopts sched.Options) (*Report, 
 	}
 
 	trials, err := sched.Map(sopts, specs, func(_ int, s spec) (Trial, error) {
-		return runTrial(preps[s.prepIdx], s, opts.Seed), nil
+		return checkpoint.Do(j, s.key(preps[s.prepIdx], opts), func() (Trial, error) {
+			return runTrial(preps[s.prepIdx], s, opts), nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -466,11 +528,19 @@ func (s spec) plan(seed uint64, prepIdx int) faultdev.Plan {
 }
 
 // runTrial executes one faulted stage plus recovery and classifies it.
-func runTrial(p *prep, s spec, seed uint64) Trial {
+func runTrial(p *prep, s spec, opts Options) Trial {
 	tr := Trial{Scenario: p.sc.Name, DepKey: p.sc.DepKey, Mode: s.mode, Point: s.point}
 	base := restore(p.snapshot)
-	fdev := faultdev.Wrap(base, s.plan(seed, s.prepIdx))
+	fdev := faultdev.Wrap(base, s.plan(opts.Seed, s.prepIdx))
 	stageErr := resizeStage(fdev, p)
+	// A transient read error is an operator-retries situation, not a
+	// verdict: re-run the stage on the same device (the fault fires
+	// once) up to the fixed retry budget. No wall-clock is involved, so
+	// the trial stays replayable.
+	for stageErr != nil && errors.Is(stageErr, faultdev.ErrTransientRead) && tr.Retries < opts.readRetries() {
+		tr.Retries++
+		stageErr = resizeStage(fdev, p)
+	}
 	if stageErr != nil {
 		tr.StageErr = stageErr.Error()
 	}

@@ -3,8 +3,12 @@ package concrashck
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"fsdep/internal/checkpoint"
+	"fsdep/internal/depmodel"
 	"fsdep/internal/sched"
 )
 
@@ -169,6 +173,170 @@ func BenchmarkConCrashCk(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Sweep(scs, opts); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// renderBytes renders a report for byte-level comparison.
+func renderBytes(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepCheckpointResumeByteIdentical is the resumability acceptance
+// test: a sweep killed mid-run (journal cut in half, with a torn tail)
+// and restarted with the journal produces byte-identical output to an
+// uninterrupted run, replaying the journaled half and re-running only
+// the remainder.
+func TestSweepCheckpointResumeByteIdentical(t *testing.T) {
+	scs := figure1Pair()
+	opts := Options{
+		Seed:             7,
+		MaxPointsPerMode: 4,
+		Modes:            []FaultMode{FaultCrash, FaultReadErr},
+	}
+	ref, err := Sweep(scs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderBytes(t, ref)
+
+	// Full checkpointed run: same bytes, everything recorded.
+	path := filepath.Join(t.TempDir(), "sweep.ckpt")
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SweepCheckpointed(scs, opts, sched.Options{Workers: 4}, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderBytes(t, full); !bytes.Equal(got, want) {
+		t.Fatalf("checkpointed run differs from plain run:\n%s\n--- vs ---\n%s", got, want)
+	}
+	replayed, recorded := j.Stats()
+	total := len(full.Trials)
+	if replayed != 0 || recorded != total {
+		t.Fatalf("full run journaled %d/%d (replayed/recorded), want 0/%d", replayed, recorded, total)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the sweep mid-run: keep half the journal lines and leave a
+	// torn fragment of the next one, as a SIGKILL mid-append would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	keep := total / 2
+	cut := bytes.Join(lines[:keep], nil)
+	cut = append(cut, lines[keep][:len(lines[keep])/2]...)
+	if err := os.WriteFile(path, cut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: replays the surviving half, re-runs the rest, and the
+	// rendered report is byte-identical to the uninterrupted run.
+	j2, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	resumed, err := SweepCheckpointed(scs, opts, sched.Options{Workers: 4}, j2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderBytes(t, resumed); !bytes.Equal(got, want) {
+		t.Fatalf("resumed run differs from uninterrupted run:\n%s\n--- vs ---\n%s", got, want)
+	}
+	replayed, recorded = j2.Stats()
+	if replayed != keep || replayed+recorded != total {
+		t.Fatalf("resume journaled %d replayed + %d recorded, want %d + %d", replayed, recorded, keep, total-keep)
+	}
+}
+
+// TestTransientReadRetry: with retries enabled a transient read error
+// disappears (the stage succeeds on the re-run and the trial reports
+// how many retries it took); with retries disabled the same fault
+// point surfaces as a failed stage.
+func TestTransientReadRetry(t *testing.T) {
+	scs := figure1Pair()[:1]
+	opts := Options{MaxPointsPerMode: 4, Modes: []FaultMode{FaultReadErr}}
+
+	rep, err := Sweep(scs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retried := 0
+	for _, tr := range rep.Trials {
+		if tr.Mode != FaultReadErr {
+			continue
+		}
+		if tr.Retries > 0 {
+			retried++
+			if tr.StageErr != "" {
+				t.Errorf("point %d: stage still failed after %d retries: %s", tr.Point, tr.Retries, tr.StageErr)
+			}
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no read-err trial reported a retry")
+	}
+
+	noRetry, err := Sweep(scs, Options{
+		MaxPointsPerMode: 4, Modes: []FaultMode{FaultReadErr}, ReadRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, tr := range noRetry.Trials {
+		if tr.Mode == FaultReadErr && tr.StageErr != "" {
+			if tr.Retries != 0 {
+				t.Errorf("point %d: retries disabled but Retries = %d", tr.Point, tr.Retries)
+			}
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("retries disabled but no read-err trial failed its stage")
+	}
+}
+
+// TestScenariosForFiltersByExtraction: only scenarios whose violated
+// dependency was actually extracted run, controls always run, nil
+// keeps the catalog.
+func TestScenariosForFiltersByExtraction(t *testing.T) {
+	if got := ScenariosFor(nil); len(got) != len(Scenarios()) {
+		t.Fatalf("nil deps: %d scenarios, want the full catalog", len(got))
+	}
+	deps := depmodel.NewSet()
+	deps.Add(depmodel.Dependency{
+		Kind:   depmodel.CCDBehavioral,
+		Source: depmodel.ParamRef{Component: "resize2fs"},
+		Target: depmodel.ParamRef{Component: "mke2fs", Param: "sparse_super2"},
+		Constraint: depmodel.Constraint{
+			Relation: "behavioral", Expr: "figure 1",
+		},
+	})
+	got := ScenariosFor(deps)
+	var names []string
+	for _, sc := range got {
+		names = append(names, sc.Name)
+	}
+	want := []string{"figure1-sparse_super2-buggy", "figure1-sparse_super2-fixed", "default-control"}
+	if len(names) != len(want) {
+		t.Fatalf("filtered scenarios = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("filtered scenarios = %v, want %v", names, want)
 		}
 	}
 }

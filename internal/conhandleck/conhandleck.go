@@ -13,6 +13,7 @@ package conhandleck
 import (
 	"fmt"
 
+	"fsdep/internal/checkpoint"
 	"fsdep/internal/depmodel"
 	"fsdep/internal/e4defrag"
 	"fsdep/internal/fsim"
@@ -329,6 +330,17 @@ func Run(deps *depmodel.Set) *Report { return RunParallel(deps, sched.Sequential
 // trials are collected in driver order, so the report is identical to
 // a sequential Run.
 func RunParallel(deps *depmodel.Set, sopts sched.Options) *Report {
+	rep, _ := RunCheckpointed(deps, sopts, nil)
+	return rep
+}
+
+// RunCheckpointed is RunParallel with an optional resume journal:
+// violations already journaled replay instead of re-executing, and
+// fresh results are journaled as they finish. Because the driver list
+// and selection are deterministic, a killed-and-resumed run produces a
+// report byte-identical to an uninterrupted one. A nil journal behaves
+// exactly like RunParallel.
+func RunCheckpointed(deps *depmodel.Set, sopts sched.Options, j *checkpoint.Journal) (*Report, error) {
 	var selected []driver
 	for _, d := range drivers() {
 		if deps != nil && !d.fromStudy && !deps.ContainsKey(d.depKey) {
@@ -336,13 +348,18 @@ func RunParallel(deps *depmodel.Set, sopts sched.Options) *Report {
 		}
 		selected = append(selected, d)
 	}
-	trials, _ := sched.Map(sopts, selected, func(_ int, d driver) (Trial, error) {
-		out, detail := d.run()
-		return Trial{DepKey: d.depKey, Desc: d.desc, Outcome: out, Detail: detail}, nil
+	trials, err := sched.Map(sopts, selected, func(_ int, d driver) (Trial, error) {
+		return checkpoint.Do(j, "chc1|"+d.depKey+"|"+d.desc, func() (Trial, error) {
+			out, detail := d.run()
+			return Trial{DepKey: d.depKey, Desc: d.desc, Outcome: out, Detail: detail}, nil
+		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	rep := &Report{Trials: trials, Counts: make(map[Outcome]int)}
 	for _, t := range trials {
 		rep.Counts[t.Outcome]++
 	}
-	return rep
+	return rep, nil
 }

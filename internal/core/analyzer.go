@@ -131,6 +131,11 @@ type Options struct {
 	Mode taint.Mode
 	// Sanitizers names calls that launder taint.
 	Sanitizers []string
+	// MaxIter bounds the taint fixpoint (0 = engine default). A
+	// component whose fixpoint exhausts the budget fails the strict
+	// Analyze path with a *taint.BudgetExceeded and is quarantined by
+	// the degraded path.
+	MaxIter int
 }
 
 // ComponentResult carries per-component artifacts of a run.
@@ -147,6 +152,16 @@ type Result struct {
 	Deps *depmodel.Set
 	// PerComponent holds the raw taint results.
 	PerComponent []ComponentResult
+	// Quarantined lists the scenario components dropped from this run
+	// by degraded-mode analysis, with their causes. Empty on the strict
+	// path (which fails instead of quarantining).
+	Quarantined []Degradation
+	// UnresolvedCCD marks metadata-bridge edges this run could not
+	// resolve because a potential writer was quarantined. Each healthy
+	// branch site on a shared field is paired with every quarantined
+	// component of the scenario, since the quarantined side's field
+	// writes are unknown.
+	UnresolvedCCD []UnresolvedEdge
 }
 
 // parserTypes maps known parser callees to the data type they imply.
@@ -167,8 +182,21 @@ var parserTypes = map[string]string{
 	"parse_mode":     "enum",
 }
 
-// Analyze runs the analyzer over the scenario's components.
+// Analyze runs the analyzer over the scenario's components. It is the
+// strict path: any compile failure or taint-budget exhaustion aborts
+// the run with an error (wrap-checked against *taint.BudgetExceeded).
+// AnalyzeAllDegraded is the fail-open alternative.
 func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, error) {
+	return analyzeScenario(comps, sc, opts, nil)
+}
+
+// analyzeScenario runs one scenario. A nil quarantine map selects
+// strict mode; non-nil selects degraded mode, where components in the
+// map — plus any whose compile or taint fails here — are dropped from
+// derivation and recorded in Result.Quarantined instead of failing the
+// scenario.
+func analyzeScenario(comps map[string]*Component, sc Scenario, opts Options, quarantined map[string]error) (*Result, error) {
+	degraded := quarantined != nil
 	res := &Result{Scenario: sc, Deps: depmodel.NewSet()}
 
 	var runs []compRun
@@ -177,8 +205,20 @@ func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, e
 		if !ok {
 			return nil, fmt.Errorf("core: scenario %s references unknown component %q", sc.Name, name)
 		}
-		if err := comp.Compile(); err != nil {
-			return nil, err
+		if err, bad := quarantined[name]; bad {
+			res.Quarantined = append(res.Quarantined, Degradation{
+				Component: name, Stage: StageCompile, Err: err,
+			})
+			continue
+		}
+		if err := guard(name, "compiling", comp.Compile); err != nil {
+			if !degraded {
+				return nil, err
+			}
+			res.Quarantined = append(res.Quarantined, Degradation{
+				Component: name, Stage: StageCompile, Err: err,
+			})
+			continue
 		}
 		funcs := sc.Funcs[name]
 		if len(funcs) == 0 {
@@ -187,6 +227,16 @@ func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, e
 		// Memoized: scenarios selecting the same (mode, sanitizers,
 		// function set) on this component share one taint run.
 		tr, seeds := comp.analyzeTaint(funcs, opts)
+		if tr.BudgetErr != nil {
+			err := fmt.Errorf("core: analyzing %s in scenario %s: %w", name, sc.Name, tr.BudgetErr)
+			if !degraded {
+				return nil, err
+			}
+			res.Quarantined = append(res.Quarantined, Degradation{
+				Component: name, Stage: StageTaint, Err: err,
+			})
+			continue
+		}
 		runs = append(runs, compRun{comp, tr})
 		res.PerComponent = append(res.PerComponent, ComponentResult{
 			Component: comp.Name, Taint: tr, Seeds: seeds,
@@ -199,6 +249,7 @@ func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, e
 	}
 	// Cross-component derivation via the metadata bridge.
 	deriveCrossComponent(res.Deps, runs)
+	res.UnresolvedCCD = unresolvedEdges(runs, res.Quarantined)
 	return res, nil
 }
 
@@ -208,9 +259,24 @@ func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, e
 // scenario order, so the output is byte-identical to calling Analyze
 // over the scenarios sequentially.
 func AnalyzeAll(comps map[string]*Component, scenarios []Scenario, opts Options, sopts sched.Options) ([]*Result, error) {
-	// Validate references up front and collect the unique components in
-	// first-reference order, so compile errors surface deterministically
-	// regardless of worker count.
+	unique, err := uniqueComponents(comps, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sched.Map(sopts, unique, func(_ int, c *Component) (struct{}, error) {
+		return struct{}{}, c.Compile()
+	}); err != nil {
+		return nil, err
+	}
+	return sched.Map(sopts, scenarios, func(_ int, sc Scenario) (*Result, error) {
+		return Analyze(comps, sc, opts)
+	})
+}
+
+// uniqueComponents validates scenario references up front and collects
+// the unique components in first-reference order, so compile errors
+// surface deterministically regardless of worker count.
+func uniqueComponents(comps map[string]*Component, scenarios []Scenario) ([]*Component, error) {
 	var unique []*Component
 	seen := make(map[string]bool)
 	for _, sc := range scenarios {
@@ -225,14 +291,7 @@ func AnalyzeAll(comps map[string]*Component, scenarios []Scenario, opts Options,
 			}
 		}
 	}
-	if _, err := sched.Map(sopts, unique, func(_ int, c *Component) (struct{}, error) {
-		return struct{}{}, c.Compile()
-	}); err != nil {
-		return nil, err
-	}
-	return sched.Map(sopts, scenarios, func(_ int, sc Scenario) (*Result, error) {
-		return Analyze(comps, sc, opts)
-	})
+	return unique, nil
 }
 
 // seedParam returns the parameter name for seed id in tr.

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -37,13 +38,16 @@ type taintEntry struct {
 	seeds []taint.Seed
 }
 
-// taintSig builds the canonical cache key: mode, sorted sanitizers,
-// sorted function names. Sorting makes the key insensitive to caller
-// ordering, which is sound because the engine analyzes in program
-// order (the result depends only on the sets).
-func taintSig(mode taint.Mode, sanitizers, funcs []string) string {
+// taintSig builds the canonical cache key: mode, fixpoint budget,
+// sorted sanitizers, sorted function names. Sorting makes the key
+// insensitive to caller ordering, which is sound because the engine
+// analyzes in program order (the result depends only on the sets). The
+// budget is part of the key because a truncated run (BudgetErr set) is
+// a different result than a converged one.
+func taintSig(mode taint.Mode, maxIter int, sanitizers, funcs []string) string {
 	var b strings.Builder
 	b.WriteByte(byte(mode))
+	fmt.Fprintf(&b, "/%d", maxIter)
 	for _, s := range sortedCopy(sanitizers) {
 		b.WriteByte(0)
 		b.WriteString(s)
@@ -84,7 +88,7 @@ func seedsOf(params []Param) []taint.Seed {
 // distinct (mode, sanitizer set, function set) signature. The
 // component must be compiled. Goroutine-safe.
 func (c *Component) analyzeTaint(funcs []string, opts Options) (*taint.Result, []taint.Seed) {
-	sig := taintSig(opts.Mode, opts.Sanitizers, funcs)
+	sig := taintSig(opts.Mode, opts.MaxIter, opts.Sanitizers, funcs)
 	e, _ := c.taintMemo.LoadOrStore(sig, &taintEntry{})
 	ent := e.(*taintEntry)
 	ran := false
@@ -95,6 +99,7 @@ func (c *Component) analyzeTaint(funcs []string, opts Options) (*taint.Result, [
 			Mode:       opts.Mode,
 			Functions:  funcs,
 			Sanitizers: opts.Sanitizers,
+			MaxIter:    opts.MaxIter,
 		})
 	})
 	if ran {

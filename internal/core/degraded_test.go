@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"fsdep/internal/sched"
+	"fsdep/internal/taint"
+)
+
+// budgetComponent needs a second worklist visit of its reader (defined
+// before the writer in program order), so MaxIter=1 truncates the
+// fixpoint and sets taint.Result.BudgetErr.
+func budgetComponent() *Component {
+	return &Component{Name: "slow", Source: `
+struct sb { long a; };
+void reader(struct sb *s) {
+	int x;
+	x = s->a;
+	if (x > 2) {
+		fail();
+	}
+}
+void writer(struct sb *s, long conf) {
+	s->a = conf;
+}`, Params: []Param{{Name: "conf", Var: "conf", Func: "writer", CType: "int"}}}
+}
+
+// TestAnalyzeAllDegradedQuarantinesBrokenComponent is the acceptance
+// shape for degraded mode: one deliberately broken component yields
+// exactly one Degradation record while every healthy component still
+// produces its full output, byte-identical to a run that never knew
+// the broken component.
+func TestAnalyzeAllDegradedQuarantinesBrokenComponent(t *testing.T) {
+	comps, sc := bridgeComponents()
+	comps["broken"] = &Component{Name: "broken", Source: "void f( {"}
+	sc.Components = append(sc.Components, "broken")
+	sc.Funcs["broken"] = []string{"f"}
+
+	// Two scenarios referencing the same broken component: the run
+	// still reports it once.
+	run, err := AnalyzeAllDegraded(comps, []Scenario{sc, sc}, Options{}, sched.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("AnalyzeAllDegraded: %v", err)
+	}
+	if len(run.Degradations) != 1 {
+		t.Fatalf("degradations = %d (%v), want exactly 1", len(run.Degradations), run.Degradations)
+	}
+	d := run.Degradations[0]
+	if d.Component != "broken" || d.Stage != StageCompile || d.Err == nil {
+		t.Fatalf("degradation = %+v", d)
+	}
+
+	// The reference: the same ecosystem without the broken component,
+	// analyzed strictly.
+	refComps, refSc := bridgeComponents()
+	ref, err := Analyze(refComps, refSc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBlob := resultJSON(t, ref)
+
+	for i, res := range run.Results {
+		var got []string
+		for _, pc := range res.PerComponent {
+			got = append(got, pc.Component)
+		}
+		if len(got) != 2 || got[0] != "writer" || got[1] != "reader" {
+			t.Fatalf("scenario %d: healthy components = %v", i, got)
+		}
+		if len(res.Quarantined) != 1 || res.Quarantined[0].Component != "broken" {
+			t.Fatalf("scenario %d: quarantined = %+v", i, res.Quarantined)
+		}
+		res.Scenario.Name = refSc.Name // align the label for comparison
+		if blob := resultJSON(t, res); !bytes.Equal(blob, refBlob) {
+			t.Fatalf("scenario %d: degraded deps differ from broken-free run:\n%s\n---\n%s", i, blob, refBlob)
+		}
+		// The reader branches on shared metadata fields, so its CCD
+		// edges toward the quarantined component are unresolved.
+		if len(res.UnresolvedCCD) == 0 {
+			t.Fatalf("scenario %d: no unresolved CCD edges recorded", i)
+		}
+		for _, e := range res.UnresolvedCCD {
+			if e.Quarantined != "broken" || e.Canon == "" || e.Component == "broken" {
+				t.Fatalf("scenario %d: bad unresolved edge %+v", i, e)
+			}
+		}
+	}
+}
+
+// TestAnalyzeStrictFailsOnBudgetExceeded: the strict path surfaces a
+// truncated fixpoint as a typed error instead of silently accepting
+// under-approximated facts.
+func TestAnalyzeStrictFailsOnBudgetExceeded(t *testing.T) {
+	comps := map[string]*Component{"slow": budgetComponent()}
+	sc := Scenario{
+		Name:       "slow-only",
+		Components: []string{"slow"},
+		Funcs:      map[string][]string{"slow": {"reader", "writer"}},
+	}
+	_, err := Analyze(comps, sc, Options{MaxIter: 1})
+	var be *taint.BudgetExceeded
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *taint.BudgetExceeded", err)
+	}
+	// The same component converges under the default budget.
+	if _, err := Analyze(map[string]*Component{"slow": budgetComponent()}, sc, Options{}); err != nil {
+		t.Fatalf("default budget: %v", err)
+	}
+}
+
+// TestAnalyzeAllDegradedQuarantinesBudgetExceeded: a budget-exhausted
+// component is quarantined at the taint stage while the rest of the
+// scenario still extracts.
+func TestAnalyzeAllDegradedQuarantinesBudgetExceeded(t *testing.T) {
+	comps, sc := bridgeComponents()
+	comps["slow"] = budgetComponent()
+	sc.Components = append(sc.Components, "slow")
+	sc.Funcs["slow"] = []string{"reader", "writer"}
+
+	// MaxIter=1 truncates "slow" (its reader needs a revisit) but the
+	// bridge components converge on their first visit.
+	run, err := AnalyzeAllDegraded(comps, []Scenario{sc}, Options{MaxIter: 1}, sched.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("AnalyzeAllDegraded: %v", err)
+	}
+	if len(run.Degradations) != 1 {
+		t.Fatalf("degradations = %+v, want exactly 1", run.Degradations)
+	}
+	d := run.Degradations[0]
+	if d.Component != "slow" || d.Stage != StageTaint {
+		t.Fatalf("degradation = %+v", d)
+	}
+	var be *taint.BudgetExceeded
+	if !errors.As(d.Err, &be) {
+		t.Fatalf("degradation cause %v does not wrap *taint.BudgetExceeded", d.Err)
+	}
+	res := run.Results[0]
+	if len(res.PerComponent) != 2 {
+		t.Fatalf("healthy components = %+v", res.PerComponent)
+	}
+	if res.Deps.Len() == 0 {
+		t.Fatal("healthy components extracted no dependencies")
+	}
+}
+
+// TestAnalyzeAllDegradedMatchesStrictWhenHealthy: with nothing broken,
+// the degraded path is byte-identical to the strict one and records no
+// degradations.
+func TestAnalyzeAllDegradedMatchesStrictWhenHealthy(t *testing.T) {
+	strictComps, sc := bridgeComponents()
+	scenarios := []Scenario{sc, sc, sc}
+	strict, err := AnalyzeAll(strictComps, scenarios, Options{}, sched.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degComps, _ := bridgeComponents()
+	run, err := AnalyzeAllDegraded(degComps, scenarios, Options{}, sched.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Degradations) != 0 {
+		t.Fatalf("degradations on a healthy run: %+v", run.Degradations)
+	}
+	if len(run.Results) != len(strict) {
+		t.Fatalf("result counts differ: %d vs %d", len(run.Results), len(strict))
+	}
+	for i := range strict {
+		if res := run.Results[i]; len(res.Quarantined) != 0 || len(res.UnresolvedCCD) != 0 {
+			t.Fatalf("scenario %d: spurious degradation state %+v / %+v", i, res.Quarantined, res.UnresolvedCCD)
+		}
+		if !bytes.Equal(resultJSON(t, strict[i]), resultJSON(t, run.Results[i])) {
+			t.Fatalf("scenario %d: degraded deps differ from strict", i)
+		}
+	}
+}

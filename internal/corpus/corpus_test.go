@@ -5,6 +5,7 @@ import (
 
 	"fsdep/internal/core"
 	"fsdep/internal/depmodel"
+	"fsdep/internal/sched"
 	"fsdep/internal/taint"
 )
 
@@ -168,4 +169,93 @@ func TestScenarioNamesMatchPaperRows(t *testing.T) {
 			t.Errorf("scenario %d = %q, want %q", i, sc.Name, want[i])
 		}
 	}
+}
+
+// TestDegradedCorpusRunWithBrokenComponent: a full corpus run with one
+// deliberately broken component still emits results for every other
+// component, records exactly one Degradation, and leaves the scenarios
+// that never referenced the broken component byte-identical to a
+// strict run.
+func TestDegradedCorpusRunWithBrokenComponent(t *testing.T) {
+	comps := Components()
+	comps[Resize2fs].Source = "void resize2fs_main( {" // deliberately broken
+
+	run, err := core.AnalyzeAllDegraded(comps, Scenarios(), core.Options{}, sched.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("AnalyzeAllDegraded: %v", err)
+	}
+	if len(run.Degradations) != 1 {
+		t.Fatalf("degradations = %+v, want exactly 1", run.Degradations)
+	}
+	if d := run.Degradations[0]; d.Component != Resize2fs || d.Stage != core.StageCompile || d.Err == nil {
+		t.Fatalf("degradation = %+v", d)
+	}
+
+	// Every healthy component still produced taint results somewhere.
+	produced := make(map[string]bool)
+	for _, res := range run.Results {
+		for _, pc := range res.PerComponent {
+			produced[pc.Component] = true
+		}
+	}
+	for name := range Components() {
+		if name == Resize2fs {
+			if produced[name] {
+				t.Errorf("quarantined %s still produced results", name)
+			}
+			continue
+		}
+		if !produced[name] {
+			t.Errorf("healthy component %s produced no results", name)
+		}
+	}
+
+	// Scenarios that never referenced the broken component are
+	// byte-identical to a strict run; the resize scenario records the
+	// quarantine and unresolved CCD edges but still extracts.
+	strict, err := core.AnalyzeAll(Components(), Scenarios(), core.Options{}, sched.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("strict reference run: %v", err)
+	}
+	for i, res := range run.Results {
+		refersBroken := false
+		for _, name := range res.Scenario.Components {
+			if name == Resize2fs {
+				refersBroken = true
+			}
+		}
+		if !refersBroken {
+			if len(res.Quarantined) != 0 {
+				t.Errorf("scenario %s: spurious quarantine %+v", res.Scenario.Name, res.Quarantined)
+			}
+			a, errA := encodeDeps(res)
+			b, errB := encodeDeps(strict[i])
+			if errA != nil || errB != nil {
+				t.Fatalf("encode: %v / %v", errA, errB)
+			}
+			if string(a) != string(b) {
+				t.Errorf("scenario %s: degraded deps differ from strict run", res.Scenario.Name)
+			}
+			continue
+		}
+		if len(res.Quarantined) != 1 || res.Quarantined[0].Component != Resize2fs {
+			t.Errorf("scenario %s: quarantined = %+v", res.Scenario.Name, res.Quarantined)
+		}
+		if len(res.UnresolvedCCD) == 0 {
+			t.Errorf("scenario %s: no unresolved CCD edges against the broken writer", res.Scenario.Name)
+		}
+		if res.Deps.Len() == 0 {
+			t.Errorf("scenario %s: healthy components extracted nothing", res.Scenario.Name)
+		}
+	}
+}
+
+// encodeDeps serializes a result's dependency set for comparison.
+func encodeDeps(res *core.Result) ([]byte, error) {
+	f := &depmodel.File{
+		Ecosystem:    "e2fs",
+		Scenario:     res.Scenario.Name,
+		Dependencies: res.Deps.Deps(),
+	}
+	return f.Encode()
 }

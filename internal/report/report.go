@@ -333,7 +333,26 @@ func Table6(w io.Writer) error { return Table6Sched(w, sched.Sequential()) }
 // Table6Sched is Table6 with the sweep parallelized under sopts; the
 // rendered output is identical for any worker count.
 func Table6Sched(w io.Writer, sopts sched.Options) error {
-	rep, err := concrashck.SweepParallel(concrashck.Scenarios(), concrashck.Options{}, sopts)
+	return Table6Comps(w, corpus.Components(), sopts)
+}
+
+// Table6Comps is Table6Sched over a caller-supplied component map: the
+// extraction that selects the sweep scenarios runs against comps, so a
+// caller that has already analyzed them (e.g. for Table 5) hits the
+// per-component taint cache instead of re-running the fixpoint. Sweep
+// scenarios are selected by ScenariosFor from the extracted dependency
+// union — only violations the analyzer actually extracted (plus the
+// controls) are swept.
+func Table6Comps(w io.Writer, comps map[string]*core.Component, sopts sched.Options) error {
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
+	if err != nil {
+		return err
+	}
+	union := depmodel.NewSet()
+	for _, res := range outs {
+		union.AddAll(res.Deps.Deps())
+	}
+	rep, err := concrashck.SweepParallel(concrashck.ScenariosFor(union), concrashck.Options{}, sopts)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/sched"
 	"fsdep/internal/taint"
 )
 
@@ -111,5 +114,42 @@ func TestAllTablesRender(t *testing.T) {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("output missing %q", want)
 		}
+	}
+}
+
+func TestTable6CompsReusesTaintCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash/fault sweep")
+	}
+	// One component map across tables: the Table-6 extraction must be
+	// served entirely from the taint cache Table 5 populated.
+	comps := corpus.Components()
+	sopts := sched.Options{Workers: 4}
+	if _, err := RunTable5Comps(comps, taint.Intra, sopts); err != nil {
+		t.Fatal(err)
+	}
+	before := core.TotalCacheStats(comps)
+	var viaShared bytes.Buffer
+	if err := Table6Comps(&viaShared, comps, sopts); err != nil {
+		t.Fatal(err)
+	}
+	after := core.TotalCacheStats(comps)
+	if after.Misses != before.Misses {
+		t.Errorf("Table-6 extraction missed the cache: %d misses before, %d after",
+			before.Misses, after.Misses)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("Table-6 extraction recorded no cache hits: %d before, %d after",
+			before.Hits, after.Hits)
+	}
+
+	// Extraction-driven scenario selection must not change the table:
+	// every catalog dependency is extracted by the corpus run.
+	var viaFresh bytes.Buffer
+	if err := Table6Sched(&viaFresh, sopts); err != nil {
+		t.Fatal(err)
+	}
+	if viaShared.String() != viaFresh.String() {
+		t.Error("Table 6 differs between shared and fresh component maps")
 	}
 }

@@ -10,19 +10,53 @@
 // a sequential one as long as the per-item function is pure with
 // respect to shared state. Callers keep merge points ordered (or
 // sorted) and gain wall-clock speedup without output drift.
+//
+// Failure is contained per item: a panic in the item function is
+// recovered into a typed *PanicError carrying the item index and the
+// goroutine stack, so one pathological item cannot abort the whole
+// run (or kill the process) — every other item still executes and
+// reports its own result. Cancellation is cooperative via
+// Options.Context: once the context is done, not-yet-started items are
+// skipped with the context's error while in-flight items finish.
+// Both paths preserve the lowest-index-error contract.
 package sched
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError reports a panic recovered inside the per-item function of
+// a Map/ForEach run. It satisfies the lowest-index-error contract like
+// any other item error.
+type PanicError struct {
+	// Index is the item whose function panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: item %d panicked: %v", e.Index, e.Value)
+}
 
 // Options configures a parallel run.
 type Options struct {
 	// Workers bounds the number of concurrently running goroutines.
 	// Zero or negative means runtime.GOMAXPROCS(0).
 	Workers int
+	// Context, when non-nil, cancels the run: items not yet started
+	// when it is done are skipped and report ctx.Err() as their item
+	// error (so the returned error is the context error unless a
+	// lower-indexed item failed first). A nil Context never cancels.
+	Context context.Context
 }
 
 // Sequential returns options that force single-worker execution — the
@@ -44,21 +78,46 @@ func (o Options) workers(n int) int {
 	return w
 }
 
+// ctx resolves the run's context (nil option = never cancelled).
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// call runs fn on one item with panic containment.
+func call[T, R any](fn func(i int, item T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i, item)
+}
+
 // Map runs fn over every item with at most opts.Workers concurrent
 // invocations and returns the results in item order. Every item runs
-// even when another fails; the returned error is the one of the
-// lowest-indexed failing item, so error selection does not depend on
-// goroutine scheduling.
+// even when another fails — a panicking item is recovered into a
+// *PanicError instead of taking the run down — and the returned error
+// is the one of the lowest-indexed failing item, so error selection
+// does not depend on goroutine scheduling. When opts.Context is
+// cancelled, remaining items are skipped with the context's error.
 func Map[T, R any](opts Options, items []T, fn func(i int, item T) (R, error)) ([]R, error) {
 	n := len(items)
 	if n == 0 {
 		return nil, nil
 	}
+	ctx := opts.ctx()
 	results := make([]R, n)
 	errs := make([]error, n)
 	if w := opts.workers(n); w == 1 {
 		for i, item := range items {
-			results[i], errs[i] = fn(i, item)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i], errs[i] = call(fn, i, item)
 		}
 	} else {
 		var next atomic.Int64
@@ -72,7 +131,11 @@ func Map[T, R any](opts Options, items []T, fn func(i int, item T) (R, error)) (
 					if i >= n {
 						return
 					}
-					results[i], errs[i] = fn(i, items[i])
+					if err := ctx.Err(); err != nil {
+						errs[i] = err
+						continue
+					}
+					results[i], errs[i] = call(fn, i, items[i])
 				}
 			}()
 		}

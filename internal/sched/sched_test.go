@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -99,6 +101,138 @@ func TestForEachVisitsAll(t *testing.T) {
 	}
 	if len(seen) != 50 {
 		t.Fatalf("visited %d indices, want 50", len(seen))
+	}
+}
+
+// TestMapContainsPanics: a panic in the first or last item must be
+// recovered into a typed *PanicError carrying the item index and a
+// stack trace, while every other item still runs and keeps its result.
+func TestMapContainsPanics(t *testing.T) {
+	const n = 32
+	items := make([]int, n)
+	for _, panicAt := range []int{0, n - 1} {
+		for _, workers := range []int{1, 2, 8} {
+			var ran atomic.Int64
+			got, err := Map(Options{Workers: workers}, items, func(i, _ int) (int, error) {
+				ran.Add(1)
+				if i == panicAt {
+					panic(fmt.Sprintf("boom at %d", i))
+				}
+				return i * 2, nil
+			})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("panicAt=%d workers=%d: err = %v, want *PanicError", panicAt, workers, err)
+			}
+			if pe.Index != panicAt {
+				t.Errorf("panicAt=%d workers=%d: PanicError.Index = %d", panicAt, workers, pe.Index)
+			}
+			if want := fmt.Sprintf("boom at %d", panicAt); pe.Value != want {
+				t.Errorf("panicAt=%d workers=%d: PanicError.Value = %v, want %q", panicAt, workers, pe.Value, want)
+			}
+			if len(pe.Stack) == 0 || !bytes.Contains(pe.Stack, []byte("goroutine")) {
+				t.Errorf("panicAt=%d workers=%d: PanicError.Stack missing", panicAt, workers)
+			}
+			if ran.Load() != n {
+				t.Errorf("panicAt=%d workers=%d: %d items ran, want all %d", panicAt, workers, ran.Load(), n)
+			}
+			for i, r := range got {
+				if i != panicAt && r != i*2 {
+					t.Fatalf("panicAt=%d workers=%d: result[%d] = %d, lost after panic", panicAt, workers, i, r)
+				}
+			}
+		}
+	}
+}
+
+// TestMapPanicVsErrorOrdering: the lowest-indexed failure wins whether
+// it is a panic or a plain error, for every worker count.
+func TestMapPanicVsErrorOrdering(t *testing.T) {
+	errPlain := errors.New("plain")
+	items := make([]int, 64)
+	for _, workers := range []int{1, 2, 8} {
+		// Panic at 3, error at 40: the panic is lower-indexed.
+		_, err := Map(Options{Workers: workers}, items, func(i, _ int) (int, error) {
+			if i == 3 {
+				panic("early")
+			}
+			if i == 40 {
+				return 0, errPlain
+			}
+			return 0, nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 3 {
+			t.Fatalf("workers=%d: err = %v, want PanicError at 3", workers, err)
+		}
+		// Error at 5, panic at 50: the plain error is lower-indexed.
+		_, err = Map(Options{Workers: workers}, items, func(i, _ int) (int, error) {
+			if i == 5 {
+				return 0, errPlain
+			}
+			if i == 50 {
+				panic("late")
+			}
+			return 0, nil
+		})
+		if !errors.Is(err, errPlain) {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errPlain)
+		}
+	}
+}
+
+// TestMapCancellationMidRun: cancelling the context partway through
+// skips not-yet-started items with the context error; completed items
+// keep their results.
+func TestMapCancellationMidRun(t *testing.T) {
+	const n = 64
+	items := make([]int, n)
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		got, err := Map(Options{Workers: workers, Context: ctx}, items, func(i, _ int) (int, error) {
+			if started.Add(1) == n/4 {
+				cancel()
+			}
+			return i + 1, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if started.Load() >= n {
+			t.Fatalf("workers=%d: all %d items ran despite cancellation", workers, started.Load())
+		}
+		completed := 0
+		for i, r := range got {
+			switch r {
+			case i + 1:
+				completed++
+			case 0: // skipped
+			default:
+				t.Fatalf("workers=%d: result[%d] = %d, want %d or zero", workers, i, r, i+1)
+			}
+		}
+		if completed == 0 {
+			t.Errorf("workers=%d: no item completed before cancellation", workers)
+		}
+	}
+}
+
+// TestMapDeadline: an already-expired deadline skips every item.
+func TestMapDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(Options{Workers: 4, Context: ctx}, make([]int, 16), func(i, _ int) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran under a cancelled context", ran.Load())
 	}
 }
 

@@ -40,11 +40,30 @@
 package taint
 
 import (
+	"fmt"
 	"sort"
 
 	"fsdep/internal/ir"
 	"fsdep/internal/minicc"
 )
+
+// BudgetExceeded reports that the worklist fixpoint exhausted its
+// visit budget (MaxIter × analyzed functions) with functions still
+// queued: the reported facts are a sound under-approximation, not the
+// least fixpoint. Callers that need complete results must treat the
+// run as failed; degraded-mode pipelines quarantine the component
+// instead of silently accepting truncated output.
+type BudgetExceeded struct {
+	// Budget is the visit budget that ran out.
+	Budget int
+	// Pending counts the functions still queued for re-analysis.
+	Pending int
+}
+
+// Error implements error.
+func (e *BudgetExceeded) Error() string {
+	return fmt.Sprintf("taint: fixpoint visit budget (%d) exhausted with %d functions pending re-analysis", e.Budget, e.Pending)
+}
 
 // Mode selects the propagation strategy.
 type Mode uint8
@@ -172,6 +191,11 @@ type Result struct {
 	// function ("func\x00lockey" form) — the paper's map tracking
 	// variables derived from multiple parameters.
 	Multi map[string]SeedSet
+	// BudgetErr is non-nil when the worklist fixpoint ran out of its
+	// visit budget before convergence (previously a silent
+	// truncation). The other fields then hold the partial facts of the
+	// interrupted run.
+	BudgetErr *BudgetExceeded
 }
 
 // SeedsOf returns the taint of a location key within a function.
@@ -357,7 +381,8 @@ func (a *analysis) run() {
 	for i := 0; i < n; i++ {
 		enqueue(i)
 	}
-	for head := 0; head < len(queue) && budget > 0; head++ {
+	head := 0
+	for ; head < len(queue) && budget > 0; head++ {
 		i := queue[head]
 		queued[i] = false
 		budget--
@@ -380,6 +405,12 @@ func (a *analysis) run() {
 				enqueue(j)
 			}
 		}
+	}
+	// Entries past head are distinct still-queued functions (enqueue
+	// only appends un-queued indices): the budget ran out before the
+	// fixpoint converged.
+	if pending := len(queue) - head; pending > 0 {
+		a.res.BudgetErr = &BudgetExceeded{Budget: maxIter * n, Pending: pending}
 	}
 
 	// Collect sites, writes, and reads in a final reporting pass over

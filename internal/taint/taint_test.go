@@ -300,6 +300,52 @@ void w1(struct sb *s, int conf) {
 	}
 }
 
+func TestBudgetExceededIsTyped(t *testing.T) {
+	// Reader before writer in program order: the initial pass visits the
+	// reader first (nothing to see), then the writer taints sb.a and
+	// re-enqueues the reader. With MaxIter=1 the budget is 1×2 = 2
+	// visits, both already spent, so the reader stays pending and the
+	// run must surface a typed BudgetExceeded instead of silently
+	// truncating.
+	src := `
+struct sb { u32 a; };
+void reader(struct sb *s) {
+	int x;
+	x = s->a;
+	if (x > 2) {
+		fail();
+	}
+}
+void writer(struct sb *s, int conf) {
+	s->a = conf;
+}`
+	p := program(t, src)
+	seeds := []Seed{{Param: "conf", Func: "writer", Var: "conf"}}
+	res := Run(p, seeds, Options{MaxIter: 1})
+	if res.BudgetErr == nil {
+		t.Fatal("BudgetErr = nil, want *BudgetExceeded under MaxIter=1")
+	}
+	if res.BudgetErr.Budget != 2 || res.BudgetErr.Pending != 1 {
+		t.Errorf("BudgetErr = %+v, want Budget=2 Pending=1", res.BudgetErr)
+	}
+	if msg := res.BudgetErr.Error(); msg == "" {
+		t.Error("BudgetErr.Error() is empty")
+	}
+	// The interrupted run is an under-approximation: the reader never
+	// saw the writer's field taint.
+	if res.SeedsOf("reader", "x").Has(0) {
+		t.Error("truncated run unexpectedly reached the fixpoint")
+	}
+	// With the default budget the same program converges cleanly.
+	full := Run(p, seeds, Options{})
+	if full.BudgetErr != nil {
+		t.Errorf("default budget: BudgetErr = %v, want nil", full.BudgetErr)
+	}
+	if !full.SeedsOf("reader", "x").Has(0) {
+		t.Error("default budget: fixpoint not reached")
+	}
+}
+
 func TestDuplicateFunctionsAnalyzedOnce(t *testing.T) {
 	p := program(t, `
 void fn(int conf) {

@@ -3,10 +3,16 @@
 # {ns_per_op, allocs_per_op} per benchmark.
 #
 # Usage:
-#   scripts/bench.sh [--smoke] [output.json]
+#   scripts/bench.sh [--smoke] [--gate BASELINE.json] [output.json]
 #
 #   --smoke   run each benchmark exactly once (-benchtime=1x); fast
 #             shape check for CI, numbers are not representative
+#   --gate    after the run, compare ns/op against the committed
+#             baseline: any benchmark slower or faster than the
+#             baseline by more than the tolerance (default 20%, set
+#             BENCH_TOLERANCE_PCT to override), or missing from the
+#             fresh run entirely, fails the script. New benchmarks
+#             absent from the baseline pass.
 #   output    path for the JSON summary (default: BENCH_0.json)
 #
 # The suite's benchmarks assert the paper's headline figures, so this
@@ -18,9 +24,17 @@ cd "$(dirname "$0")/.."
 
 benchtime=""
 out="BENCH_0.json"
+gate=""
+expect_gate=0
 for arg in "$@"; do
+	if [ "$expect_gate" = 1 ]; then
+		gate="$arg"
+		expect_gate=0
+		continue
+	fi
 	case "$arg" in
 	--smoke) benchtime="-benchtime=1x" ;;
+	--gate) expect_gate=1 ;;
 	-*)
 		echo "unknown flag: $arg" >&2
 		exit 2
@@ -28,6 +42,14 @@ for arg in "$@"; do
 	*) out="$arg" ;;
 	esac
 done
+if [ "$expect_gate" = 1 ]; then
+	echo "--gate requires a baseline file" >&2
+	exit 2
+fi
+if [ -n "$gate" ] && [ ! -f "$gate" ]; then
+	echo "gate baseline $gate does not exist" >&2
+	exit 2
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -56,3 +78,45 @@ END { print "\n}" }
 ' "$raw" >"$out"
 
 echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2
+
+if [ -n "$gate" ]; then
+	# Summary lines look like:
+	#   "BenchmarkName": {"ns_per_op": 123, "allocs_per_op": 45}
+	awk -v tol="${BENCH_TOLERANCE_PCT:-20}" '
+	function parse(line) {
+		# Returns via globals pname/pns; empty pname means no match.
+		pname = ""; pns = ""
+		if (line !~ /ns_per_op/) return
+		split(line, q, "\"")
+		pname = q[2]
+		rest = line
+		sub(/.*"ns_per_op": */, "", rest)
+		sub(/[,}].*/, "", rest)
+		pns = rest + 0
+	}
+	FNR == NR { parse($0); if (pname != "") base[pname] = pns; next }
+	{ parse($0); if (pname != "") cur[pname] = pns }
+	END {
+		bad = 0
+		for (name in base) {
+			if (!(name in cur)) {
+				printf "GATE: %s present in baseline but missing from this run\n", name
+				bad++
+				continue
+			}
+			lo = base[name] * (1 - tol / 100)
+			hi = base[name] * (1 + tol / 100)
+			if (cur[name] < lo || cur[name] > hi) {
+				printf "GATE: %s ns/op %.0f outside %.0f..%.0f (baseline %.0f, ±%s%%)\n",
+					name, cur[name], lo, hi, base[name], tol
+				bad++
+			}
+		}
+		if (bad) {
+			printf "bench gate: %d benchmark(s) outside the ±%s%% envelope\n", bad, tol
+			exit 1
+		}
+		printf "bench gate: all benchmarks within ±%s%% of baseline\n", tol
+	}
+	' "$gate" "$out" >&2
+fi
