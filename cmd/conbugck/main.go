@@ -32,7 +32,8 @@ func main() {
 	n := flag.Int("n", 25, "number of configuration states to generate")
 	seed := flag.Uint64("seed", 42, "generator seed (deterministic plans)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
-	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
+	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
+	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
 	ckpt := flag.String("checkpoint", "", "journal executed configurations to this file")
 	resume := flag.Bool("resume", false, "replay executed configurations from the -checkpoint journal")
 	flag.Parse()
@@ -43,7 +44,8 @@ func main() {
 
 	union := depmodel.NewSet()
 	comps := corpus.Components()
-	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
+	store := cliutil.OpenStore("conbugck", *cacheDir)
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{Store: store}, sopts)
 	if err != nil {
 		cliutil.Failf("conbugck", err)
 	}
@@ -51,8 +53,7 @@ func main() {
 		union.AddAll(res.Deps.Deps())
 	}
 	if *stats {
-		cs := core.TotalCacheStats(comps)
-		fmt.Fprintf(os.Stderr, "conbugck: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
+		cliutil.PrintCacheStats("conbugck", comps, store)
 	}
 
 	gen := conbugck.NewGenerator(union, *seed)

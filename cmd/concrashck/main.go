@@ -36,7 +36,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
 	seed := flag.Uint64("seed", 0, "base seed for fault choices (0 = default)")
 	points := flag.Int("points", 0, "max fault points per mode and scenario (0 = default 16)")
-	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
+	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
+	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
 	ckpt := flag.String("checkpoint", "", "journal finished trials to this file")
 	resume := flag.Bool("resume", false, "replay finished trials from the -checkpoint journal")
 	flag.Parse()
@@ -50,7 +51,8 @@ func main() {
 	// the analyzer actually found.
 	union := depmodel.NewSet()
 	comps := corpus.Components()
-	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
+	store := cliutil.OpenStore("concrashck", *cacheDir)
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{Store: store}, sopts)
 	if err != nil {
 		cliutil.Failf("concrashck", err)
 	}
@@ -58,8 +60,7 @@ func main() {
 		union.AddAll(res.Deps.Deps())
 	}
 	if *stats {
-		cs := core.TotalCacheStats(comps)
-		fmt.Fprintf(os.Stderr, "concrashck: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
+		cliutil.PrintCacheStats("concrashck", comps, store)
 	}
 
 	j := cliutil.OpenJournal("concrashck", *ckpt, *resume)

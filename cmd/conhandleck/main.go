@@ -31,7 +31,8 @@ import (
 
 func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
-	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
+	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
+	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
 	ckpt := flag.String("checkpoint", "", "journal finished violations to this file")
 	resume := flag.Bool("resume", false, "replay finished violations from the -checkpoint journal")
 	flag.Parse()
@@ -39,7 +40,8 @@ func main() {
 
 	union := depmodel.NewSet()
 	comps := corpus.Components()
-	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
+	store := cliutil.OpenStore("conhandleck", *cacheDir)
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{Store: store}, sopts)
 	if err != nil {
 		cliutil.Failf("conhandleck", err)
 	}
@@ -47,8 +49,7 @@ func main() {
 		union.AddAll(res.Deps.Deps())
 	}
 	if *stats {
-		cs := core.TotalCacheStats(comps)
-		fmt.Fprintf(os.Stderr, "conhandleck: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
+		cliutil.PrintCacheStats("conhandleck", comps, store)
 	}
 	j := cliutil.OpenJournal("conhandleck", *ckpt, *resume)
 	rep, err := conhandleck.RunCheckpointed(union, sopts, j)

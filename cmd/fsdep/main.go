@@ -3,13 +3,20 @@
 //
 // Usage:
 //
-//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-degraded] [-stats] [-v]
+//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-cache-dir DIR] [-degraded] [-stats] [-v]
 //
 // Without -scenario, every Table-5 scenario runs and the evaluation
 // table is printed. With -json, the extracted dependencies are written
 // as the analyzer's JSON document (§4.1 of the paper). Scenarios run
 // concurrently on -parallel workers; the output is guaranteed to be
 // byte-identical to a sequential run.
+//
+// Extraction results persist in -cache-dir (default: the user cache
+// directory under "fsdep"; empty disables). A second invocation over
+// the unchanged corpus is a warm start: every scenario is answered
+// from content-addressed records with zero taint-engine executions
+// (-stats prints "engine runs: 0") and byte-identical stdout. An
+// unusable cache directory degrades to a cold run with a stderr note.
 //
 // With -degraded, components whose parse, compile, or taint analysis
 // fails are quarantined instead of aborting the run: every healthy
@@ -31,6 +38,7 @@ import (
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
 	"fsdep/internal/depmodel"
+	"fsdep/internal/depstore"
 	"fsdep/internal/report"
 	"fsdep/internal/sched"
 	"fsdep/internal/taint"
@@ -44,7 +52,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of analysis workers (output is identical for any value)")
 	degraded := flag.Bool("degraded", false, "quarantine failing components instead of aborting (exit 0 with a stderr summary)")
 	verbose := flag.Bool("v", false, "list every extracted dependency")
-	stats := flag.Bool("stats", false, "print taint-cache hit/miss counters to stderr")
+	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
+	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
@@ -93,15 +102,17 @@ func main() {
 	}
 
 	comps := corpus.Components()
-	defer printStats(*stats, comps)
+	store := cliutil.OpenStore("fsdep", *cacheDir)
+	copts := core.Options{Mode: tm, Store: store}
+	defer printStats(*stats, comps, store)
 
 	if *degraded {
-		runDegraded(comps, scenarios, tm, sopts, *verbose, *jsonOut)
+		runDegraded(comps, scenarios, copts, sopts, *verbose, *jsonOut)
 		return
 	}
 
 	if *scenario == "" {
-		res, err := report.RunTable5Comps(comps, tm, sopts)
+		res, err := report.RunTable5Opts(comps, copts, sopts)
 		if err != nil {
 			cliutil.Failf("fsdep", err)
 		}
@@ -117,7 +128,7 @@ func main() {
 		return
 	}
 
-	outs, err := core.AnalyzeAll(comps, scenarios, core.Options{Mode: tm}, sopts)
+	outs, err := core.AnalyzeAll(comps, scenarios, copts, sopts)
 	if err != nil {
 		cliutil.Failf("fsdep", err)
 	}
@@ -134,8 +145,9 @@ func main() {
 // runDegraded analyzes the scenarios with failing components
 // quarantined, prints per-scenario summaries plus the union, and
 // exits 0 — the stderr summary is the only trace of the quarantines.
-func runDegraded(comps map[string]*core.Component, scenarios []core.Scenario, tm taint.Mode, sopts sched.Options, verbose bool, jsonOut string) {
-	run, err := core.AnalyzeAllDegraded(comps, scenarios, core.Options{Mode: tm}, sopts)
+func runDegraded(comps map[string]*core.Component, scenarios []core.Scenario, copts core.Options, sopts sched.Options, verbose bool, jsonOut string) {
+	tm := copts.Mode
+	run, err := core.AnalyzeAllDegraded(comps, scenarios, copts, sopts)
 	if err != nil {
 		cliutil.Failf("fsdep", err)
 	}
@@ -190,10 +202,9 @@ func writeJSON(path, scenario string, set *depmodel.Set) {
 	fmt.Printf("wrote %d dependencies to %s\n", set.Len(), path)
 }
 
-func printStats(enabled bool, comps map[string]*core.Component) {
+func printStats(enabled bool, comps map[string]*core.Component, store *depstore.Store) {
 	if !enabled {
 		return
 	}
-	cs := core.TotalCacheStats(comps)
-	fmt.Fprintf(os.Stderr, "fsdep: taint cache: %d hits, %d misses\n", cs.Hits, cs.Misses)
+	cliutil.PrintCacheStats("fsdep", comps, store)
 }

@@ -11,9 +11,11 @@ package cliutil
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"fsdep/internal/checkpoint"
 	"fsdep/internal/core"
+	"fsdep/internal/depstore"
 )
 
 // Exit codes shared by every command.
@@ -49,6 +51,51 @@ func WarnDegradations(tool string, degs []core.Degradation) {
 	fmt.Fprintf(os.Stderr, "%s: degraded run: %d component(s) quarantined\n", tool, len(degs))
 	for _, d := range degs {
 		fmt.Fprintf(os.Stderr, "%s:   %s\n", tool, d)
+	}
+}
+
+// DefaultCacheDir returns the default persistent extraction cache
+// location (the OS user cache directory plus "fsdep"), or "" when no
+// cache location can be derived — the commands then run cold, exactly
+// as if -cache-dir "" had been passed.
+func DefaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "fsdep")
+}
+
+// OpenStore opens the persistent extraction cache at dir. An empty dir
+// disables caching (nil store). An unusable directory is a note on
+// stderr and a nil store, never a failure: the cache is an
+// optimization, and a cold run with a warning beats a hard exit.
+func OpenStore(tool, dir string) *depstore.Store {
+	if dir == "" {
+		return nil
+	}
+	s, err := depstore.Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cache disabled, running cold: %v\n", tool, err)
+		return nil
+	}
+	return s
+}
+
+// PrintCacheStats reports the layered cache counters on stderr. The
+// "engine runs: N" clause is the machine-checked warm-start oracle (CI
+// greps for "engine runs: 0" on a second invocation), so its format is
+// load-bearing.
+func PrintCacheStats(tool string, comps map[string]*core.Component, store *depstore.Store) {
+	cs := core.TotalCacheStats(comps)
+	fmt.Fprintf(os.Stderr, "%s: taint cache: %d hits, %d misses; engine runs: %d\n",
+		tool, cs.Hits, cs.Misses, cs.EngineRuns)
+	fmt.Fprintf(os.Stderr, "%s: summary table: %d hits, %d misses\n",
+		tool, cs.SummaryHits, cs.SummaryMisses)
+	if store != nil {
+		st := store.Stats()
+		fmt.Fprintf(os.Stderr, "%s: disk store: %d hits, %d misses, %d invalidations, %d writes\n",
+			tool, st.Hits, st.Misses, st.Invalidations, st.Writes)
 	}
 }
 

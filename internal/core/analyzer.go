@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"fsdep/internal/depmodel"
+	"fsdep/internal/depstore"
 	"fsdep/internal/ir"
 	"fsdep/internal/minicc"
 	"fsdep/internal/sched"
@@ -75,10 +76,25 @@ type Component struct {
 	compileErr  error
 
 	// taintMemo caches taint runs by canonical signature (cache.go);
-	// cacheHits/cacheMisses are its atomic counters.
+	// cacheHits/cacheMisses are its atomic counters, and the disk/engine
+	// counters below split the misses by how they were answered when a
+	// persistent store is attached (store.go).
 	taintMemo   sync.Map
 	cacheHits   uint64
 	cacheMisses uint64
+	diskHits    uint64
+	diskMisses  uint64
+	engineRuns  uint64
+
+	// hashOnce guards the content hash, the component's identity in the
+	// persistent store (store.go).
+	hashOnce    sync.Once
+	contentHash string
+
+	// summaries is the component's inter-procedural summary table,
+	// shared by every taint run over the compiled program (store.go).
+	sumMu     sync.Mutex
+	summaries *taint.Summaries
 }
 
 // Compile parses and lowers the component. Idempotent and
@@ -136,6 +152,12 @@ type Options struct {
 	// Analyze path with a *taint.BudgetExceeded and is quarantined by
 	// the degraded path.
 	MaxIter int
+	// Store, when non-nil, attaches the persistent extraction cache:
+	// converged taint results, summary tables, and whole-scenario
+	// dependency sets are loaded from and saved to it, keyed by
+	// component content hashes so edited sources never reuse stale
+	// records. Nil runs fully in-process, exactly as before.
+	Store *depstore.Store
 }
 
 // ComponentResult carries per-component artifacts of a run.
@@ -197,6 +219,22 @@ func Analyze(comps map[string]*Component, sc Scenario, opts Options) (*Result, e
 // scenario.
 func analyzeScenario(comps map[string]*Component, sc Scenario, opts Options, quarantined map[string]error) (*Result, error) {
 	degraded := quarantined != nil
+
+	// Scenario-record fast path: on the strict path a whole scenario's
+	// extraction is a pure function of its components' content and the
+	// analysis options, so a warm store answers it without compiling or
+	// running taint at all. Degraded runs are excluded — their output
+	// depends on which components happen to fail, which is not content.
+	var scKey string
+	if !degraded && opts.Store != nil {
+		if key, ok := scenarioKey(comps, sc, opts); ok {
+			scKey = key
+			if set, found := depstore.LoadScenario(opts.Store, scKey); found {
+				return &Result{Scenario: sc, Deps: set}, nil
+			}
+		}
+	}
+
 	res := &Result{Scenario: sc, Deps: depmodel.NewSet()}
 
 	var runs []compRun
@@ -250,6 +288,11 @@ func analyzeScenario(comps map[string]*Component, sc Scenario, opts Options, qua
 	// Cross-component derivation via the metadata bridge.
 	deriveCrossComponent(res.Deps, runs)
 	res.UnresolvedCCD = unresolvedEdges(runs, res.Quarantined)
+	if scKey != "" {
+		// Best-effort: a failed write leaves the next run cold, nothing
+		// worse.
+		_ = depstore.SaveScenario(opts.Store, scKey, res.Deps)
+	}
 	return res, nil
 }
 
@@ -263,14 +306,25 @@ func AnalyzeAll(comps map[string]*Component, scenarios []Scenario, opts Options,
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sched.Map(sopts, unique, func(_ int, c *Component) (struct{}, error) {
-		return struct{}{}, c.Compile()
-	}); err != nil {
-		return nil, err
+	// With a persistent store attached, warm scenario records make
+	// compilation unnecessary; pre-compiling eagerly would spend exactly
+	// the time the cache exists to save. Cold components still compile
+	// lazily (and once) inside their first scenario.
+	if opts.Store == nil {
+		if _, err := sched.Map(sopts, unique, func(_ int, c *Component) (struct{}, error) {
+			return struct{}{}, c.Compile()
+		}); err != nil {
+			return nil, err
+		}
 	}
-	return sched.Map(sopts, scenarios, func(_ int, sc Scenario) (*Result, error) {
+	res, err := sched.Map(sopts, scenarios, func(_ int, sc Scenario) (*Result, error) {
 		return Analyze(comps, sc, opts)
 	})
+	if err != nil {
+		return nil, err
+	}
+	FlushSummaries(opts.Store, unique)
+	return res, nil
 }
 
 // uniqueComponents validates scenario references up front and collects

@@ -20,15 +20,26 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fsdep/internal/depstore"
 	"fsdep/internal/taint"
 )
 
-// CacheStats counts taint-memo outcomes. A "miss" is a signature that
-// actually ran the engine; a "hit" reused a finished (or in-flight)
-// run.
+// CacheStats counts taint-memo outcomes. A "miss" is a signature not
+// answered by the in-process memo; a "hit" reused a finished (or
+// in-flight) run. The remaining counters split the misses by layer:
+// DiskHits/DiskMisses count persistent-store record outcomes when a
+// store is attached, EngineRuns counts actual taint fixpoint
+// executions (a miss neither layer could answer), and
+// SummaryHits/SummaryMisses aggregate the per-function inter-procedural
+// summary table consulted inside those engine runs.
 type CacheStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits          uint64
+	Misses        uint64
+	DiskHits      uint64
+	DiskMisses    uint64
+	EngineRuns    uint64
+	SummaryHits   uint64
+	SummaryMisses uint64
 }
 
 // taintEntry is one memoized taint run.
@@ -95,12 +106,32 @@ func (c *Component) analyzeTaint(funcs []string, opts Options) (*taint.Result, [
 	ent.once.Do(func() {
 		ran = true
 		ent.seeds = seedsOf(c.Params)
+		// Disk layer: a converged result persisted under the component's
+		// content hash plus this signature answers the miss without
+		// running the engine. Truncated (BudgetErr) runs are never
+		// persisted, so a disk hit is always a converged run.
+		var diskKey string
+		if opts.Store != nil {
+			diskKey = depstore.Key(c.ContentHash(), sig)
+			if res, ok := depstore.LoadTaint(opts.Store, diskKey, c.prog); ok {
+				atomic.AddUint64(&c.diskHits, 1)
+				ent.res = res
+				return
+			}
+			atomic.AddUint64(&c.diskMisses, 1)
+		}
+		atomic.AddUint64(&c.engineRuns, 1)
 		ent.res = taint.Run(c.prog, ent.seeds, taint.Options{
 			Mode:       opts.Mode,
 			Functions:  funcs,
 			Sanitizers: opts.Sanitizers,
 			MaxIter:    opts.MaxIter,
+			Summaries:  c.summaryTable(opts.Store),
 		})
+		if opts.Store != nil {
+			// Best-effort: a failed write leaves the next run cold.
+			_ = depstore.SaveTaint(opts.Store, diskKey, ent.res)
+		}
 	})
 	if ran {
 		atomic.AddUint64(&c.cacheMisses, 1)
@@ -110,21 +141,35 @@ func (c *Component) analyzeTaint(funcs []string, opts Options) (*taint.Result, [
 	return ent.res, ent.seeds
 }
 
-// TaintCacheStats reports the component's memo counters.
+// TaintCacheStats reports the component's layered cache counters.
 func (c *Component) TaintCacheStats() CacheStats {
-	return CacheStats{
-		Hits:   atomic.LoadUint64(&c.cacheHits),
-		Misses: atomic.LoadUint64(&c.cacheMisses),
+	cs := CacheStats{
+		Hits:       atomic.LoadUint64(&c.cacheHits),
+		Misses:     atomic.LoadUint64(&c.cacheMisses),
+		DiskHits:   atomic.LoadUint64(&c.diskHits),
+		DiskMisses: atomic.LoadUint64(&c.diskMisses),
+		EngineRuns: atomic.LoadUint64(&c.engineRuns),
 	}
+	if tab := c.summarySnapshot(); tab != nil {
+		st := tab.Stats()
+		cs.SummaryHits = st.Hits
+		cs.SummaryMisses = st.Misses
+	}
+	return cs
 }
 
-// TotalCacheStats sums the memo counters over an ecosystem.
+// TotalCacheStats sums the layered cache counters over an ecosystem.
 func TotalCacheStats(comps map[string]*Component) CacheStats {
 	var total CacheStats
 	for _, c := range comps {
 		cs := c.TaintCacheStats()
 		total.Hits += cs.Hits
 		total.Misses += cs.Misses
+		total.DiskHits += cs.DiskHits
+		total.DiskMisses += cs.DiskMisses
+		total.EngineRuns += cs.EngineRuns
+		total.SummaryHits += cs.SummaryHits
+		total.SummaryMisses += cs.SummaryMisses
 	}
 	return total
 }

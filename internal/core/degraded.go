@@ -129,6 +129,7 @@ func AnalyzeAllDegraded(comps map[string]*Component, scenarios []Scenario, opts 
 			}
 		}
 	}
+	FlushSummaries(opts.Store, unique)
 	return run, nil
 }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fsdep/internal/sched"
+)
+
+// TestIncrementalOneComponentEdit is the incremental contract: editing
+// one component re-runs a strict subset of the engine — only the
+// edited component's signatures — while the returned results match a
+// from-scratch run over the edited corpus byte-for-byte.
+func TestIncrementalOneComponentEdit(t *testing.T) {
+	scenarios := storeScenarios()
+	sess, err := NewSession(storeFixture(), scenarios, Options{}, sched.Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Components()
+	base := TotalCacheStats(before)
+	if base.EngineRuns == 0 {
+		t.Fatalf("first run executed no engine: %+v", base)
+	}
+
+	// Edit the reader's range bound: its extraction (and the bridge
+	// scenarios') must change.
+	editedSrc := strings.Replace(storeReaderSrc, "512", "2048", 1)
+	edited := miniComponent("reader", editedSrc, Param{Name: "limit", Var: "opts.limit", CType: "int"})
+	inv := sess.Invalidate(edited)
+	if want := []string{"bridge", "all"}; !reflect.DeepEqual(inv.StaleScenarios, want) {
+		t.Errorf("stale scenarios = %v, want %v", inv.StaleScenarios, want)
+	}
+	// writer shares super.s_field with reader; solo shares nothing.
+	if want := []string{"writer"}; !reflect.DeepEqual(inv.Dependents, want) {
+		t.Errorf("dependents = %v, want %v", inv.Dependents, want)
+	}
+
+	r2, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2[1] != r1[1] {
+		t.Error("unchanged scenario was recomputed instead of reused")
+	}
+	if renderDeps(t, r2) == renderDeps(t, r1) {
+		t.Error("edit did not change the extraction; the test proves nothing")
+	}
+
+	// Strict engine subset: unchanged components kept their memos, the
+	// edited one re-ran fewer signatures than a from-scratch run.
+	for _, name := range []string{"writer", "solo"} {
+		if got := before[name].TaintCacheStats().EngineRuns; got != base.EngineRuns/3 && got != 1 {
+			t.Errorf("%s re-ran the engine after an unrelated edit: %d runs", name, got)
+		}
+	}
+	editedRuns := edited.TaintCacheStats().EngineRuns
+	if editedRuns == 0 {
+		t.Error("edited component never re-analyzed")
+	}
+	if editedRuns >= base.EngineRuns {
+		t.Errorf("incremental run not a strict subset: %d edited-component runs vs %d from scratch",
+			editedRuns, base.EngineRuns)
+	}
+
+	// Byte-for-byte against a from-scratch run over the edited corpus.
+	fresh := storeFixture()
+	fresh["reader"] = miniComponent("reader", editedSrc, Param{Name: "limit", Var: "opts.limit", CType: "int"})
+	scratch, err := AnalyzeAll(fresh, scenarios, Options{}, sched.Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderDeps(t, r2), renderDeps(t, scratch); got != want {
+		t.Errorf("incremental result differs from from-scratch run:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestSessionRepeatedRunsReuseResults: a Run with nothing stale
+// returns the identical result pointers and performs no analysis.
+func TestSessionRepeatedRunsReuseResults(t *testing.T) {
+	sess, err := NewSession(storeFixture(), storeScenarios(), Options{}, sched.Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := TotalCacheStats(sess.Components())
+	r2, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Errorf("scenario %d recomputed on a fresh Run", i)
+		}
+	}
+	if after := TotalCacheStats(sess.Components()); after != base {
+		t.Errorf("idle Run did analysis work: %+v → %+v", base, after)
+	}
+}
+
+// TestSessionRejectsUnknownReference mirrors the strict path's up-front
+// validation.
+func TestSessionRejectsUnknownReference(t *testing.T) {
+	_, err := NewSession(map[string]*Component{}, []Scenario{
+		{Name: "t", Components: []string{"ghost"}},
+	}, Options{}, sched.Sequential())
+	if err == nil {
+		t.Fatal("session accepted an unknown component reference")
+	}
+}

@@ -1,0 +1,122 @@
+// Persistent-store integration: content addressing and the glue
+// between the in-process caches and internal/depstore.
+//
+// The store adds two layers under the taint memo of cache.go and one
+// above it:
+//
+//   - taint records (cache.go): a component's converged taint result,
+//     keyed by its content hash plus the canonical taint signature, so
+//     a warm process skips the fixpoint but still compiles (the result
+//     rehydrates branch-site expressions against the compiled IR);
+//   - summary records: the component's inter-procedural summary table,
+//     imported before the first engine run so even cold signatures
+//     replay per-function visits instead of re-iterating them;
+//   - scenario records (analyzer.go): a whole scenario's extracted
+//     dependency set, keyed by every referenced component's content
+//     hash plus the scenario selection and options — a hit answers the
+//     strict path without compiling anything.
+//
+// Every key embeds content hashes, so edits move components to fresh
+// addresses and stale records are simply never read again; there is no
+// invalidation protocol to get wrong.
+
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fsdep/internal/depstore"
+	"fsdep/internal/taint"
+)
+
+// ContentHash returns the component's content address: a deterministic
+// hash over its name, source text, and parameter list. It is the
+// persistent store's notion of component identity — any edit moves the
+// component's records to fresh addresses — and requires no
+// compilation, so warm starts can derive keys without doing work.
+func (c *Component) ContentHash() string {
+	c.hashOnce.Do(func() {
+		parts := []string{c.Name, c.Source}
+		for _, p := range c.Params {
+			parts = append(parts, p.Name, p.Var, p.Func, p.CType, p.Doc)
+		}
+		c.contentHash = depstore.Key(parts...)
+	})
+	return c.contentHash
+}
+
+// summaryTable returns the component's inter-procedural summary table,
+// creating it on first use and importing any persisted records when a
+// store is present. The table belongs to the compiled program (its
+// keys embed program locations), which is why it lives on the
+// Component next to the taint memo.
+func (c *Component) summaryTable(store *depstore.Store) *taint.Summaries {
+	c.sumMu.Lock()
+	defer c.sumMu.Unlock()
+	if c.summaries == nil {
+		c.summaries = taint.NewSummaries()
+		if store != nil {
+			if recs, ok := depstore.LoadSummaries(store, summariesKey(c)); ok {
+				c.summaries.Import(recs)
+			}
+		}
+	}
+	return c.summaries
+}
+
+// summarySnapshot returns the table if one exists, without creating
+// it (stats must not perturb the import-on-first-use path).
+func (c *Component) summarySnapshot() *taint.Summaries {
+	c.sumMu.Lock()
+	defer c.sumMu.Unlock()
+	return c.summaries
+}
+
+func summariesKey(c *Component) string {
+	return depstore.Key("summaries", c.ContentHash())
+}
+
+// FlushSummaries persists every component's summary table that gained
+// entries since its last flush. AnalyzeAll and AnalyzeAllDegraded call
+// it after their runs; a Session flushes on Close. Nil store or empty
+// tables are no-ops, and write failures are swallowed — the store is a
+// cache.
+func FlushSummaries(store *depstore.Store, comps []*Component) {
+	if store == nil {
+		return
+	}
+	for _, c := range comps {
+		tab := c.summarySnapshot()
+		if tab == nil || tab.Added() == 0 {
+			continue
+		}
+		_ = depstore.SaveSummaries(store, summariesKey(c), tab.Export())
+	}
+}
+
+// scenarioKey derives the content address of a whole-scenario
+// extraction. It covers everything the strict result depends on: the
+// analysis options, the scenario's name and component pipeline, each
+// referenced component's content hash, and the per-component function
+// selections. Returns ok=false when the scenario references an unknown
+// component — the caller falls through to the cold path, which reports
+// the error.
+func scenarioKey(comps map[string]*Component, sc Scenario, opts Options) (string, bool) {
+	parts := []string{
+		"scenario",
+		fmt.Sprintf("%d/%d", opts.Mode, opts.MaxIter),
+		strings.Join(sortedCopy(opts.Sanitizers), "\x00"),
+		sc.Name,
+		strings.Join(sc.Components, "\x00"),
+	}
+	for _, name := range sc.Components {
+		comp, ok := comps[name]
+		if !ok {
+			return "", false
+		}
+		parts = append(parts, comp.ContentHash(),
+			strings.Join(sortedCopy(sc.Funcs[name]), "\x00"))
+	}
+	return depstore.Key(parts...), true
+}

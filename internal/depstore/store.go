@@ -1,0 +1,213 @@
+// Package depstore is the persistent, content-addressed extraction
+// cache: it serializes per-component taint results, inter-procedural
+// summary tables, and whole-scenario dependency extractions to an
+// on-disk directory so repeated fsdep invocations over unchanged
+// sources warm-start instead of re-analyzing the world.
+//
+// Records are addressed by a caller-derived key — a sha256 over the
+// component's content hash joined with the canonical analysis
+// signature (internal/core's taint memo key), so any change to a
+// source, parameter list, or analysis option lands on a different
+// address and stale records are simply never read again. Each record
+// is one file: a versioned JSON header line carrying a checksum,
+// followed by the raw payload bytes (kept outside the header's JSON so
+// warm loads parse the payload exactly once, in the caller's decode);
+// writes go through a temp file plus atomic rename, so
+// concurrent processes sharing a cache directory see either a complete
+// record or none. Loads refuse corruption the same way
+// internal/checkpoint refuses torn journal tails: a record that fails
+// to parse, carries an unknown format version, or does not match its
+// checksum is treated as absent (counted as an invalidation), never as
+// an error — the caller falls back to cold extraction.
+package depstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// formatVersion is the envelope format; bump it whenever a record's
+// payload schema changes so older caches read as invalid, not as
+// garbage.
+const formatVersion = 2
+
+// Record kinds, part of each record's filename and envelope.
+const (
+	// KindTaint is a per-component taint result.
+	KindTaint = "taint"
+	// KindScenario is a whole-scenario dependency extraction.
+	KindScenario = "scenario"
+	// KindSummaries is a component's inter-procedural summary table.
+	KindSummaries = "summaries"
+)
+
+// envelope is the on-disk frame around every payload: one JSON header
+// line, then the payload bytes verbatim. Keeping the payload outside
+// the header's JSON means a Get validates the record with one small
+// header parse plus a checksum — the payload is only ever scanned once,
+// by the caller's decode. (Framing it as a JSON field would make every
+// load scan the payload three times: envelope validation, the
+// RawMessage copy, and the caller's decode.)
+type envelope struct {
+	Format int    `json:"format"`
+	Kind   string `json:"kind"`
+	Sum    string `json:"sum"`
+}
+
+// StoreStats counts store outcomes. Invalidations are records that
+// existed but were refused (corrupt, checksum mismatch, version skew);
+// they also count as misses for the caller's purposes.
+type StoreStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+	Writes        uint64
+}
+
+// Store is an on-disk record cache rooted at one directory. Safe for
+// concurrent use by multiple goroutines and multiple processes.
+type Store struct {
+	dir string
+
+	hits    uint64
+	misses  uint64
+	invalid uint64
+	writes  uint64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("depstore: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("depstore: opening cache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns the store's counters.
+func (s *Store) Stats() StoreStats {
+	return StoreStats{
+		Hits:          atomic.LoadUint64(&s.hits),
+		Misses:        atomic.LoadUint64(&s.misses),
+		Invalidations: atomic.LoadUint64(&s.invalid),
+		Writes:        atomic.LoadUint64(&s.writes),
+	}
+}
+
+// noteInvalid counts a record that existed but was refused. The
+// record layer calls this when a structurally valid envelope carries a
+// payload the current code cannot rehydrate.
+func (s *Store) noteInvalid() { atomic.AddUint64(&s.invalid, 1) }
+
+// Key derives a content address from the given parts. Parts are
+// length-prefixed before hashing so ("ab","c") and ("a","bc") land on
+// different addresses.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Store) path(kind, key string) string {
+	return filepath.Join(s.dir, kind+"-"+key+".rec")
+}
+
+// Get returns the payload stored under (kind, key), or (nil, false)
+// when absent or refused. A record that exists but fails validation —
+// unparseable, wrong format version, wrong kind, checksum mismatch —
+// is counted as an invalidation and reported as a miss; it is never an
+// error, matching checkpoint's corruption-refusing load discipline.
+func (s *Store) Get(kind, key string) ([]byte, bool) {
+	raw, err := os.ReadFile(s.path(kind, key))
+	if err != nil {
+		atomic.AddUint64(&s.misses, 1)
+		return nil, false
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		s.refuse()
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(raw[:nl], &env); err != nil {
+		s.refuse()
+		return nil, false
+	}
+	if env.Format != formatVersion || env.Kind != kind {
+		s.refuse()
+		return nil, false
+	}
+	payload := raw[nl+1:]
+	if payloadSum(payload) != env.Sum {
+		s.refuse()
+		return nil, false
+	}
+	atomic.AddUint64(&s.hits, 1)
+	return payload, true
+}
+
+func (s *Store) refuse() {
+	atomic.AddUint64(&s.invalid, 1)
+	atomic.AddUint64(&s.misses, 1)
+}
+
+// Put stores payload under (kind, key) with a temp-file write and an
+// atomic rename, so a concurrent reader — or a reader after a crash
+// mid-write — sees either the complete record or none. Put errors are
+// reportable but never fatal to an analysis: the store is a cache.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	env := envelope{
+		Format: formatVersion,
+		Kind:   kind,
+		Sum:    payloadSum(payload),
+	}
+	header, err := json.Marshal(&env)
+	if err != nil {
+		return fmt.Errorf("depstore: encoding %s record: %w", kind, err)
+	}
+	blob := make([]byte, 0, len(header)+1+len(payload))
+	blob = append(blob, header...)
+	blob = append(blob, '\n')
+	blob = append(blob, payload...)
+	tmp, err := os.CreateTemp(s.dir, "."+kind+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(kind, key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depstore: committing %s record: %w", kind, err)
+	}
+	atomic.AddUint64(&s.writes, 1)
+	return nil
+}
+
+func payloadSum(p []byte) string {
+	sum := sha256.Sum256(p)
+	return hex.EncodeToString(sum[:])
+}

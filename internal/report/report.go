@@ -186,13 +186,22 @@ func RunTable5Sched(mode taint.Mode, sopts sched.Options) (*Table5Result, error)
 // map, letting callers share (and inspect) the per-component taint
 // cache across runs. The result is identical to a fresh map.
 func RunTable5Comps(comps map[string]*core.Component, mode taint.Mode, sopts sched.Options) (*Table5Result, error) {
+	return RunTable5Opts(comps, core.Options{Mode: mode}, sopts)
+}
+
+// RunTable5Opts is RunTable5Comps with full analysis options, so
+// callers can attach the persistent extraction store (Options.Store) —
+// a warm store answers the whole table without running the taint
+// engine. The rendered result is byte-identical to a storeless run.
+func RunTable5Opts(comps map[string]*core.Component, opts core.Options, sopts sched.Options) (*Table5Result, error) {
+	mode := opts.Mode
 	scenarios := corpus.Scenarios()
 	res := &Table5Result{Mode: mode}
 	union := depmodel.NewSet()
 	fpKeys := map[depmodel.Category]map[string]bool{
 		depmodel.SD: {}, depmodel.CPD: {}, depmodel.CCD: {},
 	}
-	outs, err := core.AnalyzeAll(comps, scenarios, core.Options{Mode: mode}, sopts)
+	outs, err := core.AnalyzeAll(comps, scenarios, opts, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +311,24 @@ func All(w io.Writer) error { return AllSched(w, sched.Sequential()) }
 // AllSched is All with the Table-5 extraction parallelized under
 // sopts; the rendered output is identical for any worker count.
 func AllSched(w io.Writer, sopts sched.Options) error {
-	table5 := func(w io.Writer) error { return Table5Sched(w, sopts) }
+	return allWith(w, func(w io.Writer) error { return Table5Sched(w, sopts) })
+}
+
+// AllOpts is AllSched with a caller-supplied component map and full
+// analysis options for the Table-5 extraction, so the persistent store
+// (Options.Store) can warm-start it. Output is byte-identical to
+// AllSched.
+func AllOpts(w io.Writer, comps map[string]*core.Component, opts core.Options, sopts sched.Options) error {
+	return allWith(w, func(w io.Writer) error {
+		res, err := RunTable5Opts(comps, opts, sopts)
+		if err != nil {
+			return err
+		}
+		return res.Render(w)
+	})
+}
+
+func allWith(w io.Writer, table5 func(io.Writer) error) error {
 	sections := []struct {
 		title string
 		fn    func(io.Writer) error
@@ -344,7 +370,13 @@ func Table6Sched(w io.Writer, sopts sched.Options) error {
 // union — only violations the analyzer actually extracted (plus the
 // controls) are swept.
 func Table6Comps(w io.Writer, comps map[string]*core.Component, sopts sched.Options) error {
-	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{}, sopts)
+	return Table6Opts(w, comps, core.Options{}, sopts)
+}
+
+// Table6Opts is Table6Comps with full analysis options, so the
+// scenario-selecting extraction can use the persistent store.
+func Table6Opts(w io.Writer, comps map[string]*core.Component, opts core.Options, sopts sched.Options) error {
+	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), opts, sopts)
 	if err != nil {
 		return err
 	}

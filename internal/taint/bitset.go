@@ -1,6 +1,9 @@
 package taint
 
-import "math/bits"
+import (
+	"encoding/json"
+	"math/bits"
+)
 
 // SeedSet is a set of seed indices, implemented as a small bitset.
 // The zero value is the empty set. Sets are value types; Union returns
@@ -85,6 +88,28 @@ func (s SeedSet) Clone() SeedSet {
 	c := SeedSet{words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
+}
+
+// MarshalJSON encodes the set as its sorted member list, the portable
+// form the persistent store (internal/depstore) records. An empty set
+// encodes as [].
+func (s SeedSet) MarshalJSON() ([]byte, error) {
+	ids := s.IDs()
+	if ids == nil {
+		ids = []int{}
+	}
+	return json.Marshal(ids)
+}
+
+// UnmarshalJSON decodes a member list produced by MarshalJSON. null
+// decodes to the empty set.
+func (s *SeedSet) UnmarshalJSON(b []byte) error {
+	var ids []int
+	if err := json.Unmarshal(b, &ids); err != nil {
+		return err
+	}
+	*s = NewSeedSet(ids...)
+	return nil
 }
 
 // Intersects reports whether s and o share a member.

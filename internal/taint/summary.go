@@ -1,0 +1,415 @@
+// Inter-procedural summary memoization: a Summaries table caches, per
+// function, the complete effect of one converged analyzeFunc visit —
+// final local taint, return taint, canonical-field contributions,
+// argument taint pushed into callees, and the taint-trace/multi events
+// the visit produced — keyed by everything the visit consumes: the
+// run-level signature (mode, sanitizer set, seed list), the function's
+// inbound parameter taint, the global taint of every canonical field
+// the function reads, and every consulted callee's return summary.
+//
+// The worklist fixpoint consults the table before revisiting a
+// function: on a key hit the recorded effects are unioned in and the
+// instruction iteration is skipped entirely, so Inter runs with
+// overlapping function sets (different scenarios selecting different
+// slices of one component) share work below the whole-run granularity
+// core's memo cache operates at. All transfer functions are monotone
+// set unions, so a visit's converged outcome is a pure function of its
+// entry inputs — the state after a visit with inputs I is the least
+// fixpoint above I regardless of what earlier visits accumulated —
+// which is what makes replaying a summary equivalent to re-running the
+// visit for every fact the dependency derivation consumes (Taint,
+// Sites, FieldWrites, FieldReads, return summaries). The Traces/Multi
+// evidence maps are replayed from per-visit event logs; their exact
+// contents can depend on visit history, so they are engine-internal
+// diagnostics, not derivation inputs.
+//
+// Tables are safe for concurrent use — scenarios analyzed in parallel
+// share one table per component — and serialize to SummaryRecord lists
+// so they join the persistent store across process boundaries.
+
+package taint
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"fsdep/internal/ir"
+	"fsdep/internal/minicc"
+)
+
+// TraceEvent is one taint-trace append a summarized visit produced.
+type TraceEvent struct {
+	Seed int        `json:"seed"`
+	Pos  minicc.Pos `json:"pos"`
+}
+
+// LocFact records the taint of one location key.
+type LocFact struct {
+	Key   string  `json:"key"`
+	Seeds SeedSet `json:"seeds"`
+}
+
+// CanonFact records a function's contribution to one canonical
+// metadata field, in first-store instruction order.
+type CanonFact struct {
+	Canon string  `json:"canon"`
+	Seeds SeedSet `json:"seeds"`
+}
+
+// CalleeFact records the argument taint a function pushes into one
+// callee's parameter slots.
+type CalleeFact struct {
+	Callee string    `json:"callee"`
+	Slots  []SeedSet `json:"slots"`
+}
+
+// Summary is the recorded effect of one converged function visit.
+type Summary struct {
+	// Local is the function's final local taint (non-empty locations
+	// only), keyed by location string for portability across runs.
+	Local []LocFact `json:"local,omitempty"`
+	// Ret is the function's return taint (Inter mode).
+	Ret SeedSet `json:"ret"`
+	// Fields lists the function's canonical-field write contributions
+	// in first-store instruction order.
+	Fields []CanonFact `json:"fields,omitempty"`
+	// Callees lists argument taint pushed into callee parameters
+	// (Inter mode), in call-site order.
+	Callees []CalleeFact `json:"callees,omitempty"`
+	// Traces replays the visit's taint-trace appends in order.
+	Traces []TraceEvent `json:"traces,omitempty"`
+	// Multi replays the visit's multi-parameter derivation records.
+	Multi []LocFact `json:"multi,omitempty"`
+}
+
+// SummaryRecord is one serialized table entry.
+type SummaryRecord struct {
+	Key string  `json:"key"`
+	Sum Summary `json:"sum"`
+}
+
+// SummaryStats counts table outcomes. A hit skipped one full function
+// visit; a miss ran the visit and recorded its summary. The hit/miss
+// split depends on scenario interleaving under concurrent runs; the
+// analysis facts never do.
+type SummaryStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Summaries is a per-program summary table, shared by every taint run
+// over one compiled program (core keeps one per Component). The zero
+// value is not usable; call NewSummaries.
+type Summaries struct {
+	mu    sync.RWMutex
+	m     map[string]*Summary
+	added int // entries recorded since the last Export
+	hits  uint64
+	miss  uint64
+}
+
+// NewSummaries returns an empty table.
+func NewSummaries() *Summaries {
+	return &Summaries{m: make(map[string]*Summary)}
+}
+
+// Stats reports the table's counters.
+func (t *Summaries) Stats() SummaryStats {
+	t.mu.RLock()
+	n := len(t.m)
+	t.mu.RUnlock()
+	return SummaryStats{
+		Hits:    atomic.LoadUint64(&t.hits),
+		Misses:  atomic.LoadUint64(&t.miss),
+		Entries: n,
+	}
+}
+
+// lookup returns the summary for key, counting the outcome.
+func (t *Summaries) lookup(key string) *Summary {
+	t.mu.RLock()
+	s := t.m[key]
+	t.mu.RUnlock()
+	if s != nil {
+		atomic.AddUint64(&t.hits, 1)
+	} else {
+		atomic.AddUint64(&t.miss, 1)
+	}
+	return s
+}
+
+// record stores a summary under key. The first recording wins:
+// concurrent runs recording the same key computed identical facts.
+func (t *Summaries) record(key string, s *Summary) {
+	t.mu.Lock()
+	if _, dup := t.m[key]; !dup {
+		t.m[key] = s
+		t.added++
+	}
+	t.mu.Unlock()
+}
+
+// Added reports how many entries were recorded since the last Export —
+// the persistence layer's write-back trigger.
+func (t *Summaries) Added() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.added
+}
+
+// Export snapshots the table as records sorted by key (deterministic
+// for the content-addressed store) and resets the Added counter.
+func (t *Summaries) Export() []SummaryRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SummaryRecord, 0, len(t.m))
+	for k, s := range t.m {
+		out = append(out, SummaryRecord{Key: k, Sum: *s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	t.added = 0
+	return out
+}
+
+// Import merges records into the table (existing keys win) and returns
+// how many were new. Imported entries do not count as Added — they are
+// already persisted.
+func (t *Summaries) Import(recs []SummaryRecord) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range recs {
+		if _, dup := t.m[recs[i].Key]; !dup {
+			sum := recs[i].Sum
+			t.m[recs[i].Key] = &sum
+			n++
+		}
+	}
+	return n
+}
+
+// canonRef is one canonical field a function reads, carrying both the
+// run-local dense id and the portable name the summary key uses.
+type canonRef struct {
+	name string
+	id   int
+}
+
+// runSigOf builds the run-level key prefix shared by every visit of
+// one run: mode, sorted sanitizers, and the seed list in order (the
+// list fixes both the id space and per-function seed placement).
+func runSigOf(opts Options, seeds []Seed) string {
+	var b strings.Builder
+	b.WriteByte(byte(opts.Mode))
+	sans := append([]string(nil), opts.Sanitizers...)
+	sort.Strings(sans)
+	for _, s := range sans {
+		b.WriteByte(0)
+		b.WriteString(s)
+	}
+	b.WriteByte(1)
+	for _, sd := range seeds {
+		b.WriteByte(0)
+		b.WriteString(sd.Param)
+		b.WriteByte(2)
+		b.WriteString(sd.Func)
+		b.WriteByte(2)
+		b.WriteString(sd.Var)
+		b.WriteByte(2)
+		b.WriteString(sd.Field)
+	}
+	return b.String()
+}
+
+// appendSet renders a seed set into the signature builder.
+func appendSet(b *strings.Builder, s SeedSet) {
+	for _, id := range s.IDs() {
+		b.WriteByte(',')
+		b.WriteString(strconv.Itoa(id))
+	}
+}
+
+// inputSig builds the visit key for st's function: the run prefix plus
+// the function name, inbound parameter taint, each distinct callee's
+// current return taint, and the global taint of every canonical field
+// the function reads (sorted by canonical name).
+func (a *analysis) inputSig(st *funcState) string {
+	var b strings.Builder
+	b.WriteString(a.runPrefix)
+	b.WriteByte(3)
+	b.WriteString(st.fn.Name)
+	if a.opts.Mode == Inter {
+		b.WriteByte(4)
+		for _, in := range a.paramIn[st.fn.Name] {
+			b.WriteByte(';')
+			appendSet(&b, in)
+		}
+		b.WriteByte(5)
+		for _, callee := range st.calleeNames {
+			b.WriteByte(';')
+			b.WriteString(callee)
+			b.WriteByte('=')
+			appendSet(&b, a.funcRet[callee])
+		}
+	}
+	b.WriteByte(6)
+	for _, rc := range st.readCanons {
+		b.WriteByte(';')
+		b.WriteString(rc.name)
+		b.WriteByte('=')
+		appendSet(&b, a.fieldAt(rc.id))
+	}
+	return b.String()
+}
+
+// finalFlow recomputes an instruction's flow at the converged state —
+// the same computation the iteration loop performs.
+func (a *analysis) finalFlow(st *funcState, info *instrInfo) SeedSet {
+	var flow SeedSet
+	for _, u := range info.uses {
+		a.unionLocTaint(&flow, st, u)
+	}
+	if a.opts.Mode == Inter {
+		for _, callee := range info.in.Calls {
+			flow.Union(a.funcRet[callee])
+		}
+	}
+	if info.sanitized {
+		return SeedSet{}
+	}
+	return flow
+}
+
+// captureSummary snapshots the function's cumulative effects at the
+// end of a converged visit. Every set is cloned: the live state keeps
+// mutating on later visits while recorded summaries must stay frozen.
+func (a *analysis) captureSummary(st *funcState) *Summary {
+	sum := &Summary{}
+	// Final local taint, sorted by key for deterministic export.
+	for id, s := range st.taint {
+		if !s.Empty() {
+			sum.Local = append(sum.Local, LocFact{Key: a.locs.keyOf(id), Seeds: s.Clone()})
+		}
+	}
+	sort.Slice(sum.Local, func(i, j int) bool { return sum.Local[i].Key < sum.Local[j].Key })
+	if a.opts.Mode == Inter {
+		sum.Ret = a.funcRet[st.fn.Name].Clone()
+	}
+	// Canonical-field contributions: the cumulative taint the visits
+	// pushed equals the flow at the converged state (monotone unions),
+	// so it is recomputed here rather than logged.
+	seen := make(map[int]int)
+	for ii := range st.infos {
+		info := &st.infos[ii]
+		if info.in.Op != ir.OpAssign || !info.in.HasDst || info.dst.canon < 0 {
+			continue
+		}
+		flow := a.finalFlow(st, info)
+		if flow.Empty() {
+			continue
+		}
+		if at, ok := seen[info.dst.canon]; ok {
+			sum.Fields[at].Seeds.Union(flow)
+			continue
+		}
+		seen[info.dst.canon] = len(sum.Fields)
+		sum.Fields = append(sum.Fields, CanonFact{
+			Canon: a.canons.keyOf(info.dst.canon), Seeds: flow.Clone(),
+		})
+	}
+	if a.opts.Mode == Inter {
+		seenC := make(map[string]int)
+		for ii := range st.infos {
+			for fi := range st.infos[ii].argFlows {
+				af := &st.infos[ii].argFlows[fi]
+				at, ok := seenC[af.callee]
+				if !ok {
+					at = len(sum.Callees)
+					seenC[af.callee] = at
+					sum.Callees = append(sum.Callees, CalleeFact{
+						Callee: af.callee,
+						Slots:  make([]SeedSet, len(a.prog.Funcs[af.callee].Params)),
+					})
+				}
+				for i, refs := range af.args {
+					var argTaint SeedSet
+					for _, r := range refs {
+						a.unionLocTaint(&argTaint, st, r)
+					}
+					sum.Callees[at].Slots[i].Union(argTaint)
+				}
+			}
+		}
+	}
+	sum.Traces = append([]TraceEvent(nil), st.traceLog...)
+	var mkeys []string
+	for mk := range st.multiLog {
+		mkeys = append(mkeys, mk)
+	}
+	sort.Strings(mkeys)
+	for _, mk := range mkeys {
+		sum.Multi = append(sum.Multi, LocFact{Key: mk, Seeds: st.multiLog[mk].Clone()})
+	}
+	return sum
+}
+
+// applySummary replays a recorded visit: unions every effect into the
+// live state, raising the same dirty flags a real visit would, and
+// replays the trace/multi events through the ordinary append paths so
+// a later recording of this function stays cumulative.
+func (a *analysis) applySummary(st *funcState, sum *Summary) {
+	for _, lf := range sum.Local {
+		st.union(a.locs.id(lf.Key), lf.Seeds)
+	}
+	if a.opts.Mode == Inter && !sum.Ret.Empty() {
+		cur := a.funcRet[st.fn.Name]
+		if cur.Union(sum.Ret) {
+			a.funcRet[st.fn.Name] = cur
+			a.dirtyRet = true
+		}
+	}
+	for _, cf := range sum.Fields {
+		id := a.canons.id(cf.Canon)
+		if a.fieldUnion(id, cf.Seeds) {
+			a.dirtyCanons = append(a.dirtyCanons, id)
+		}
+	}
+	if a.opts.Mode == Inter {
+		for _, cf := range sum.Callees {
+			ins := a.paramIn[cf.Callee]
+			for len(ins) < len(cf.Slots) {
+				ins = append(ins, SeedSet{})
+			}
+			changed := false
+			for i := range cf.Slots {
+				if ins[i].Union(cf.Slots[i]) {
+					changed = true
+				}
+			}
+			a.paramIn[cf.Callee] = ins
+			if changed {
+				a.dirtyParams = append(a.dirtyParams, cf.Callee)
+			}
+		}
+	}
+	a.cur = st
+	for _, ev := range sum.Traces {
+		a.addTrace(ev.Seed, ev.Pos)
+	}
+	a.cur = nil
+	for _, lf := range sum.Multi {
+		mcur := a.res.Multi[lf.Key]
+		mcur.Union(lf.Seeds)
+		a.res.Multi[lf.Key] = mcur
+		if st.multiLog == nil {
+			st.multiLog = make(map[string]SeedSet)
+		}
+		scur := st.multiLog[lf.Key]
+		scur.Union(lf.Seeds)
+		st.multiLog[lf.Key] = scur
+	}
+}

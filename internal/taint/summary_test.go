@@ -1,0 +1,251 @@
+package taint
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// bridgeSrc exercises every summarized effect: canonical field writes
+// and reads across functions (worklist revisits), inter-procedural
+// call/return flow, sanitizers, multi-parameter derivation, and branch
+// sites.
+const bridgeSrc = `
+struct sb { u32 a; u32 b; };
+int scale(int v) { return v * 2; }
+int clamp(int v) { return v; }
+void r2(struct sb *s) {
+	int y;
+	y = s->b;
+	if (y > 6) {
+		fail();
+	}
+}
+void r1(struct sb *s, int extra) {
+	int mix;
+	mix = s->a + extra;
+	s->b = mix;
+}
+void w1(struct sb *s, int conf) {
+	int safe;
+	s->a = scale(conf);
+	safe = clamp(conf);
+}`
+
+func bridgeSeeds() []Seed {
+	return []Seed{
+		{Param: "conf", Func: "w1", Var: "conf"},
+		{Param: "extra", Func: "r1", Var: "extra"},
+	}
+}
+
+func modesUnderTest() map[string]Options {
+	return map[string]Options{
+		"intra":            {Mode: Intra, Sanitizers: []string{"clamp"}},
+		"inter":            {Mode: Inter, Sanitizers: []string{"clamp"}},
+		"inter-restricted": {Mode: Inter, Functions: []string{"w1", "r1", "r2"}},
+	}
+}
+
+// TestSummaryRunMatchesPlainRun proves a table-assisted run — cold
+// table, then warm — is indistinguishable from a table-free run for
+// the same program, seeds, and options.
+func TestSummaryRunMatchesPlainRun(t *testing.T) {
+	p := program(t, bridgeSrc)
+	for name, base := range modesUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			plain := Run(p, bridgeSeeds(), base)
+
+			tab := NewSummaries()
+			withTab := base
+			withTab.Summaries = tab
+			cold := Run(p, bridgeSeeds(), withTab)
+			if !reflect.DeepEqual(plain, cold) {
+				t.Errorf("cold-table run differs from plain run:\nplain: %+v\ncold: %+v", plain, cold)
+			}
+			st := tab.Stats()
+			if st.Misses == 0 || st.Entries == 0 {
+				t.Fatalf("cold run recorded nothing: %+v", st)
+			}
+
+			warm := Run(p, bridgeSeeds(), withTab)
+			if !reflect.DeepEqual(plain, warm) {
+				t.Errorf("warm-table run differs from plain run:\nplain: %+v\nwarm: %+v", plain, warm)
+			}
+			if after := tab.Stats(); after.Hits == 0 {
+				t.Errorf("warm run hit nothing: %+v", after)
+			}
+		})
+	}
+}
+
+// TestSummaryExportImportRoundTrip drives the persistence path: a
+// table exported to JSON and imported into a fresh one must replay
+// identically — the cross-process warm start depstore provides.
+func TestSummaryExportImportRoundTrip(t *testing.T) {
+	p := program(t, bridgeSrc)
+	opts := Options{Mode: Inter, Sanitizers: []string{"clamp"}}
+	plain := Run(p, bridgeSeeds(), opts)
+
+	tab := NewSummaries()
+	opts.Summaries = tab
+	Run(p, bridgeSeeds(), opts)
+
+	recs := tab.Export()
+	if len(recs) == 0 {
+		t.Fatal("export produced no records")
+	}
+	if tab.Added() != 0 {
+		t.Errorf("Added = %d after Export, want 0", tab.Added())
+	}
+	blob, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []SummaryRecord
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	fresh := NewSummaries()
+	if n := fresh.Import(back); n != len(recs) {
+		t.Fatalf("imported %d of %d records", n, len(recs))
+	}
+	opts.Summaries = fresh
+	warm := Run(p, bridgeSeeds(), opts)
+	if !reflect.DeepEqual(plain, warm) {
+		t.Errorf("imported-table run differs from plain run:\nplain: %+v\nwarm: %+v", plain, warm)
+	}
+	if st := fresh.Stats(); st.Hits == 0 {
+		t.Errorf("imported table hit nothing: %+v", st)
+	}
+}
+
+// TestSummarySharedAcrossFunctionSets shows the sub-run sharing the
+// table exists for: two runs selecting overlapping function sets reuse
+// each other's visits when the entry inputs coincide.
+func TestSummarySharedAcrossFunctionSets(t *testing.T) {
+	p := program(t, bridgeSrc)
+	tab := NewSummaries()
+	full := Options{Mode: Inter, Sanitizers: []string{"clamp"}, Summaries: tab}
+	Run(p, bridgeSeeds(), full)
+	before := tab.Stats()
+
+	sub := full
+	sub.Functions = []string{"w1", "scale", "clamp"}
+	subRes := Run(p, bridgeSeeds(), sub)
+	after := tab.Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("restricted run shared nothing: before %+v, after %+v", before, after)
+	}
+
+	subPlain := Run(p, bridgeSeeds(), Options{
+		Mode: Inter, Sanitizers: []string{"clamp"},
+		Functions: []string{"w1", "scale", "clamp"},
+	})
+	assertSameFacts(t, subPlain, subRes)
+}
+
+// assertSameFacts compares the derivation-relevant facts (everything
+// except the history-dependent Traces/Multi diagnostics).
+func assertSameFacts(t *testing.T, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Taint, got.Taint) {
+		t.Errorf("Taint differs:\nwant %+v\ngot  %+v", want.Taint, got.Taint)
+	}
+	if !reflect.DeepEqual(want.Sites, got.Sites) {
+		t.Errorf("Sites differ:\nwant %+v\ngot  %+v", want.Sites, got.Sites)
+	}
+	if !reflect.DeepEqual(want.FieldWrites, got.FieldWrites) {
+		t.Errorf("FieldWrites differ:\nwant %+v\ngot  %+v", want.FieldWrites, got.FieldWrites)
+	}
+	if !reflect.DeepEqual(want.FieldReads, got.FieldReads) {
+		t.Errorf("FieldReads differ:\nwant %+v\ngot  %+v", want.FieldReads, got.FieldReads)
+	}
+}
+
+// TestSummaryConcurrentRuns hammers one table from parallel runs of
+// the same signature; every result must match the table-free run (the
+// memo-cache determinism contract), and the table must stay race-clean.
+func TestSummaryConcurrentRuns(t *testing.T) {
+	p := program(t, bridgeSrc)
+	opts := Options{Mode: Inter, Sanitizers: []string{"clamp"}}
+	plain := Run(p, bridgeSeeds(), opts)
+
+	tab := NewSummaries()
+	opts.Summaries = tab
+	const runs = 16
+	results := make([]*Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = Run(p, bridgeSeeds(), opts)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if !reflect.DeepEqual(plain, r) {
+			t.Errorf("concurrent run %d differs from plain run", i)
+		}
+	}
+}
+
+// TestSummaryKeyDiscriminatesSanitizers guards the key derivation: a
+// run with a different sanitizer set must not reuse summaries recorded
+// without it.
+func TestSummaryKeyDiscriminatesSanitizers(t *testing.T) {
+	p := program(t, bridgeSrc)
+	tab := NewSummaries()
+	with := Options{Mode: Inter, Sanitizers: []string{"clamp"}, Summaries: tab}
+	Run(p, bridgeSeeds(), with)
+
+	without := Options{Mode: Inter, Summaries: tab}
+	res := Run(p, bridgeSeeds(), without)
+	if !res.SeedsOf("w1", "safe").Has(0) {
+		t.Error("unsanitized run lost taint through stale summary reuse")
+	}
+	sanitized := Run(p, bridgeSeeds(), with)
+	if sanitized.SeedsOf("w1", "safe").Has(0) {
+		t.Error("sanitized run picked up taint through stale summary reuse")
+	}
+}
+
+// TestSummaryWorklistChainWithTable re-runs the cross-function field
+// chain under a warm table: the worklist discipline (dirty flags from
+// replayed summaries) must still reach the transitive fixpoint.
+func TestSummaryWorklistChainWithTable(t *testing.T) {
+	src := `
+struct sb { u32 a; u32 b; };
+void r2(struct sb *s) {
+	int y;
+	y = s->b;
+	if (y > 6) {
+		fail();
+	}
+}
+void r1(struct sb *s) {
+	s->b = s->a;
+}
+void w1(struct sb *s, int conf) {
+	s->a = conf;
+}`
+	p := program(t, src)
+	seeds := []Seed{{Param: "conf", Func: "w1", Var: "conf"}}
+	tab := NewSummaries()
+	opts := Options{Summaries: tab}
+	for i := 0; i < 3; i++ {
+		res := Run(p, seeds, opts)
+		if !res.SeedsOf("r2", "y").Has(0) {
+			t.Fatalf("run %d: taint did not chain through sb.a → sb.b to r2", i)
+		}
+		if len(res.Sites) != 1 || res.Sites[0].Func != "r2" {
+			t.Fatalf("run %d: sites = %+v, want the r2 branch", i, res.Sites)
+		}
+	}
+	if st := tab.Stats(); st.Hits == 0 {
+		t.Errorf("repeated chain runs hit nothing: %+v", st)
+	}
+}
