@@ -262,7 +262,8 @@ func asErr[T error](err error, target *T) bool {
 
 // runOne executes mkfs → mount → workload → unmount → fsck -f.
 func runOne(cfg Config, touched map[string]bool) error {
-	dev := fsim.NewMemDevice(16 << 20)
+	dev := fsim.GetDevice(16 << 20)
+	defer fsim.PutDevice(dev)
 	res, err := mke2fs.Run(dev, cfg.Mkfs)
 	if err != nil {
 		return err

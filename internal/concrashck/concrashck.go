@@ -311,7 +311,8 @@ type prep struct {
 // mount, and a clean unmount. Faults are injected only from the resize
 // stage on — the crash window the Figure-1 dependency lives in.
 func prepare(sc Scenario) (*prep, error) {
-	dev := fsim.NewMemDevice(sc.DeviceMB << 20)
+	dev := fsim.GetDevice(sc.DeviceMB << 20)
+	defer fsim.PutDevice(dev)
 	if _, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: sc.Features}); err != nil {
 		return nil, fmt.Errorf("concrashck: %s: mkfs: %w", sc.Name, err)
 	}
@@ -358,7 +359,9 @@ func prepare(sc Scenario) (*prep, error) {
 
 	// Reference pass: count the fault-free resize stage's operations;
 	// the fault points are enumerated over these counters.
-	ref := faultdev.Wrap(restore(p.snapshot), faultdev.Plan{})
+	refBase := restore(p.snapshot)
+	defer fsim.PutDevice(refBase)
+	ref := faultdev.Wrap(refBase, faultdev.Plan{})
 	if err := resizeStage(ref, p); err != nil {
 		p.stageErr = err.Error()
 	}
@@ -366,11 +369,11 @@ func prepare(sc Scenario) (*prep, error) {
 	return p, nil
 }
 
-// restore clones a snapshot into a fresh device.
+// restore clones a snapshot into a pooled device. The arena overwrites
+// the full buffer with the snapshot, so a recycled device replays the
+// trial byte-identically to a fresh allocation.
 func restore(snapshot []byte) *fsim.MemDevice {
-	dev := fsim.NewMemDevice(int64(len(snapshot)))
-	_ = dev.WriteAt(snapshot, 0)
-	return dev
+	return fsim.LoadDevice(snapshot)
 }
 
 // resizeStage runs the faulted stage: resize2fs growing the file
@@ -531,6 +534,7 @@ func (s spec) plan(seed uint64, prepIdx int) faultdev.Plan {
 func runTrial(p *prep, s spec, opts Options) Trial {
 	tr := Trial{Scenario: p.sc.Name, DepKey: p.sc.DepKey, Mode: s.mode, Point: s.point}
 	base := restore(p.snapshot)
+	defer fsim.PutDevice(base)
 	fdev := faultdev.Wrap(base, s.plan(opts.Seed, s.prepIdx))
 	stageErr := resizeStage(fdev, p)
 	// A transient read error is an operator-retries situation, not a

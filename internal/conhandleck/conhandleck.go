@@ -96,9 +96,13 @@ type driver struct {
 }
 
 // mkfsViolation formats with the given params and classifies the
-// result.
+// result. The trial device comes from the fsim arena: checkout is
+// zero-filled and exclusive, so a recycled buffer behaves exactly like
+// a fresh allocation, and nothing below retains the device past the
+// return.
 func mkfsViolation(p mke2fs.Params) (Outcome, string) {
-	dev := fsim.NewMemDevice(16 << 20)
+	dev := fsim.GetDevice(16 << 20)
+	defer fsim.PutDevice(dev)
 	res, err := mke2fs.Run(dev, p)
 	if err != nil {
 		return Rejected, err.Error()
@@ -110,10 +114,15 @@ func mkfsViolation(p mke2fs.Params) (Outcome, string) {
 }
 
 // freshFs formats a default fs with the given features and returns the
-// device.
+// device, checked out of the fsim arena. Callers release it with
+// fsim.PutDevice once the trial's classification is done.
 func freshFs(features ...string) (*fsim.MemDevice, error) {
-	dev := fsim.NewMemDevice(16 << 20)
+	dev := fsim.GetDevice(16 << 20)
 	_, err := mke2fs.Run(dev, mke2fs.Params{BlockSize: 1024, Features: features})
+	if err != nil {
+		fsim.PutDevice(dev)
+		return nil, err
+	}
 	return dev, err
 }
 
@@ -211,6 +220,7 @@ func drivers() []driver {
 				if err != nil {
 					return Rejected, err.Error()
 				}
+				defer fsim.PutDevice(dev)
 				_, err = mountsim.Do(dev, mountsim.Options{Dax: true, DeviceDax: true, Data: "journal"})
 				if err != nil {
 					return Rejected, err.Error()
@@ -227,6 +237,7 @@ func drivers() []driver {
 				if err != nil {
 					return Rejected, err.Error()
 				}
+				defer fsim.PutDevice(dev)
 				_, err = mountsim.Do(dev, mountsim.Options{Data: "journal"})
 				if err != nil {
 					return Rejected, err.Error()
@@ -243,6 +254,7 @@ func drivers() []driver {
 				if err != nil {
 					return Rejected, err.Error()
 				}
+				defer fsim.PutDevice(dev)
 				m, err := mountsim.Do(dev, mountsim.Options{})
 				if err != nil {
 					return Rejected, err.Error()
@@ -262,6 +274,7 @@ func drivers() []driver {
 				if err != nil {
 					return Rejected, err.Error()
 				}
+				defer fsim.PutDevice(dev)
 				fs, err := fsim.Open(dev)
 				if err != nil {
 					return Rejected, err.Error()
@@ -281,6 +294,7 @@ func drivers() []driver {
 				if err != nil {
 					return Rejected, err.Error()
 				}
+				defer fsim.PutDevice(dev)
 				fs, err := fsim.Open(dev)
 				if err != nil {
 					return Rejected, err.Error()
@@ -300,6 +314,7 @@ func drivers() []driver {
 				if err != nil {
 					return Rejected, err.Error()
 				}
+				defer fsim.PutDevice(dev)
 				m, err := mountsim.Do(dev, mountsim.Options{})
 				if err != nil {
 					return Rejected, err.Error()

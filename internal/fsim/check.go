@@ -112,9 +112,11 @@ func (fs *Fs) Audit() []Problem {
 	}
 
 	// Pass 1: walk all inodes, build the real block-usage map and
-	// per-inode state.
+	// per-inode state. The walk decodes into one stack inode and only
+	// materializes state for in-use inodes — the full-table scan is the
+	// sweep pipelines' hottest loop, and most slots are free.
 	type inoState struct {
-		in        *Inode
+		in        Inode
 		links     uint32 // directory references found
 		reachable bool
 	}
@@ -122,17 +124,18 @@ func (fs *Fs) Audit() []Problem {
 	blockOwner := make(map[uint32]uint32) // block → first owning inode
 	var inodeErrs []Problem
 
+	var tmp Inode
 	for ino := uint32(1); ino <= sb.InodesCount; ino++ {
-		in, err := fs.ReadInode(ino)
-		if err != nil {
+		if err := fs.ReadInodeInto(ino, &tmp); err != nil {
 			inodeErrs = append(inodeErrs, Problem{Code: PBadSuper, Group: NoGroup, Ino: ino,
 				Msg: fmt.Sprintf("inode %d unreadable: %v", ino, err)})
 			continue
 		}
-		if !in.InUse() {
+		if !tmp.InUse() {
 			continue
 		}
-		st := &inoState{in: in}
+		in := &tmp
+		st := &inoState{in: tmp}
 		states[ino] = st
 		if in.ExtentCount > MaxInlineExtents {
 			inodeErrs = append(inodeErrs, Problem{Code: PExtentRange, Group: NoGroup, Ino: ino,

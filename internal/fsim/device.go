@@ -94,21 +94,64 @@ func (d *MemDevice) Size() int64 {
 	return int64(len(d.buf))
 }
 
-// Resize implements Device.
+// Resize implements Device. Shrinking keeps the freed tail inside the
+// buffer's capacity, so a later grow can reuse it — which is why the
+// regrown region must be zeroed explicitly: the bytes parked there are
+// stale, and a fresh device guarantees zero-fill.
 func (d *MemDevice) Resize(n int64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if n < 0 {
 		return fmt.Errorf("%w: negative size %d", ErrOutOfRange, n)
 	}
-	if n <= int64(len(d.buf)) {
+	switch {
+	case n <= int64(len(d.buf)):
 		d.buf = d.buf[:n]
+	case n <= int64(cap(d.buf)):
+		old := len(d.buf)
+		d.buf = d.buf[:n]
+		clear(d.buf[old:])
+	default:
+		grown := make([]byte, n)
+		copy(grown, d.buf)
+		d.buf = grown
+	}
+	return nil
+}
+
+// Reset makes the device indistinguishable from NewMemDevice(n) while
+// reusing the existing backing array when it is large enough: the
+// device is resized to n bytes and every byte reads zero, including
+// regions regrown from a previous shrink. This is the recycle point of
+// the trial arena (see pool.go).
+func (d *MemDevice) Reset(n int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n < 0 {
+		return fmt.Errorf("%w: negative size %d", ErrOutOfRange, n)
+	}
+	if n > int64(cap(d.buf)) {
+		d.buf = make([]byte, n)
 		return nil
 	}
-	grown := make([]byte, n)
-	copy(grown, d.buf)
-	d.buf = grown
+	d.buf = d.buf[:n]
+	clear(d.buf)
 	return nil
+}
+
+// Load replaces the device contents with an exact copy of p, reusing
+// the backing array when possible. Equivalent to Reset(len(p)) followed
+// by WriteAt(p, 0), without zeroing bytes that are about to be
+// overwritten anyway.
+func (d *MemDevice) Load(p []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int64(len(p)) > int64(cap(d.buf)) {
+		d.buf = make([]byte, len(p))
+	} else {
+		d.buf = d.buf[:len(p)]
+	}
+	copy(d.buf, p)
 }
 
 // Bytes returns the underlying buffer (not a copy). Intended for tests

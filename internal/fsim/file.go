@@ -27,15 +27,27 @@ func (fs *Fs) inodeLoc(ino uint32) (gi uint32, idx uint32, off int64, err error)
 
 // ReadInode loads inode ino.
 func (fs *Fs) ReadInode(ino uint32) (*Inode, error) {
+	in := new(Inode)
+	if err := fs.ReadInodeInto(ino, in); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// ReadInodeInto loads inode ino into in without allocating, reusing
+// the Fs scratch buffer. Every field of in is overwritten. The hot
+// full-table scans (Audit, resize2fs's minimum-size pass) use this to
+// stay allocation-free across thousands of inodes per trial.
+func (fs *Fs) ReadInodeInto(ino uint32, in *Inode) error {
 	_, _, off, err := fs.inodeLoc(ino)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	buf := make([]byte, InodeDiskSize)
+	buf := fs.inodeScratch()
 	if err := fs.dev.ReadAt(buf, off); err != nil {
-		return nil, err
+		return err
 	}
-	return DecodeInode(buf)
+	return DecodeInodeInto(buf, in)
 }
 
 // WriteInode stores inode ino.
@@ -44,7 +56,9 @@ func (fs *Fs) WriteInode(ino uint32, in *Inode) error {
 	if err != nil {
 		return err
 	}
-	return fs.dev.WriteAt(in.Encode(), off)
+	buf := fs.inodeScratch()
+	in.EncodeInto(buf)
+	return fs.dev.WriteAt(buf, off)
 }
 
 // initInode marks ino used and writes its initial content.
@@ -257,11 +271,12 @@ func (fs *Fs) writeData(in *Inode, data []byte) error {
 		remaining -= e.Len
 		goal = fs.groupOfBlock(e.Start)
 	}
-	// Write the payload block by block.
+	// Write the payload block by block through the scratch buffer.
+	blk := fs.blockScratch()
 	off := 0
 	for _, e := range extents {
 		for b := uint32(0); b < e.Len; b++ {
-			blk := make([]byte, bs)
+			clear(blk)
 			if off < len(data) {
 				off += copy(blk, data[off:])
 			}
@@ -324,24 +339,29 @@ func (fs *Fs) readData(in *Inode) ([]byte, error) {
 		return out, nil
 	}
 	bs := fs.SB.BlockSize()
-	out := make([]byte, 0, in.Size)
+	var mapped uint32
+	for i := uint16(0); i < in.ValidExtents(); i++ {
+		mapped += in.Extents[i].Len
+	}
+	// One exact allocation, filled by direct device reads — no
+	// per-block buffers.
+	out := make([]byte, 0, int(mapped)*int(bs))
 	for i := uint16(0); i < in.ValidExtents(); i++ {
 		e := in.Extents[i]
 		if e.Start+e.Len > fs.SB.BlocksCount {
 			return nil, fmt.Errorf("%w: extent [%d,+%d) beyond end", ErrCorrupt, e.Start, e.Len)
 		}
 		for b := uint32(0); b < e.Len; b++ {
-			blk, err := fs.ReadBlock(e.Start + b)
-			if err != nil {
+			n := len(out)
+			out = out[: n+int(bs)]
+			if err := fs.dev.ReadAt(out[n:], int64(e.Start+b)*int64(bs)); err != nil {
 				return nil, err
 			}
-			out = append(out, blk...)
 		}
 	}
 	if uint32(len(out)) < in.Size {
 		return nil, fmt.Errorf("%w: mapped %d bytes < size %d", ErrCorrupt, len(out), in.Size)
 	}
-	_ = bs
 	return out[:in.Size], nil
 }
 
@@ -410,27 +430,35 @@ func decodeDirEntries(raw []byte) ([]DirEntry, error) {
 
 func encodeDirEntries(entries []DirEntry, bs uint32) []byte {
 	// Serialize entries packed; the final entry's rec_len pads to the
-	// end of the block, as in ext2.
-	var raw []byte
+	// end of the block, as in ext2. Sizing pass first, then one exact
+	// allocation — this encoder runs for every directory mutation.
+	total := 0
 	for i, e := range entries {
-		nameLen := len(e.Name)
-		recLen := 8 + nameLen
-		recLen = (recLen + 3) &^ 3 // 4-byte alignment
+		recLen := (8 + len(e.Name) + 3) &^ 3 // 4-byte alignment
 		if i == len(entries)-1 {
 			// Pad to block boundary.
-			used := len(raw) + recLen
+			used := total + recLen
 			pad := int(bs) - used%int(bs)
 			if pad != int(bs) {
 				recLen += pad
 			}
 		}
-		ent := make([]byte, recLen)
+		total += recLen
+	}
+	raw := make([]byte, total)
+	off := 0
+	for i, e := range entries {
+		recLen := (8 + len(e.Name) + 3) &^ 3
+		if i == len(entries)-1 {
+			recLen = total - off
+		}
+		ent := raw[off : off+recLen]
 		le.PutUint32(ent[0:], e.Ino)
 		le.PutUint16(ent[4:], uint16(recLen))
-		ent[6] = uint8(nameLen)
+		ent[6] = uint8(len(e.Name))
 		ent[7] = e.FileType
 		copy(ent[8:], e.Name)
-		raw = append(raw, ent...)
+		off += recLen
 	}
 	return raw
 }

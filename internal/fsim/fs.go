@@ -57,6 +57,29 @@ type Fs struct {
 	SB *Superblock
 	// GDs holds one descriptor per group.
 	GDs []*GroupDesc
+	// ibuf and bbuf are scratch buffers for inode and block I/O.
+	// Like every Fs mutation they make an Fs single-goroutine; each
+	// trial owns a private Fs, so sweeps stay race-free.
+	ibuf []byte
+	bbuf []byte
+}
+
+// inodeScratch returns the inode-sized scratch buffer.
+func (fs *Fs) inodeScratch() []byte {
+	if len(fs.ibuf) < InodeDiskSize {
+		fs.ibuf = make([]byte, InodeDiskSize)
+	}
+	return fs.ibuf[:InodeDiskSize]
+}
+
+// blockScratch returns a block-sized scratch buffer (contents
+// unspecified; callers overwrite or clear it).
+func (fs *Fs) blockScratch() []byte {
+	bs := int(fs.SB.BlockSize())
+	if cap(fs.bbuf) < bs {
+		fs.bbuf = make([]byte, bs)
+	}
+	return fs.bbuf[:bs]
 }
 
 // Create formats dev with the given geometry and returns the opened

@@ -397,6 +397,13 @@ func DecodeGroupDesc(b []byte) (*GroupDesc, error) {
 // Encode serializes the inode's fixed part.
 func (in *Inode) Encode() []byte {
 	b := make([]byte, InodeDiskSize)
+	in.EncodeInto(b)
+	return b
+}
+
+// EncodeInto serializes the inode's fixed part into b, which must hold
+// at least InodeDiskSize bytes.
+func (in *Inode) EncodeInto(b []byte) {
 	le.PutUint16(b[0:], in.Mode)
 	le.PutUint16(b[2:], in.LinksCount)
 	le.PutUint32(b[4:], in.Size)
@@ -410,15 +417,23 @@ func (in *Inode) Encode() []byte {
 		off += 8
 	}
 	copy(b[off:off+InlineDataCap], in.Inline[:])
-	return b
 }
 
 // DecodeInode parses an inode's fixed part.
 func DecodeInode(b []byte) (*Inode, error) {
-	if len(b) < InodeDiskSize {
-		return nil, fmt.Errorf("fsim: inode buffer too small")
-	}
 	in := &Inode{}
+	if err := DecodeInodeInto(b, in); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// DecodeInodeInto parses an inode's fixed part into in, overwriting
+// every field.
+func DecodeInodeInto(b []byte, in *Inode) error {
+	if len(b) < InodeDiskSize {
+		return fmt.Errorf("fsim: inode buffer too small")
+	}
 	in.Mode = le.Uint16(b[0:])
 	in.LinksCount = le.Uint16(b[2:])
 	in.Size = le.Uint32(b[4:])
@@ -432,7 +447,7 @@ func DecodeInode(b []byte) (*Inode, error) {
 		off += 8
 	}
 	copy(in.Inline[:], b[off:off+InlineDataCap])
-	return in, nil
+	return nil
 }
 
 // IsDir reports whether the inode is a directory.

@@ -84,7 +84,7 @@ func (e *ParamError) Error() string {
 
 // featureSet resolves the -O list against the defaults.
 func featureSet(list []string) (map[string]bool, error) {
-	set := make(map[string]bool)
+	set := make(map[string]bool, len(DefaultFeatures)+len(list))
 	for _, f := range DefaultFeatures {
 		set[f] = true
 	}

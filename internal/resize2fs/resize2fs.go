@@ -113,9 +113,9 @@ func Run(dev fsim.Device, opts Options) (*Report, error) {
 func minimumBlocks(fs *fsim.Fs) uint32 {
 	sb := fs.SB
 	last := sb.FirstDataBlock
+	var in fsim.Inode
 	for ino := uint32(1); ino <= sb.InodesCount; ino++ {
-		in, err := fs.ReadInode(ino)
-		if err != nil || !in.InUse() {
+		if err := fs.ReadInodeInto(ino, &in); err != nil || !in.InUse() {
 			continue
 		}
 		for i := uint16(0); i < in.ExtentCount; i++ {

@@ -83,6 +83,17 @@ func (s SeedSet) IDs() []int {
 	return out
 }
 
+// Clear empties the set while keeping its backing array, so hot loops
+// can reuse one scratch set instead of allocating per iteration.
+// Trailing zero words are semantically inert for every consumer
+// (Union, Len, IDs, Empty, Intersects, MarshalJSON), so a cleared set
+// behaves exactly like the zero value.
+func (s *SeedSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Clone returns an independent copy.
 func (s SeedSet) Clone() SeedSet {
 	c := SeedSet{words: make([]uint64, len(s.words))}

@@ -340,6 +340,14 @@ type analysis struct {
 	sum       *Summaries
 	runPrefix string
 	cur       *funcState
+
+	// flowScratch/argScratch are reusable per-instruction SeedSets for
+	// the fixpoint loops. Every consumer (st.union, fieldUnion,
+	// SeedSet.Union) only reads the scratch's words, so clearing and
+	// reusing one backing array across instructions and functions is
+	// observationally identical to allocating a fresh set each time.
+	flowScratch SeedSet
+	argScratch  SeedSet
 }
 
 // analyzedFuncs returns the analyzed function set in program (source)
@@ -629,9 +637,10 @@ func (a *analysis) analyzeFunc(idx int) {
 		for ii := range st.infos {
 			info := &st.infos[ii]
 			in := info.in
-			var flow SeedSet
+			a.flowScratch.Clear()
+			flow := &a.flowScratch
 			for _, u := range info.uses {
-				a.unionLocTaint(&flow, st, u)
+				a.unionLocTaint(flow, st, u)
 			}
 			// Call results: sanitizers cut the flow; in inter mode,
 			// callee return summaries join in.
@@ -641,14 +650,14 @@ func (a *analysis) analyzeFunc(idx int) {
 				}
 			}
 			if info.sanitized {
-				flow = SeedSet{}
+				flow.Clear()
 			}
 			switch in.Op {
 			case ir.OpAssign:
 				if flow.Empty() {
 					continue
 				}
-				if st.union(info.dst.id, flow) {
+				if st.union(info.dst.id, *flow) {
 					changed = true
 					for _, id := range flow.IDs() {
 						a.addTrace(id, in.Pos)
@@ -669,7 +678,7 @@ func (a *analysis) analyzeFunc(idx int) {
 					}
 				}
 				if info.dst.canon >= 0 {
-					if a.fieldUnion(info.dst.canon, flow) {
+					if a.fieldUnion(info.dst.canon, *flow) {
 						a.dirtyCanons = append(a.dirtyCanons, info.dst.canon)
 					}
 				}
@@ -680,7 +689,7 @@ func (a *analysis) analyzeFunc(idx int) {
 			case ir.OpReturn:
 				if a.opts.Mode == Inter && !flow.Empty() {
 					cur := a.funcRet[fn.Name]
-					if cur.Union(flow) {
+					if cur.Union(*flow) {
 						a.funcRet[fn.Name] = cur
 						a.dirtyRet = true
 					}
@@ -714,11 +723,11 @@ func (a *analysis) propagateCall(st *funcState, info *instrInfo) {
 		}
 		changed := false
 		for i, refs := range af.args {
-			var argTaint SeedSet
+			a.argScratch.Clear()
 			for _, r := range refs {
-				a.unionLocTaint(&argTaint, st, r)
+				a.unionLocTaint(&a.argScratch, st, r)
 			}
-			if ins[i].Union(argTaint) {
+			if ins[i].Union(a.argScratch) {
 				changed = true
 			}
 		}

@@ -5,9 +5,11 @@
 package fsdep
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
+	"fsdep/internal/concrashck"
 	"fsdep/internal/conhandleck"
 	"fsdep/internal/core"
 	"fsdep/internal/corpus"
@@ -51,10 +53,9 @@ func BenchmarkParallelExtraction(b *testing.B) {
 	b.Run("workers=max", func(b *testing.B) { benchmarkExtraction(b, runtime.GOMAXPROCS(0)) })
 }
 
-func benchmarkConHandleCk(b *testing.B, workers int) {
-	union := extractUnion(b)
+func benchmarkConHandleCk(b *testing.B, union *depmodel.Set, workers int) {
 	opts := sched.Options{Workers: workers}
-	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rep := conhandleck.RunParallel(union, opts)
 		if n := len(rep.Corruptions()); n != 1 {
@@ -64,10 +65,54 @@ func benchmarkConHandleCk(b *testing.B, workers int) {
 }
 
 // BenchmarkParallelConHandleCk sweeps every violation sequentially and
-// on all cores; each trial drives its own fsim pipeline instance.
+// on all cores; each trial drives its own fsim pipeline instance. The
+// dependency union is extracted once, outside every timer, and shared
+// across the sub-benchmarks, so the ratio measures sweep scaling
+// rather than setup serialization.
 func BenchmarkParallelConHandleCk(b *testing.B) {
-	b.Run("workers=1", func(b *testing.B) { benchmarkConHandleCk(b, 1) })
-	b.Run("workers=max", func(b *testing.B) { benchmarkConHandleCk(b, runtime.GOMAXPROCS(0)) })
+	union := extractUnion(b)
+	b.Run("workers=1", func(b *testing.B) { benchmarkConHandleCk(b, union, 1) })
+	b.Run("workers=max", func(b *testing.B) { benchmarkConHandleCk(b, union, runtime.GOMAXPROCS(0)) })
+}
+
+// sweepScalingWorkers is the worker ladder for the scaling benchmarks:
+// 1, 2, 4, and all cores, deduplicated (on a 4-core machine max == 4).
+func sweepScalingWorkers() []int {
+	ws := []int{1, 2, 4}
+	if m := runtime.GOMAXPROCS(0); m > 4 {
+		ws = append(ws, m)
+	}
+	return ws
+}
+
+// BenchmarkSweepScaling is the parallel-efficiency ladder the bench
+// gate checks: both sweep apps at workers ∈ {1,2,4,max}. All setup
+// (dependency extraction, scenario selection) happens once outside
+// every timer; the output of each sweep is byte-identical across the
+// ladder, so ns/op ratios are pure scheduling + allocator behavior.
+func BenchmarkSweepScaling(b *testing.B) {
+	union := extractUnion(b)
+	scs := concrashck.Scenarios()[:1]
+	copts := concrashck.Options{MaxPointsPerMode: 3, Modes: []concrashck.FaultMode{concrashck.FaultCrash}}
+	for _, w := range sweepScalingWorkers() {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == runtime.GOMAXPROCS(0) && w > 4 {
+			name = "workers=max"
+		}
+		b.Run("ConHandleCk/"+name, func(b *testing.B) { benchmarkConHandleCk(b, union, w) })
+		b.Run("ConCrashCk/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := concrashck.SweepParallel(scs, copts, sched.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Trials) == 0 {
+					b.Fatal("empty sweep")
+				}
+			}
+		})
+	}
 }
 
 // analyzeAllCorpus runs the four Table-5 scenarios against the given

@@ -119,4 +119,60 @@ if [ -n "$gate" ]; then
 		printf "bench gate: all benchmarks within ±%s%% of baseline\n", tol
 	}
 	' "$gate" "$out" >&2
+
+	# Parallel-efficiency gate: on machines with enough cores, the
+	# sweep-scaling ladder's widest rung must actually beat workers=1.
+	# A configuration that allocates per trial (or serializes on shared
+	# state) passes the ±tolerance single-thread gate while regressing
+	# scaling — this check fails it. Skipped below 4 cores, where the
+	# ladder has no headroom to measure. BENCH_PAR_FLOOR overrides the
+	# required speedup (default 1.5x).
+	cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+	if [ "$cores" -ge 4 ]; then
+		awk -v floor="${BENCH_PAR_FLOOR:-1.5}" '
+		/"BenchmarkSweepScaling\// && /ns_per_op/ {
+			split($0, q, "\"")
+			name = q[2]
+			sub(/^BenchmarkSweepScaling\//, "", name)
+			app = name
+			sub(/\/workers=.*$/, "", app)
+			rest = $0
+			sub(/.*"ns_per_op": */, "", rest)
+			sub(/[,}].*/, "", rest)
+			ns = rest + 0
+			# The widest rung present wins: workers=max if emitted,
+			# else the largest numeric rung (max==4 on 4-core hosts).
+			if (name ~ /workers=1$/) one[app] = ns
+			else if (name ~ /workers=max$/) maxns[app] = ns
+			else {
+				w = name
+				sub(/.*workers=/, "", w)
+				if (w + 0 > bigw[app]) { bigw[app] = w + 0; bigns[app] = ns }
+			}
+		}
+		END {
+			bad = 0; seen = 0
+			for (app in one) {
+				wide = (app in maxns) ? maxns[app] : bigns[app]
+				if (wide == 0) continue
+				seen++
+				speedup = one[app] / wide
+				if (speedup < floor) {
+					printf "GATE: %s parallel speedup %.2fx below %.2fx floor (workers=1 %.0f ns/op vs widest %.0f ns/op)\n",
+						app, speedup, floor, one[app], wide
+					bad++
+				} else {
+					printf "parallel gate: %s speedup %.2fx (floor %.2fx)\n", app, speedup, floor
+				}
+			}
+			if (seen == 0) {
+				print "parallel gate: no BenchmarkSweepScaling results found"
+				exit 1
+			}
+			if (bad) exit 1
+		}
+		' "$out" >&2
+	else
+		echo "parallel gate: skipped ($cores cores < 4)" >&2
+	fi
 fi

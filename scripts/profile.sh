@@ -1,0 +1,40 @@
+#!/bin/sh
+# profile.sh — capture CPU and allocation pprof profiles for the two
+# sweep benchmarks (the hot paths behind the parallel-efficiency gate).
+#
+# Usage:
+#   scripts/profile.sh [outdir]
+#
+#   outdir   directory for the .pprof files (default: ./profiles)
+#
+# Emits, per benchmark:
+#   <outdir>/<name>.cpu.pprof    CPU profile
+#   <outdir>/<name>.mem.pprof    allocation profile (all allocs, not
+#                                just in-use — pass -sample_index to
+#                                `go tool pprof` to pick a view)
+#
+# Inspect with e.g.:
+#   go tool pprof -top profiles/parallel_conhandleck.cpu.pprof
+#   go tool pprof -top -sample_index=alloc_space profiles/concrashck.mem.pprof
+set -eu
+
+cd "$(dirname "$0")/.."
+
+outdir="${1:-profiles}"
+mkdir -p "$outdir"
+
+profile_one() {
+	name="$1"
+	pkg="$2"
+	pattern="$3"
+	echo "profiling $pattern ($pkg) -> $outdir/$name.{cpu,mem}.pprof" >&2
+	go test -run '^$' -bench "$pattern" -benchmem -count=1 \
+		-cpuprofile "$outdir/$name.cpu.pprof" \
+		-memprofile "$outdir/$name.mem.pprof" \
+		"$pkg"
+}
+
+profile_one parallel_conhandleck . '^BenchmarkParallelConHandleCk$'
+profile_one concrashck ./internal/concrashck/ '^BenchmarkConCrashCk$'
+
+echo "profiles written to $outdir/" >&2
