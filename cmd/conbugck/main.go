@@ -34,6 +34,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
 	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
 	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
+	storeURL := flag.String("store-url", "", "base URL of a running fsdepd used as a remote record tier (e.g. http://127.0.0.1:7070)")
 	ckpt := flag.String("checkpoint", "", "journal executed configurations to this file")
 	resume := flag.Bool("resume", false, "replay executed configurations from the -checkpoint journal")
 	flag.Parse()
@@ -44,7 +45,7 @@ func main() {
 
 	union := depmodel.NewSet()
 	comps := corpus.Components()
-	store := cliutil.OpenStore("conbugck", *cacheDir)
+	store := cliutil.OpenStore("conbugck", *cacheDir, *storeURL)
 	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{Store: store}, sopts)
 	if err != nil {
 		cliutil.Failf("conbugck", err)

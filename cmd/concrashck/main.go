@@ -38,6 +38,7 @@ func main() {
 	points := flag.Int("points", 0, "max fault points per mode and scenario (0 = default 16)")
 	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
 	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
+	storeURL := flag.String("store-url", "", "base URL of a running fsdepd used as a remote record tier (e.g. http://127.0.0.1:7070)")
 	ckpt := flag.String("checkpoint", "", "journal finished trials to this file")
 	resume := flag.Bool("resume", false, "replay finished trials from the -checkpoint journal")
 	flag.Parse()
@@ -51,7 +52,7 @@ func main() {
 	// the analyzer actually found.
 	union := depmodel.NewSet()
 	comps := corpus.Components()
-	store := cliutil.OpenStore("concrashck", *cacheDir)
+	store := cliutil.OpenStore("concrashck", *cacheDir, *storeURL)
 	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{Store: store}, sopts)
 	if err != nil {
 		cliutil.Failf("concrashck", err)

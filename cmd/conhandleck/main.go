@@ -33,6 +33,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of workers (output is identical for any value)")
 	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
 	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
+	storeURL := flag.String("store-url", "", "base URL of a running fsdepd used as a remote record tier (e.g. http://127.0.0.1:7070)")
 	ckpt := flag.String("checkpoint", "", "journal finished violations to this file")
 	resume := flag.Bool("resume", false, "replay finished violations from the -checkpoint journal")
 	flag.Parse()
@@ -40,7 +41,7 @@ func main() {
 
 	union := depmodel.NewSet()
 	comps := corpus.Components()
-	store := cliutil.OpenStore("conhandleck", *cacheDir)
+	store := cliutil.OpenStore("conhandleck", *cacheDir, *storeURL)
 	outs, err := core.AnalyzeAll(comps, corpus.Scenarios(), core.Options{Store: store}, sopts)
 	if err != nil {
 		cliutil.Failf("conhandleck", err)

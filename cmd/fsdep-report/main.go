@@ -39,13 +39,14 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of analysis workers (output is identical for any value)")
 	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
 	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
+	storeURL := flag.String("store-url", "", "base URL of a running fsdepd used as a remote record tier (e.g. http://127.0.0.1:7070)")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
 	// One component map for every analysis in this invocation: the
 	// Table-6 extraction replays Table-5's taint runs from cache.
 	comps := corpus.Components()
-	store := cliutil.OpenStore("fsdep-report", *cacheDir)
+	store := cliutil.OpenStore("fsdep-report", *cacheDir, *storeURL)
 	copts := core.Options{Mode: taint.Intra, Store: store}
 	defer func() {
 		if *stats {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-cache-dir DIR] [-degraded] [-stats] [-v]
+//	fsdep [-scenario name] [-mode intra|inter] [-json file] [-parallel N] [-cache-dir DIR] [-store-url URL] [-degraded] [-stats] [-v]
 //
 // Without -scenario, every Table-5 scenario runs and the evaluation
 // table is printed. With -json, the extracted dependencies are written
@@ -17,6 +17,10 @@
 // from content-addressed records with zero taint-engine executions
 // (-stats prints "engine runs: 0") and byte-identical stdout. An
 // unusable cache directory degrades to a cold run with a stderr note.
+// With -store-url, the local store falls through to a running fsdepd
+// on miss and pushes fresh records back, so a fleet of clients shares
+// one warm extraction corpus; -cache-dir "" -store-url URL runs
+// against the daemon's store alone.
 //
 // With -degraded, components whose parse, compile, or taint analysis
 // fails are quarantined instead of aborting the run: every healthy
@@ -54,6 +58,7 @@ func main() {
 	verbose := flag.Bool("v", false, "list every extracted dependency")
 	stats := flag.Bool("stats", false, "print layered cache counters to stderr")
 	cacheDir := flag.String("cache-dir", cliutil.DefaultCacheDir(), "persistent extraction cache directory (empty disables)")
+	storeURL := flag.String("store-url", "", "base URL of a running fsdepd used as a remote record tier (e.g. http://127.0.0.1:7070)")
 	flag.Parse()
 	sopts := sched.Options{Workers: *parallel}
 
@@ -102,7 +107,7 @@ func main() {
 	}
 
 	comps := corpus.Components()
-	store := cliutil.OpenStore("fsdep", *cacheDir)
+	store := cliutil.OpenStore("fsdep", *cacheDir, *storeURL)
 	copts := core.Options{Mode: tm, Store: store}
 	defer printStats(*stats, comps, store)
 

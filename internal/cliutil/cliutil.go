@@ -10,12 +10,14 @@ package cliutil
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"fsdep/internal/checkpoint"
 	"fsdep/internal/core"
 	"fsdep/internal/depstore"
+	"fsdep/internal/depstore/remote"
 )
 
 // Exit codes shared by every command.
@@ -66,17 +68,43 @@ func DefaultCacheDir() string {
 	return filepath.Join(base, "fsdep")
 }
 
-// OpenStore opens the persistent extraction cache at dir. An empty dir
-// disables caching (nil store). An unusable directory is a note on
-// stderr and a nil store, never a failure: the cache is an
-// optimization, and a cold run with a warning beats a hard exit.
-func OpenStore(tool, dir string) *depstore.Store {
-	if dir == "" {
-		return nil
+// OpenStore opens the persistent extraction cache: a local tier at dir
+// and, when storeURL names a running fsdepd, a remote fall-through
+// tier. An empty dir with no URL deliberately disables caching (nil
+// store, silently — that is a choice, not a failure). An unusable
+// directory or an unreachable daemon is different: each warns once on
+// stderr and the run continues with whatever tiers remain (possibly
+// cold) — the cache is an optimization, and a cold run with a warning
+// beats both a hard exit and a silent degrade.
+func OpenStore(tool, dir, storeURL string) *depstore.Store {
+	return openStore(os.Stderr, tool, dir, storeURL)
+}
+
+// openStore is OpenStore with the warning stream injected for tests.
+func openStore(w io.Writer, tool, dir, storeURL string) *depstore.Store {
+	var rem depstore.Remote
+	if storeURL != "" {
+		c := remote.New(storeURL)
+		if err := c.Ping(); err != nil {
+			fmt.Fprintf(w, "%s: remote store unreachable, continuing without it: %v\n", tool, err)
+		} else {
+			rem = c
+		}
 	}
-	s, err := depstore.Open(dir)
+	if dir == "" && rem == nil {
+		return nil // caching disabled (or remote-only requested and the daemon is gone)
+	}
+	s, err := depstore.OpenTiered(dir, rem)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: cache disabled, running cold: %v\n", tool, err)
+		if rem != nil {
+			// The local tier is broken but the daemon answers: keep the
+			// remote tier so the fleet cache still works.
+			if s2, err2 := depstore.OpenTiered("", rem); err2 == nil {
+				fmt.Fprintf(w, "%s: local cache unusable, using remote store only: %v\n", tool, err)
+				return s2
+			}
+		}
+		fmt.Fprintf(w, "%s: cannot open cache at %s, running cold: %v\n", tool, dir, err)
 		return nil
 	}
 	return s
@@ -96,6 +124,10 @@ func PrintCacheStats(tool string, comps map[string]*core.Component, store *depst
 		st := store.Stats()
 		fmt.Fprintf(os.Stderr, "%s: disk store: %d hits, %d misses, %d invalidations, %d writes\n",
 			tool, st.Hits, st.Misses, st.Invalidations, st.Writes)
+		if store.HasRemote() {
+			fmt.Fprintf(os.Stderr, "%s: remote store: %d hits, %d misses, %d writes, %d errors\n",
+				tool, st.RemoteHits, st.RemoteMisses, st.RemoteWrites, st.RemoteErrors)
+		}
 	}
 }
 

@@ -1,0 +1,124 @@
+package cliutil
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// pingServer answers the store protocol's liveness probe, which is all
+// openStore needs from a daemon.
+func pingServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/ping" {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// unusableDir returns a cache path that cannot be created: its parent
+// is a regular file. (Permission tricks are useless under root, which
+// CI may run as.)
+func unusableDir(t *testing.T) string {
+	t.Helper()
+	base := t.TempDir()
+	file := filepath.Join(base, "plainfile")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(file, "sub")
+}
+
+func TestOpenStoreDisabledIsSilent(t *testing.T) {
+	var buf strings.Builder
+	if s := openStore(&buf, "tool", "", ""); s != nil {
+		t.Error("empty dir with no URL opened a store")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("disabling the cache warned: %q", buf.String())
+	}
+}
+
+func TestOpenStoreLocalOnly(t *testing.T) {
+	var buf strings.Builder
+	s := openStore(&buf, "tool", t.TempDir(), "")
+	if s == nil || !s.HasLocal() || s.HasRemote() {
+		t.Fatalf("store = %v", s)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("healthy open warned: %q", buf.String())
+	}
+}
+
+func TestOpenStoreUnusableDirWarnsOnceAndRunsCold(t *testing.T) {
+	var buf strings.Builder
+	if s := openStore(&buf, "tool", unusableDir(t), ""); s != nil {
+		t.Error("unusable dir produced a store")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cannot open cache") || !strings.Contains(out, "running cold") {
+		t.Errorf("missing or wrong warning: %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("want exactly one warning line, got %q", out)
+	}
+}
+
+func TestOpenStoreUnreachableRemoteWarnsAndKeepsLocal(t *testing.T) {
+	ts := pingServer(t)
+	url := ts.URL
+	ts.Close() // daemon gone before the CLI starts
+	var buf strings.Builder
+	s := openStore(&buf, "tool", t.TempDir(), url)
+	if s == nil || !s.HasLocal() || s.HasRemote() {
+		t.Fatalf("store = %v; want local-only after remote ping failure", s)
+	}
+	if !strings.Contains(buf.String(), "remote store unreachable") {
+		t.Errorf("missing unreachable warning: %q", buf.String())
+	}
+}
+
+func TestOpenStoreUnusableDirFallsBackToRemote(t *testing.T) {
+	ts := pingServer(t)
+	var buf strings.Builder
+	s := openStore(&buf, "tool", unusableDir(t), ts.URL)
+	if s == nil || s.HasLocal() || !s.HasRemote() {
+		t.Fatalf("store = %v; want remote-only fallback", s)
+	}
+	if !strings.Contains(buf.String(), "local cache unusable, using remote store only") {
+		t.Errorf("missing fallback warning: %q", buf.String())
+	}
+}
+
+func TestOpenStoreRemoteOnlyByRequest(t *testing.T) {
+	ts := pingServer(t)
+	var buf strings.Builder
+	s := openStore(&buf, "tool", "", ts.URL)
+	if s == nil || s.HasLocal() || !s.HasRemote() {
+		t.Fatalf("store = %v; want remote-only", s)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("healthy remote-only open warned: %q", buf.String())
+	}
+}
+
+func TestOpenStoreRemoteOnlyRequestedButDaemonGone(t *testing.T) {
+	ts := pingServer(t)
+	url := ts.URL
+	ts.Close()
+	var buf strings.Builder
+	if s := openStore(&buf, "tool", "", url); s != nil {
+		t.Error("dead daemon with no local dir produced a store")
+	}
+	if !strings.Contains(buf.String(), "remote store unreachable") {
+		t.Errorf("missing unreachable warning: %q", buf.String())
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"fsdep/internal/sched"
@@ -114,5 +115,71 @@ func TestSessionRejectsUnknownReference(t *testing.T) {
 	}, Options{}, sched.Sequential())
 	if err == nil {
 		t.Fatal("session accepted an unknown component reference")
+	}
+}
+
+// TestSessionConcurrentInvalidateAndRun pins the Session's internal
+// locking under -race: Run and Components racing Invalidate must never
+// tear — every Run returns a rendering of some complete generation,
+// either the pristine corpus or a fully re-analyzed edit.
+func TestSessionConcurrentInvalidateAndRun(t *testing.T) {
+	scenarios := storeScenarios()
+	sess, err := NewSession(storeFixture(), scenarios, Options{}, sched.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldWant := renderDeps(t, r0)
+
+	editedSrc := strings.Replace(storeReaderSrc, "512", "2048", 1)
+	editedFixture := storeFixture()
+	editedFixture["reader"] = miniComponent("reader", editedSrc, Param{Name: "limit", Var: "opts.limit", CType: "int"})
+	scratch, err := AnalyzeAll(editedFixture, scenarios, Options{}, sched.Sequential())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newWant := renderDeps(t, scratch)
+
+	const readers = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := sess.Run()
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if got := renderDeps(t, res); got != oldWant && got != newWant {
+					errs <- "torn generation observed:\n" + got
+					return
+				}
+				TotalCacheStats(sess.Components())
+			}
+		}()
+	}
+	for _, src := range []string{editedSrc, storeReaderSrc, editedSrc} {
+		sess.Invalidate(miniComponent("reader", src, Param{Name: "limit", Var: "opts.limit", CType: "int"}))
+		if _, err := sess.Run(); err != nil {
+			t.Fatalf("writer run: %v", err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	final, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderDeps(t, final); got != newWant {
+		t.Errorf("final generation differs from from-scratch run:\nwant %s\ngot  %s", newWant, got)
 	}
 }

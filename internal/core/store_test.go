@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"testing"
 
@@ -91,7 +90,7 @@ func openStoreT(t *testing.T, dir string) *depstore.Store {
 // partially-populated cache directory.
 func dropRecords(t *testing.T, dir, kind string) {
 	t.Helper()
-	files, err := filepath.Glob(filepath.Join(dir, kind+"-*.rec"))
+	files, err := depstore.ListRecords(dir, kind)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +224,7 @@ func TestDegradedRunBypassesScenarioRecords(t *testing.T) {
 	if _, err := AnalyzeAll(cold, scenarios, Options{Store: openStoreT(t, dir)}, sched.Sequential()); err != nil {
 		t.Fatal(err)
 	}
-	before, err := filepath.Glob(filepath.Join(dir, depstore.KindScenario+"-*.rec"))
+	before, err := depstore.ListRecords(dir, depstore.KindScenario)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +242,7 @@ func TestDegradedRunBypassesScenarioRecords(t *testing.T) {
 	if len(run.Degradations) != 1 || run.Degradations[0].Component != "broken" {
 		t.Fatalf("degradations = %+v", run.Degradations)
 	}
-	after, err := filepath.Glob(filepath.Join(dir, depstore.KindScenario+"-*.rec"))
+	after, err := depstore.ListRecords(dir, depstore.KindScenario)
 	if err != nil {
 		t.Fatal(err)
 	}

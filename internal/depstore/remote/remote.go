@@ -1,0 +1,152 @@
+// Package remote is the HTTP client for a depstore record tier served
+// by a running fsdepd (internal/service). It implements
+// depstore.Remote, so a CLI's local store falls through to the
+// daemon's warm store on miss and pushes fresh records back on Put —
+// the local-store-with-remote-registry shape that lets a fleet share
+// one extraction corpus.
+//
+// The wire protocol is deliberately dumb: GET/PUT of raw payload bytes
+// under /v1/store/{kind}/{key}, with 404 meaning miss. Envelope
+// framing, checksums, and corruption refusal stay a disk concern on
+// each side — the payload's own consumers re-validate everything, so a
+// byte-mangling proxy degrades to a miss, never a wrong answer.
+//
+// A remote tier must never make a CLI slower than running cold when
+// the daemon is gone, so the client trips a breaker after a few
+// consecutive transport failures and answers everything as a miss from
+// then on; a single success (e.g. the daemon came back) resets it.
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// breakerThreshold is the number of consecutive transport failures
+// after which the client stops contacting the daemon.
+const breakerThreshold = 3
+
+// maxPayload bounds a single record read; matches the server's upload
+// bound so a healthy round-trip never truncates.
+const maxPayload = 64 << 20
+
+// Client is an HTTP depstore.Remote against a running fsdepd.
+// Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// fails counts consecutive transport (not 404) failures; at
+	// breakerThreshold the client short-circuits to miss.
+	fails atomic.Int64
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:7070"). The URL is validated by Ping, not here.
+func New(baseURL string) *Client {
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Base returns the daemon base URL the client was built with.
+func (c *Client) Base() string { return c.base }
+
+// Ping verifies the daemon is reachable and speaks the store protocol.
+func (c *Client) Ping() error {
+	if _, err := url.ParseRequestURI(c.base); err != nil {
+		return fmt.Errorf("remote: invalid store URL %q: %w", c.base, err)
+	}
+	resp, err := c.hc.Get(c.base + "/v1/ping")
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote: %s/v1/ping: %s", c.base, resp.Status)
+	}
+	return nil
+}
+
+// tripped reports whether the breaker is open.
+func (c *Client) tripped() bool { return c.fails.Load() >= breakerThreshold }
+
+func (c *Client) noteFailure() {
+	// Saturate instead of growing without bound so one success after an
+	// outage closes the breaker promptly.
+	if c.fails.Load() < breakerThreshold {
+		c.fails.Add(1)
+	}
+}
+
+func (c *Client) noteSuccess() { c.fails.Store(0) }
+
+func (c *Client) recordURL(kind, key string) string {
+	return c.base + "/v1/store/" + url.PathEscape(kind) + "/" + url.PathEscape(key)
+}
+
+// Get fetches the payload under (kind, key) from the daemon. Any
+// failure — transport error, non-200 status, oversized body — is a
+// miss, matching the depstore contract that a cache tier never turns
+// into an error source.
+func (c *Client) Get(kind, key string) ([]byte, bool) {
+	if c.tripped() {
+		return nil, false
+	}
+	resp, err := c.hc.Get(c.recordURL(kind, key))
+	if err != nil {
+		c.noteFailure()
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusNotFound {
+			c.noteSuccess() // the daemon answered; a miss is a healthy answer
+		} else {
+			c.noteFailure()
+		}
+		return nil, false
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload+1))
+	if err != nil || int64(len(payload)) > maxPayload {
+		c.noteFailure()
+		return nil, false
+	}
+	c.noteSuccess()
+	return payload, true
+}
+
+// Put pushes the payload under (kind, key) to the daemon. Errors are
+// returned for the caller's counters but must not fail an analysis.
+func (c *Client) Put(kind, key string, payload []byte) error {
+	if c.tripped() {
+		return fmt.Errorf("remote: %s unreachable (breaker open)", c.base)
+	}
+	req, err := http.NewRequest(http.MethodPut, c.recordURL(kind, key), bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("remote: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.noteFailure()
+		return fmt.Errorf("remote: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		c.noteFailure()
+		return fmt.Errorf("remote: PUT %s/%s: %s", kind, key, resp.Status)
+	}
+	c.noteSuccess()
+	return nil
+}

@@ -1,0 +1,159 @@
+package remote
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// storeHandler is a minimal fsdepd store surface: GET/PUT raw payloads
+// under /v1/store/{kind}/{key}, 404 for misses, 200 on /v1/ping.
+type storeHandler struct {
+	mu   sync.Mutex
+	recs map[string][]byte
+}
+
+func newStoreHandler() *storeHandler {
+	return &storeHandler{recs: make(map[string][]byte)}
+}
+
+func (h *storeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/ping" {
+		w.Write([]byte(`{"status":"ok"}`))
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/store/")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		p, ok := h.recs[key]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(p)
+	case http.MethodPut:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		h.recs[key] = body
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method", http.StatusMethodNotAllowed)
+	}
+}
+
+func TestPingAndRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(newStoreHandler())
+	defer ts.Close()
+	c := New(ts.URL + "/") // trailing slash must be tolerated
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, ok := c.Get("taint", "deadbeef"); ok {
+		t.Fatal("absent record reported present")
+	}
+	payload := []byte(`{"v":1}`)
+	if err := c.Put("taint", "deadbeef", payload); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, ok := c.Get("taint", "deadbeef")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+}
+
+func TestPingRejectsBadURL(t *testing.T) {
+	if err := New("not a url").Ping(); err == nil {
+		t.Error("ping accepted a malformed URL")
+	}
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+	if err := New(url).Ping(); err == nil {
+		t.Error("ping reached a closed server")
+	}
+}
+
+func TestMissDoesNotTripBreaker(t *testing.T) {
+	ts := httptest.NewServer(newStoreHandler())
+	defer ts.Close()
+	c := New(ts.URL)
+	for i := 0; i < breakerThreshold+2; i++ {
+		if _, ok := c.Get("taint", "deadbeef"); ok {
+			t.Fatal("phantom hit")
+		}
+	}
+	if c.tripped() {
+		t.Error("healthy 404s tripped the breaker")
+	}
+}
+
+func TestBreakerOpensAfterTransportFailures(t *testing.T) {
+	ts := httptest.NewServer(newStoreHandler())
+	url := ts.URL
+	ts.Close() // every request now fails at the transport
+	c := New(url)
+	for i := 0; i < breakerThreshold; i++ {
+		if _, ok := c.Get("taint", "deadbeef"); ok {
+			t.Fatal("hit from a dead server")
+		}
+	}
+	if !c.tripped() {
+		t.Fatal("breaker still closed after consecutive transport failures")
+	}
+	// Open breaker: Get short-circuits to miss, Put refuses.
+	if _, ok := c.Get("taint", "deadbeef"); ok {
+		t.Error("tripped client returned a hit")
+	}
+	if err := c.Put("taint", "deadbeef", []byte("x")); err == nil {
+		t.Error("tripped client accepted a put")
+	}
+}
+
+func TestServerErrorsTripBreakerButSuccessResets(t *testing.T) {
+	var failing bool
+	var mu sync.Mutex
+	inner := newStoreHandler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		f := failing
+		mu.Unlock()
+		if f {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	for i := 0; i < breakerThreshold-1; i++ {
+		c.Get("taint", "deadbeef")
+	}
+	if c.tripped() {
+		t.Fatal("breaker opened one failure early")
+	}
+	mu.Lock()
+	failing = false
+	mu.Unlock()
+	// One healthy answer (even a miss) must reset the failure count.
+	c.Get("taint", "deadbeef")
+	for i := 0; i < breakerThreshold-1; i++ {
+		mu.Lock()
+		failing = true
+		mu.Unlock()
+		c.Get("taint", "deadbeef")
+	}
+	if c.tripped() {
+		t.Error("success did not reset the breaker count")
+	}
+}

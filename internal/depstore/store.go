@@ -19,6 +19,16 @@
 // to parse, carries an unknown format version, or does not match its
 // checksum is treated as absent (counted as an invalidation), never as
 // an error — the caller falls back to cold extraction.
+//
+// On disk, records fan out two levels by key prefix
+// (kind/ab/cd/key.rec) so a store shared by a fleet never piles tens
+// of thousands of files into one directory; the flat legacy layout
+// (kind-key.rec) is still read transparently, so caches written by
+// older builds keep answering. Every hit refreshes the record's
+// timestamp in place (no rename), giving Evict an LRU signal, and a
+// Store can carry a Remote tier — typically a running fsdepd, via
+// internal/depstore/remote — consulted on local miss and warmed on
+// every Put, so many clients share one warm extraction corpus.
 package depstore
 
 import (
@@ -31,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync/atomic"
+	"time"
 )
 
 // formatVersion is the envelope format; bump it whenever a record's
@@ -61,40 +72,96 @@ type envelope struct {
 	Sum    string `json:"sum"`
 }
 
+// Remote is a secondary record tier consulted when the local tier
+// misses and warmed on every Put. Implementations must be safe for
+// concurrent use and must treat every failure as a miss (Get) or a
+// reportable-but-ignorable error (Put): a remote tier is a cache of a
+// cache, never a correctness dependency. The canonical implementation
+// is internal/depstore/remote's HTTP client against a running fsdepd.
+type Remote interface {
+	Get(kind, key string) ([]byte, bool)
+	Put(kind, key string, payload []byte) error
+}
+
 // StoreStats counts store outcomes. Invalidations are records that
-// existed but were refused (corrupt, checksum mismatch, version skew);
-// they also count as misses for the caller's purposes.
+// existed locally but were refused (corrupt, checksum mismatch,
+// version skew). Misses count lookups no tier could answer. The
+// Remote* counters track the fall-through tier, and Evictions counts
+// records deleted by Evict.
 type StoreStats struct {
 	Hits          uint64
 	Misses        uint64
 	Invalidations uint64
 	Writes        uint64
+	RemoteHits    uint64
+	RemoteMisses  uint64
+	RemoteWrites  uint64
+	RemoteErrors  uint64
+	Evictions     uint64
 }
 
-// Store is an on-disk record cache rooted at one directory. Safe for
-// concurrent use by multiple goroutines and multiple processes.
+// Store is a record cache with a local on-disk tier, an optional
+// remote tier, or both. Safe for concurrent use by multiple goroutines
+// and multiple processes.
 type Store struct {
-	dir string
+	dir    string // "" = no local tier (remote-only)
+	remote Remote
 
-	hits    uint64
-	misses  uint64
-	invalid uint64
-	writes  uint64
+	hits         uint64
+	misses       uint64
+	invalid      uint64
+	writes       uint64
+	remoteHits   uint64
+	remoteMisses uint64
+	remoteWrites uint64
+	remoteErrs   uint64
+	evictions    uint64
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a local-only store rooted at dir.
+// The directory is probed for writability up front, so an unwritable
+// cache location fails here — loudly, once — instead of silently
+// degrading every Put later.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("depstore: empty cache directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("depstore: opening cache: %w", err)
-	}
-	return &Store{dir: dir}, nil
+	return OpenTiered(dir, nil)
 }
 
-// Dir returns the store's root directory.
+// OpenTiered opens a store with a local tier at dir (optional, "" for
+// none), falling through to remote (optional, nil for none) on local
+// miss. At least one tier is required.
+func OpenTiered(dir string, remote Remote) (*Store, error) {
+	if dir == "" && remote == nil {
+		return nil, fmt.Errorf("depstore: empty cache directory")
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("depstore: opening cache: %w", err)
+		}
+		// Probe writability: MkdirAll succeeds on an existing directory
+		// whether or not this process can create files in it, and Put
+		// errors are deliberately swallowed by callers (the store is a
+		// cache), so an unwritable directory must be refused here.
+		probe, err := os.CreateTemp(dir, ".probe-*.tmp")
+		if err != nil {
+			return nil, fmt.Errorf("depstore: cache directory not writable: %w", err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
+	}
+	return &Store{dir: dir, remote: remote}, nil
+}
+
+// Dir returns the store's local root directory ("" when remote-only).
 func (s *Store) Dir() string { return s.dir }
+
+// HasLocal reports whether the store has an on-disk tier.
+func (s *Store) HasLocal() bool { return s.dir != "" }
+
+// HasRemote reports whether the store has a fall-through remote tier.
+func (s *Store) HasRemote() bool { return s.remote != nil }
 
 // Stats returns the store's counters.
 func (s *Store) Stats() StoreStats {
@@ -103,6 +170,11 @@ func (s *Store) Stats() StoreStats {
 		Misses:        atomic.LoadUint64(&s.misses),
 		Invalidations: atomic.LoadUint64(&s.invalid),
 		Writes:        atomic.LoadUint64(&s.writes),
+		RemoteHits:    atomic.LoadUint64(&s.remoteHits),
+		RemoteMisses:  atomic.LoadUint64(&s.remoteMisses),
+		RemoteWrites:  atomic.LoadUint64(&s.remoteWrites),
+		RemoteErrors:  atomic.LoadUint64(&s.remoteErrs),
+		Evictions:     atomic.LoadUint64(&s.evictions),
 	}
 }
 
@@ -125,54 +197,125 @@ func Key(parts ...string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// path is a record's canonical location: two levels of hex fan-out
+// under the kind directory, so fleet-sized stores keep every directory
+// small. Keys shorter than the fan-out prefix (never produced by Key)
+// stay in the flat legacy layout.
 func (s *Store) path(kind, key string) string {
+	if len(key) < 4 {
+		return s.legacyPath(kind, key)
+	}
+	return filepath.Join(s.dir, kind, key[:2], key[2:4], key+".rec")
+}
+
+// legacyPath is the pre-fan-out flat layout (kind-key.rec in the store
+// root). Reads fall back to it so caches written by older builds keep
+// working; writes always use the sharded layout.
+func (s *Store) legacyPath(kind, key string) string {
 	return filepath.Join(s.dir, kind+"-"+key+".rec")
 }
 
 // Get returns the payload stored under (kind, key), or (nil, false)
-// when absent or refused. A record that exists but fails validation —
-// unparseable, wrong format version, wrong kind, checksum mismatch —
-// is counted as an invalidation and reported as a miss; it is never an
-// error, matching checkpoint's corruption-refusing load discipline.
+// when no tier answers. A local record that exists but fails
+// validation — unparseable, wrong format version, wrong kind, checksum
+// mismatch — is counted as an invalidation and falls through like a
+// miss; it is never an error, matching checkpoint's corruption-refusing
+// load discipline. A local hit refreshes the record's timestamp in
+// place (the LRU signal for Evict); a remote hit is written back to
+// the local tier so the next lookup is local.
 func (s *Store) Get(kind, key string) ([]byte, bool) {
-	raw, err := os.ReadFile(s.path(kind, key))
+	if s.dir != "" {
+		if payload, ok := s.localGet(kind, key); ok {
+			atomic.AddUint64(&s.hits, 1)
+			return payload, true
+		}
+	}
+	if s.remote != nil {
+		if payload, ok := s.remote.Get(kind, key); ok {
+			atomic.AddUint64(&s.remoteHits, 1)
+			if s.dir != "" {
+				// Best-effort write-back; a failure just leaves the next
+				// lookup remote again.
+				_ = s.localPut(kind, key, payload)
+			}
+			return payload, true
+		}
+		atomic.AddUint64(&s.remoteMisses, 1)
+	}
+	atomic.AddUint64(&s.misses, 1)
+	return nil, false
+}
+
+// localGet reads and validates one on-disk record, trying the sharded
+// layout first and the flat legacy layout second. Refusals are counted
+// here; the final miss (if no other tier answers) is counted by Get.
+func (s *Store) localGet(kind, key string) ([]byte, bool) {
+	path := s.path(kind, key)
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		atomic.AddUint64(&s.misses, 1)
-		return nil, false
+		legacy := s.legacyPath(kind, key)
+		if legacy == path {
+			return nil, false
+		}
+		if raw, err = os.ReadFile(legacy); err != nil {
+			return nil, false
+		}
+		path = legacy
 	}
 	nl := bytes.IndexByte(raw, '\n')
 	if nl < 0 {
-		s.refuse()
+		s.noteInvalid()
 		return nil, false
 	}
 	var env envelope
 	if err := json.Unmarshal(raw[:nl], &env); err != nil {
-		s.refuse()
+		s.noteInvalid()
 		return nil, false
 	}
 	if env.Format != formatVersion || env.Kind != kind {
-		s.refuse()
+		s.noteInvalid()
 		return nil, false
 	}
 	payload := raw[nl+1:]
 	if payloadSum(payload) != env.Sum {
-		s.refuse()
+		s.noteInvalid()
 		return nil, false
 	}
-	atomic.AddUint64(&s.hits, 1)
+	// LRU touch: refresh the timestamp in place. Chtimes is rename-free
+	// (the inode is updated, not the directory entry), so concurrent
+	// readers and replacing writers never observe a torn record because
+	// of it. Best-effort: a record replaced under us just keeps the
+	// replacement's own (newer) timestamp.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	return payload, true
 }
 
-func (s *Store) refuse() {
-	atomic.AddUint64(&s.invalid, 1)
-	atomic.AddUint64(&s.misses, 1)
+// Put stores payload under (kind, key) in the local tier (temp file +
+// atomic rename, so a concurrent reader — or a reader after a crash
+// mid-write — sees either the complete record or none) and pushes it
+// to the remote tier when one is attached, warming the shared store.
+// Put errors are reportable but never fatal to an analysis: the store
+// is a cache.
+func (s *Store) Put(kind, key string, payload []byte) error {
+	var err error
+	if s.dir != "" {
+		err = s.localPut(kind, key, payload)
+	}
+	if s.remote != nil {
+		if rerr := s.remote.Put(kind, key, payload); rerr != nil {
+			atomic.AddUint64(&s.remoteErrs, 1)
+			if err == nil && s.dir == "" {
+				err = rerr
+			}
+		} else {
+			atomic.AddUint64(&s.remoteWrites, 1)
+		}
+	}
+	return err
 }
 
-// Put stores payload under (kind, key) with a temp-file write and an
-// atomic rename, so a concurrent reader — or a reader after a crash
-// mid-write — sees either the complete record or none. Put errors are
-// reportable but never fatal to an analysis: the store is a cache.
-func (s *Store) Put(kind, key string, payload []byte) error {
+func (s *Store) localPut(kind, key string, payload []byte) error {
 	env := envelope{
 		Format: formatVersion,
 		Kind:   kind,
@@ -186,7 +329,12 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 	blob = append(blob, header...)
 	blob = append(blob, '\n')
 	blob = append(blob, payload...)
-	tmp, err := os.CreateTemp(s.dir, "."+kind+"-*.tmp")
+	dst := s.path(kind, key)
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+kind+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
 	}
@@ -199,7 +347,7 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
 	}
-	if err := os.Rename(tmp.Name(), s.path(kind, key)); err != nil {
+	if err := os.Rename(tmp.Name(), dst); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("depstore: committing %s record: %w", kind, err)
 	}

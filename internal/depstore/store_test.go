@@ -77,10 +77,15 @@ func TestKindsDoNotCollide(t *testing.T) {
 	}
 }
 
-// corruptRecord overwrites the stored record file with raw bytes.
+// corruptRecord overwrites the stored record file with raw bytes,
+// creating the shard directories if no Put has made them yet.
 func corruptRecord(t *testing.T, s *Store, kind, key string, raw []byte) {
 	t.Helper()
-	if err := os.WriteFile(s.path(kind, key), raw, 0o644); err != nil {
+	p := s.path(kind, key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -163,7 +168,11 @@ func TestKindMismatchRefused(t *testing.T) {
 	}
 	// A scenario record renamed into a taint record's path must not be
 	// served as taint data.
-	if err := os.Rename(s.path(KindScenario, k), s.path(KindTaint, k)); err != nil {
+	dst := s.path(KindTaint, k)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(s.path(KindScenario, k), dst); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(KindTaint, k); ok {

@@ -1,0 +1,474 @@
+// HTTP/JSON surface over an Analysis plus the raw record-store tier
+// remote clients fall through to. Endpoints (all under /v1):
+//
+//	GET  /v1/ping                    liveness probe
+//	GET  /v1/scenarios               scenario list
+//	GET  /v1/deps[?scenario=NAME]    extracted dependencies (union or one scenario)
+//	GET  /v1/degradations            fail-open run: quarantines + unresolved CCD edges
+//	GET  /v1/violations              ConHandleCk verdicts over the current extraction
+//	POST /v1/run                     trigger a full ({"degraded":false}) or degraded run
+//	POST /v1/components/{name}       upload/replace a component's source → incremental re-run
+//	GET  /v1/stats                   engine + store counters
+//	GET  /v1/store/{kind}/{key}      raw record payload (remote tier read)
+//	PUT  /v1/store/{kind}/{key}      raw record payload (remote tier write)
+//
+// The store endpoints carry naked payload bytes: envelope framing and
+// checksums remain a per-disk concern, and every payload is
+// re-validated by its consumer, so the wire adds no trust.
+
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fsdep/internal/conhandleck"
+	"fsdep/internal/core"
+	"fsdep/internal/depmodel"
+	"fsdep/internal/depstore"
+)
+
+// maxUpload bounds request bodies (component sources and store
+// payloads).
+const maxUpload = 64 << 20
+
+// ScoreFunc partitions dependencies into true/false positives against
+// an ecosystem's ground truth (corpus.Score for Ext4). Nil disables
+// scoring in responses.
+type ScoreFunc func([]depmodel.Dependency) (tp, fp []depmodel.Dependency)
+
+// Server is the HTTP surface. Construct with NewServer and mount
+// Handler on an http.Server.
+type Server struct {
+	a         *Analysis
+	store     *depstore.Store
+	score     ScoreFunc
+	ecosystem string
+	start     time.Time
+}
+
+// NewServer wires the analysis, the record store served to remote
+// clients (may be nil: store endpoints answer 503), the ground-truth
+// scorer (may be nil), and the ecosystem label used in responses.
+func NewServer(a *Analysis, store *depstore.Store, score ScoreFunc, ecosystem string) *Server {
+	return &Server{a: a, store: store, score: score, ecosystem: ecosystem, start: time.Now()}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ping", s.handlePing)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("GET /v1/deps", s.handleDeps)
+	mux.HandleFunc("GET /v1/degradations", s.handleDegradations)
+	mux.HandleFunc("GET /v1/violations", s.handleViolations)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/components/{name}", s.handleUpload)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/store/{kind}/{key}", s.handleStoreGet)
+	mux.HandleFunc("PUT /v1/store/{kind}/{key}", s.handleStorePut)
+	return mux
+}
+
+// writeJSON renders one response; encoding errors at this point can
+// only be delivered as a broken body, so they are swallowed.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorJSON maps service errors onto status codes: client mistakes
+// (unknown names, bad sources) are 4xx, analysis failures are 500.
+func errorJSON(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownComponent), errors.Is(err, ErrUnknownScenario):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrBadSource):
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handlePing(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "ecosystem": s.ecosystem})
+}
+
+type scenarioInfo struct {
+	Name       string   `json:"name"`
+	Components []string `json:"components"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	var out []scenarioInfo
+	for _, sc := range s.a.Scenarios() {
+		out = append(out, scenarioInfo{Name: sc.Name, Components: sc.Components})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ecosystem": s.ecosystem, "scenarios": out})
+}
+
+// depsResponse is one extraction answer. Dependencies are sorted the
+// way the CLI's -json document sorts them, so a scripted diff against
+// a local run compares equal structures.
+type depsResponse struct {
+	Ecosystem string `json:"ecosystem"`
+	Scenario  string `json:"scenario"`
+	Extracted int    `json:"extracted"`
+	SD        int    `json:"sd"`
+	CPD       int    `json:"cpd"`
+	CCD       int    `json:"ccd"`
+	// TruePositives/FalsePositives are present when the server has a
+	// ground-truth scorer.
+	TruePositives  *int                  `json:"true_positives,omitempty"`
+	FalsePositives *int                  `json:"false_positives,omitempty"`
+	Dependencies   []depmodel.Dependency `json:"dependencies"`
+}
+
+func (s *Server) depsResponseFor(scenario string, set *depmodel.Set) depsResponse {
+	cnt := set.CountByCategory()
+	resp := depsResponse{
+		Ecosystem: s.ecosystem,
+		Scenario:  scenario,
+		Extracted: set.Len(),
+		SD:        cnt[depmodel.SD],
+		CPD:       cnt[depmodel.CPD],
+		CCD:       cnt[depmodel.CCD],
+		// Marshal [] rather than null for an empty extraction.
+		Dependencies: set.Sorted(),
+	}
+	if resp.Dependencies == nil {
+		resp.Dependencies = []depmodel.Dependency{}
+	}
+	if s.score != nil {
+		tp, fp := s.score(set.Deps())
+		ntp, nfp := len(tp), len(fp)
+		resp.TruePositives, resp.FalsePositives = &ntp, &nfp
+	}
+	return resp
+}
+
+func (s *Server) handleDeps(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("scenario")
+	if name == "" {
+		union, err := s.a.Union()
+		if err != nil {
+			errorJSON(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.depsResponseFor("all-scenarios", union))
+		return
+	}
+	res, err := s.a.Scenario(name)
+	if err != nil {
+		errorJSON(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.depsResponseFor(name, res.Deps))
+}
+
+type degradationsResponse struct {
+	Degradations  []string            `json:"degradations"`
+	UnresolvedCCD map[string][]string `json:"unresolved_ccd"`
+	Scenarios     []scenarioSummary   `json:"scenarios"`
+}
+
+type scenarioSummary struct {
+	Name        string   `json:"name"`
+	Extracted   int      `json:"extracted"`
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+func (s *Server) handleDegradations(w http.ResponseWriter, _ *http.Request) {
+	run, err := s.a.Degraded()
+	if err != nil {
+		errorJSON(w, err)
+		return
+	}
+	resp := degradationsResponse{
+		Degradations:  []string{},
+		UnresolvedCCD: map[string][]string{},
+	}
+	for _, d := range run.Degradations {
+		resp.Degradations = append(resp.Degradations, d.String())
+	}
+	for _, res := range run.Results {
+		sum := scenarioSummary{Name: res.Scenario.Name, Extracted: res.Deps.Len()}
+		for _, q := range res.Quarantined {
+			sum.Quarantined = append(sum.Quarantined, q.Component)
+		}
+		for _, e := range res.UnresolvedCCD {
+			key := e.Component + "." + e.Canon
+			resp.UnresolvedCCD[key] = append(resp.UnresolvedCCD[key], e.Quarantined)
+		}
+		resp.Scenarios = append(resp.Scenarios, sum)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type trialJSON struct {
+	DepKey  string `json:"dep_key"`
+	Desc    string `json:"desc"`
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail"`
+}
+
+type violationsResponse struct {
+	Trials            []trialJSON `json:"trials"`
+	Rejected          int         `json:"rejected"`
+	Benign            int         `json:"benign"`
+	SilentCorruptions int         `json:"silent_corruptions"`
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, _ *http.Request) {
+	rep, err := s.a.Violations()
+	if err != nil {
+		errorJSON(w, err)
+		return
+	}
+	resp := violationsResponse{
+		Trials:            []trialJSON{},
+		Rejected:          rep.Counts[conhandleck.Rejected],
+		Benign:            rep.Counts[conhandleck.Benign],
+		SilentCorruptions: rep.Counts[conhandleck.SilentCorruption],
+	}
+	for _, t := range rep.Trials {
+		resp.Trials = append(resp.Trials, trialJSON{
+			DepKey: t.DepKey, Desc: t.Desc, Outcome: t.Outcome.String(), Detail: t.Detail,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type runRequest struct {
+	Degraded bool `json:"degraded"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := decodeBody(r, &req); err != nil {
+		errorJSON(w, fmt.Errorf("%w: %v", ErrBadSource, err))
+		return
+	}
+	if req.Degraded {
+		run, err := s.a.Degraded()
+		if err != nil {
+			errorJSON(w, err)
+			return
+		}
+		union := depmodel.NewSet()
+		for _, res := range run.Results {
+			union.AddAll(res.Deps.Deps())
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"mode": "degraded", "scenarios": len(run.Results),
+			"extracted": union.Len(), "quarantined": len(run.Degradations),
+		})
+		return
+	}
+	union, err := s.a.Union()
+	if err != nil {
+		errorJSON(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode": "strict", "scenarios": len(s.a.Scenarios()), "extracted": union.Len(),
+	})
+}
+
+// paramJSON mirrors core.Param for the upload body.
+type paramJSON struct {
+	Name  string `json:"name"`
+	Var   string `json:"var"`
+	Func  string `json:"func,omitempty"`
+	CType string `json:"ctype,omitempty"`
+	Doc   string `json:"doc,omitempty"`
+}
+
+type uploadRequest struct {
+	Source string `json:"source"`
+	// Params nil keeps the component's current parameter list.
+	Params []paramJSON `json:"params"`
+}
+
+type uploadResponse struct {
+	Component      string   `json:"component"`
+	Dependents     []string `json:"dependents"`
+	StaleScenarios []string `json:"stale_scenarios"`
+	Reanalyzed     bool     `json:"reanalyzed"`
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req uploadRequest
+	if err := decodeBody(r, &req); err != nil {
+		errorJSON(w, fmt.Errorf("%w: %v", ErrBadSource, err))
+		return
+	}
+	var params []core.Param
+	if req.Params != nil {
+		params = make([]core.Param, 0, len(req.Params))
+		for _, p := range req.Params {
+			params = append(params, core.Param{Name: p.Name, Var: p.Var, Func: p.Func, CType: p.CType, Doc: p.Doc})
+		}
+	}
+	inv, err := s.a.Upload(name, req.Source, params)
+	if err != nil {
+		errorJSON(w, err)
+		return
+	}
+	resp := uploadResponse{
+		Component:      inv.Component,
+		Dependents:     inv.Dependents,
+		StaleScenarios: inv.StaleScenarios,
+		Reanalyzed:     true,
+	}
+	if resp.Dependents == nil {
+		resp.Dependents = []string{}
+	}
+	if resp.StaleScenarios == nil {
+		resp.StaleScenarios = []string{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse flattens the layered counters; the CI smoke step greps
+// these keys, so their names are load-bearing.
+type statsResponse struct {
+	Ecosystem     string `json:"ecosystem"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Generation    uint64 `json:"generation"`
+	Ran           bool   `json:"ran"`
+	Taint         struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		DiskHits      uint64 `json:"disk_hits"`
+		DiskMisses    uint64 `json:"disk_misses"`
+		EngineRuns    uint64 `json:"engine_runs"`
+		SummaryHits   uint64 `json:"summary_hits"`
+		SummaryMisses uint64 `json:"summary_misses"`
+	} `json:"taint"`
+	Store *struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Invalidations uint64 `json:"invalidations"`
+		Writes        uint64 `json:"writes"`
+		Evictions     uint64 `json:"evictions"`
+	} `json:"store,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.a.StatsSnapshot()
+	resp := statsResponse{
+		Ecosystem:     s.ecosystem,
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Generation:    st.Generation,
+		Ran:           st.Ran,
+	}
+	resp.Taint.Hits = st.Taint.Hits
+	resp.Taint.Misses = st.Taint.Misses
+	resp.Taint.DiskHits = st.Taint.DiskHits
+	resp.Taint.DiskMisses = st.Taint.DiskMisses
+	resp.Taint.EngineRuns = st.Taint.EngineRuns
+	resp.Taint.SummaryHits = st.Taint.SummaryHits
+	resp.Taint.SummaryMisses = st.Taint.SummaryMisses
+	if st.HasStore {
+		resp.Store = &struct {
+			Hits          uint64 `json:"hits"`
+			Misses        uint64 `json:"misses"`
+			Invalidations uint64 `json:"invalidations"`
+			Writes        uint64 `json:"writes"`
+			Evictions     uint64 `json:"evictions"`
+		}{
+			Hits:          st.Store.Hits,
+			Misses:        st.Store.Misses,
+			Invalidations: st.Store.Invalidations,
+			Writes:        st.Store.Writes,
+			Evictions:     st.Store.Evictions,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validRecordRef rejects anything that could escape the store
+// directory or collide with its framing: kinds are short lowercase
+// words, keys are hex content addresses.
+func validRecordRef(kind, key string) bool {
+	if len(kind) == 0 || len(kind) > 32 || len(key) < 8 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(kind); i++ {
+		c := kind[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	kind, key := r.PathValue("kind"), r.PathValue("key")
+	if !validRecordRef(kind, key) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed record reference"})
+		return
+	}
+	if s.store == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no store attached"})
+		return
+	}
+	payload, ok := s.store.Get(kind, key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such record"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	kind, key := r.PathValue("kind"), r.PathValue("key")
+	if !validRecordRef(kind, key) {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed record reference"})
+		return
+	}
+	if s.store == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no store attached"})
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUpload))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": err.Error()})
+		return
+	}
+	if err := s.store.Put(kind, key, payload); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeBody parses an optional JSON body; an empty body decodes to
+// the zero request.
+func decodeBody(r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxUpload))
+	if err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	return json.Unmarshal(body, v)
+}
