@@ -280,8 +280,11 @@ func BenchmarkConBugCk(b *testing.B) {
 }
 
 // BenchmarkAnalyzerFrontend isolates the mini-C frontend + IR + taint
-// cost for the largest component.
+// cost for the largest component. The compiled-program cache is
+// disabled so every iteration pays the true lex+parse+lower cost.
 func BenchmarkAnalyzerFrontend(b *testing.B) {
+	defer core.SetProgramCacheCapacity(core.SetProgramCacheCapacity(0))
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := &core.Component{Name: "mke2fs", Source: corpus.Mke2fsSource}
 		if _, err := c.Program(); err != nil {

@@ -100,8 +100,19 @@ type Component struct {
 // Compile parses and lowers the component. Idempotent and
 // goroutine-safe: the first caller does the work and its result —
 // including any error — sticks for all subsequent callers.
+//
+// Compilation consults the process-wide compiled-program cache
+// (progcache.go) keyed by ContentHash, so a fresh Component for a
+// source the process has already compiled reuses the immutable AST
+// and IR instead of re-running the frontend.
 func (c *Component) Compile() error {
 	c.compileOnce.Do(func() {
+		key := c.ContentHash()
+		if p, f, ok := progCache.get(key); ok {
+			c.file = f
+			c.prog = p
+			return
+		}
 		f, err := minicc.Parse(c.Name+".c", c.Source)
 		if err != nil {
 			c.compileErr = fmt.Errorf("core: compiling %s: %w", c.Name, err)
@@ -114,6 +125,7 @@ func (c *Component) Compile() error {
 		}
 		c.file = f
 		c.prog = p
+		progCache.put(key, p, f)
 	})
 	return c.compileErr
 }
@@ -356,7 +368,7 @@ func singleSeed(s taint.SeedSet) (int, bool) {
 	if s.Len() != 1 {
 		return 0, false
 	}
-	return s.IDs()[0], true
+	return s.First(), true
 }
 
 // deriveSelfAndCrossParam extracts SD and CPD dependencies from one
@@ -525,9 +537,7 @@ func deriveFromSite(out *depmodel.Set, comp *Component, tr *taint.Result, site t
 		if c.loc == "" || seeds.Empty() {
 			continue
 		}
-		for _, id := range seeds.IDs() {
-			paramsInvolved[id] = true
-		}
+		seeds.ForEach(func(id int) { paramsInvolved[id] = true })
 		// Var-vs-var: CPD value when the two sides carry different
 		// single seeds.
 		if c.hasL2 {

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fsdep/internal/ir"
+	"fsdep/internal/minicc"
+)
+
+// DefaultProgramCacheCap is the default number of compiled programs
+// kept in the in-process cache.
+const DefaultProgramCacheCap = 128
+
+// programCache is the in-process compiled-program cache, keyed by
+// Component.ContentHash. A daemon that repeatedly builds fresh
+// Component values for identical sources (every cold AnalyzeAll, every
+// Session rebuild, every re-upload of an unchanged component) reuses
+// the parsed AST and lowered IR instead of re-running the frontend:
+// compiled programs are immutable after ir.Build, so sharing one
+// *ir.Program across components — and across goroutines — is safe.
+//
+// Entries are evicted least-recently-used once the capacity is
+// exceeded. Compile errors are never cached; they re-derive
+// deterministically from the source.
+type programCache struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	entries map[string]*progEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type progEntry struct {
+	prog *ir.Program
+	file *minicc.File
+	seq  uint64 // last-use tick for LRU eviction
+}
+
+var progCache = &programCache{
+	cap:     DefaultProgramCacheCap,
+	entries: make(map[string]*progEntry),
+}
+
+func (pc *programCache) get(key string) (*ir.Program, *minicc.File, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if !ok || pc.cap <= 0 {
+		pc.misses.Add(1)
+		return nil, nil, false
+	}
+	pc.seq++
+	e.seq = pc.seq
+	pc.hits.Add(1)
+	return e.prog, e.file, true
+}
+
+func (pc *programCache) put(key string, prog *ir.Program, file *minicc.File) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.cap <= 0 {
+		return
+	}
+	pc.seq++
+	pc.entries[key] = &progEntry{prog: prog, file: file, seq: pc.seq}
+	for len(pc.entries) > pc.cap {
+		// Evict the least recently used entry. Linear scan is fine:
+		// it only runs after a full compile, over at most cap entries.
+		var lruKey string
+		var lruSeq uint64
+		for k, e := range pc.entries {
+			if lruKey == "" || e.seq < lruSeq {
+				lruKey, lruSeq = k, e.seq
+			}
+		}
+		delete(pc.entries, lruKey)
+	}
+}
+
+// SetProgramCacheCapacity resizes the shared compiled-program cache
+// and returns the previous capacity. n <= 0 disables the cache and
+// drops every entry (benchmarks measuring true cold compiles use
+// this). Shrinking below the current population evicts LRU-first.
+func SetProgramCacheCapacity(n int) int {
+	pc := progCache
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	prev := pc.cap
+	pc.cap = n
+	if n <= 0 {
+		pc.entries = make(map[string]*progEntry)
+		return prev
+	}
+	for len(pc.entries) > n {
+		var lruKey string
+		var lruSeq uint64
+		for k, e := range pc.entries {
+			if lruKey == "" || e.seq < lruSeq {
+				lruKey, lruSeq = k, e.seq
+			}
+		}
+		delete(pc.entries, lruKey)
+	}
+	return prev
+}
+
+// ProgramCacheStats reports cumulative hit/miss counts of the shared
+// compiled-program cache.
+func ProgramCacheStats() (hits, misses uint64) {
+	return progCache.hits.Load(), progCache.misses.Load()
+}

@@ -245,13 +245,30 @@ type Dependency struct {
 // two extractions of the same dependency in different scenarios compare
 // equal. Evidence and Via do not contribute to identity.
 func (d Dependency) Key() string {
+	// Key is called once per Set.Add — including every duplicate the
+	// derivation re-discovers — so it is built in exactly one
+	// allocation: sized up front, ParamRefs written inline.
+	kind := d.Kind.String()
+	hasTarget := d.Target != (ParamRef{})
+	n := len(kind) + 1 + len(d.Source.Component) + 1 + len(d.Source.Param)
+	if hasTarget {
+		n += 1 + len(d.Target.Component) + 1 + len(d.Target.Param)
+	}
+	if d.Constraint.Relation != "" {
+		n += 1 + len(d.Constraint.Relation)
+	}
 	var b strings.Builder
-	b.WriteString(d.Kind.String())
+	b.Grow(n)
+	b.WriteString(kind)
 	b.WriteByte('|')
-	b.WriteString(d.Source.String())
-	if d.Target != (ParamRef{}) {
+	b.WriteString(d.Source.Component)
+	b.WriteByte('.')
+	b.WriteString(d.Source.Param)
+	if hasTarget {
 		b.WriteByte('|')
-		b.WriteString(d.Target.String())
+		b.WriteString(d.Target.Component)
+		b.WriteByte('.')
+		b.WriteString(d.Target.Param)
 	}
 	if d.Constraint.Relation != "" {
 		b.WriteByte('|')

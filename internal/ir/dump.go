@@ -76,6 +76,22 @@ func (in *Instr) Format() string {
 	return b.String()
 }
 
+// DumpProgram renders every function in source order, separated by
+// blank lines — the whole-program debugging view. The output is
+// deterministic and is pinned byte-for-byte by the frontend golden
+// tests: any change to lexing, parsing, or IR construction that
+// alters the compiled program shows up as a diff here.
+func DumpProgram(p *Program) string {
+	var b strings.Builder
+	for i, name := range p.FuncOrder {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(p.Funcs[name].Dump())
+	}
+	return b.String()
+}
+
 // Dot renders the CFG in Graphviz dot syntax.
 func (f *Func) Dot() string {
 	var b strings.Builder

@@ -1,0 +1,61 @@
+package ir_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"fsdep/internal/corpus"
+	"fsdep/internal/ir"
+	"fsdep/internal/minicc"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestDumpProgramGolden pins the exact IR (DumpProgram text) compiled
+// from every corpus component. The zero-copy lexer, AST arena,
+// interned symbol table, and IR slabs are all required to produce
+// byte-identical programs; any drift in lexing, parsing, or IR
+// construction fails here.
+func TestDumpProgramGolden(t *testing.T) {
+	comps := corpus.Components()
+	names := make([]string, 0, len(comps))
+	for n := range comps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := comps[name]
+		file, err := minicc.Parse(c.Name, c.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		prog, err := ir.Build(file)
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		got := []byte(ir.DumpProgram(prog))
+		path := filepath.Join("testdata", "dump_"+name+".golden")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: golden updated (%d bytes)", name, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (run with -update): %v", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: DumpProgram drifted from golden (%d vs %d bytes); diff the IR before updating",
+				name, len(got), len(want))
+		}
+	}
+}

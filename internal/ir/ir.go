@@ -15,7 +15,7 @@ package ir
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 
 	"fsdep/internal/minicc"
 )
@@ -30,10 +30,19 @@ type Loc struct {
 	// final member access resolves through a known struct type;
 	// otherwise "".
 	Canon string
+	// key caches Key() for builder-produced locations: the builder
+	// interns it in the program's symbol table, so every analysis
+	// lookup reuses one string instead of concatenating per call.
+	// Locations constructed ad hoc (tests, taint's branch walker)
+	// leave it empty and fall back to computing.
+	key string
 }
 
 // Key returns a map key unique per (Var, Path).
 func (l Loc) Key() string {
+	if l.key != "" {
+		return l.key
+	}
 	if l.Path == "" {
 		return l.Var
 	}
@@ -230,11 +239,12 @@ func Build(f *minicc.File) (*Program, error) {
 	for _, g := range f.Globals {
 		globals[g.Name] = g.Type
 	}
+	b := &builder{prog: p, syms: make(map[string]string)}
 	for _, fd := range f.Funcs {
 		if _, dup := p.Funcs[fd.Name]; dup {
 			return nil, fmt.Errorf("ir: duplicate function %s in %s", fd.Name, f.Name)
 		}
-		fn := lowerFunc(p, fd, globals)
+		fn := b.lowerFunc(fd, globals)
 		p.Funcs[fd.Name] = fn
 		p.FuncOrder = append(p.FuncOrder, fd.Name)
 	}
@@ -259,12 +269,41 @@ func Build(f *minicc.File) (*Program, error) {
 // Lowering
 // ---------------------------------------------------------------------
 
+// builder lowers every function of one program. It lives for the whole
+// Build call so its arenas and scratch buffers amortize across
+// functions: the symbol table interns each dotted path/key/canon
+// string once program-wide, blocks and use-lists are carved from
+// chunked slabs, and instructions accumulate in a reusable buffer
+// that is compacted into one exact-size slab per function (the
+// capacity pre-pass: the emission count is known before the slab is
+// allocated).
 type builder struct {
 	prog *Program
 	fn   *Func
 	cur  *Block
 	// loop stack for break/continue targets: {continueTo, breakTo}.
 	loops []loopCtx
+
+	// syms is the program-wide symbol table: one canonical string per
+	// distinct key/path/canon byte sequence, built via symBuf.
+	syms   map[string]string
+	symBuf []byte
+
+	// instrBuf/instrBlk collect the current function's instructions
+	// and their block IDs; finishFunc groups them into one slab.
+	instrBuf []Instr
+	instrBlk []int
+	blkCount []int
+
+	// blkChunk and locChunk are slab arenas for Blocks and Uses
+	// slices; callScratch/locScratch/pathScratch are per-expression
+	// working buffers.
+	blkChunk    []Block
+	locChunk    []Loc
+	callChunk   []string
+	locScratch  []Loc
+	callScratch []string
+	pathScratch []string
 }
 
 type loopCtx struct {
@@ -272,7 +311,17 @@ type loopCtx struct {
 	breakTo    int
 }
 
-func lowerFunc(p *Program, fd *minicc.FuncDef, globals map[string]minicc.Type) *Func {
+// intern returns the canonical string for the bytes in b.symBuf.
+func (b *builder) intern() string {
+	if s, ok := b.syms[string(b.symBuf)]; ok {
+		return s
+	}
+	s := string(b.symBuf)
+	b.syms[s] = s
+	return s
+}
+
+func (b *builder) lowerFunc(fd *minicc.FuncDef, globals map[string]minicc.Type) *Func {
 	fn := &Func{
 		Name:     fd.Name,
 		VarTypes: make(map[string]minicc.Type, len(fd.Params)+len(globals)),
@@ -281,7 +330,10 @@ func lowerFunc(p *Program, fd *minicc.FuncDef, globals map[string]minicc.Type) *
 	for n, t := range globals {
 		fn.VarTypes[n] = t
 	}
-	b := &builder{prog: p, fn: fn}
+	b.fn = fn
+	b.loops = b.loops[:0]
+	b.instrBuf = b.instrBuf[:0]
+	b.instrBlk = b.instrBlk[:0]
 	entry := b.newBlock()
 	b.cur = entry
 	for _, prm := range fd.Params {
@@ -289,14 +341,58 @@ func lowerFunc(p *Program, fd *minicc.FuncDef, globals map[string]minicc.Type) *
 			continue
 		}
 		fn.VarTypes[prm.Name] = prm.Type
-		fn.Params = append(fn.Params, Loc{Var: prm.Name})
+		fn.Params = append(fn.Params, Loc{Var: prm.Name, key: prm.Name})
 	}
 	b.lowerBlock(fd.Body)
+	b.finishFunc()
+	b.fn, b.cur = nil, nil
 	return fn
 }
 
+// finishFunc distributes the buffered instructions into one
+// exact-size slab, grouped by block in emission order.
+func (b *builder) finishFunc() {
+	if len(b.instrBuf) == 0 {
+		return
+	}
+	nblk := len(b.fn.Blocks)
+	if cap(b.blkCount) < nblk {
+		b.blkCount = make([]int, nblk)
+	}
+	counts := b.blkCount[:nblk]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, id := range b.instrBlk {
+		counts[id]++
+	}
+	slab := make([]Instr, len(b.instrBuf))
+	// counts becomes the running write offset per block.
+	off := 0
+	for i, c := range counts {
+		counts[i] = off
+		off += c
+	}
+	for j, in := range b.instrBuf {
+		id := b.instrBlk[j]
+		slab[counts[id]] = in
+		counts[id]++
+	}
+	// counts[i] now holds each block's end offset; blocks are laid
+	// out contiguously in id order, so block i starts where i-1 ends.
+	start := 0
+	for i, blk := range b.fn.Blocks {
+		blk.Instrs = slab[start:counts[i]:counts[i]]
+		start = counts[i]
+	}
+}
+
 func (b *builder) newBlock() *Block {
-	blk := &Block{ID: len(b.fn.Blocks)}
+	if len(b.blkChunk) == cap(b.blkChunk) {
+		b.blkChunk = make([]Block, 0, 64)
+	}
+	b.blkChunk = append(b.blkChunk, Block{ID: len(b.fn.Blocks)})
+	blk := &b.blkChunk[len(b.blkChunk)-1]
 	b.fn.Blocks = append(b.fn.Blocks, blk)
 	return blk
 }
@@ -313,12 +409,14 @@ func (b *builder) linkTo(id int) {
 	b.cur.Succs = append(b.cur.Succs, id)
 }
 
-// emit appends an instruction to the current block (if reachable).
+// emit buffers an instruction for the current block (if reachable);
+// finishFunc later compacts the buffer into the function's slab.
 func (b *builder) emit(in Instr) {
 	if b.cur == nil {
 		return
 	}
-	b.cur.Instrs = append(b.cur.Instrs, in)
+	b.instrBuf = append(b.instrBuf, in)
+	b.instrBlk = append(b.instrBlk, b.cur.ID)
 }
 
 func (b *builder) lowerBlock(blk *minicc.Block) {
@@ -340,12 +438,12 @@ func (b *builder) lowerStmt(s minicc.Stmt) {
 		dst := b.locOf(v.LHS)
 		rhs := v.RHS
 		uses := b.locsIn(rhs)
-		calls := callsIn(rhs)
+		calls := b.callsIn(rhs)
 		if v.Op != minicc.TokAssign {
 			// Compound assignment also reads the destination.
 			uses = append(uses, dst)
 		}
-		b.emit(Instr{Op: OpAssign, Dst: dst, HasDst: true, Uses: dedupLocs(uses),
+		b.emit(Instr{Op: OpAssign, Dst: dst, HasDst: true, Uses: b.captureLocs(uses, true),
 			Calls: calls, Expr: rhs, Pos: v.Pos})
 	case *minicc.ExprStmt:
 		b.lowerExprStmt(v.X, v.Pos)
@@ -361,8 +459,8 @@ func (b *builder) lowerStmt(s minicc.Stmt) {
 		var uses []Loc
 		var calls []string
 		if v.X != nil {
-			uses = b.locsIn(v.X)
-			calls = callsIn(v.X)
+			uses = b.captureLocs(b.locsIn(v.X), false)
+			calls = b.callsIn(v.X)
 		}
 		b.emit(Instr{Op: OpReturn, Uses: uses, Calls: calls, Expr: v.X, Pos: v.Pos})
 		b.cur = nil // code after return is unreachable
@@ -382,7 +480,7 @@ func (b *builder) lowerStmt(s minicc.Stmt) {
 func (b *builder) emitAssign(dst Loc, rhs minicc.Expr, pos minicc.Pos) {
 	b.emit(Instr{
 		Op: OpAssign, Dst: dst, HasDst: true,
-		Uses: dedupLocs(b.locsIn(rhs)), Calls: callsIn(rhs),
+		Uses: b.usesOf(rhs, true), Calls: b.callsIn(rhs),
 		Expr: rhs, Pos: pos,
 	})
 }
@@ -392,21 +490,21 @@ func (b *builder) emitAssign(dst Loc, rhs minicc.Expr, pos minicc.Pos) {
 func (b *builder) lowerExprStmt(e minicc.Expr, pos minicc.Pos) {
 	switch v := e.(type) {
 	case *minicc.Call:
-		b.emit(Instr{Op: OpCall, Uses: dedupLocs(b.locsIn(e)),
-			Calls: callsIn(e), Expr: e, Pos: pos})
+		b.emit(Instr{Op: OpCall, Uses: b.usesOf(e, true),
+			Calls: b.callsIn(e), Expr: e, Pos: pos})
 		_ = v
 	case *minicc.Unary:
 		if v.Op == minicc.TokPlusPlus || v.Op == minicc.TokMinusMinus {
 			dst := b.locOf(v.X)
 			b.emit(Instr{Op: OpAssign, Dst: dst, HasDst: true,
-				Uses: []Loc{dst}, Expr: e, Pos: pos})
+				Uses: b.captureLocs([]Loc{dst}, false), Expr: e, Pos: pos})
 			return
 		}
-		b.emit(Instr{Op: OpCall, Uses: dedupLocs(b.locsIn(e)),
-			Calls: callsIn(e), Expr: e, Pos: pos})
+		b.emit(Instr{Op: OpCall, Uses: b.usesOf(e, true),
+			Calls: b.callsIn(e), Expr: e, Pos: pos})
 	default:
-		b.emit(Instr{Op: OpCall, Uses: dedupLocs(b.locsIn(e)),
-			Calls: callsIn(e), Expr: e, Pos: pos})
+		b.emit(Instr{Op: OpCall, Uses: b.usesOf(e, true),
+			Calls: b.callsIn(e), Expr: e, Pos: pos})
 	}
 }
 
@@ -414,8 +512,8 @@ func (b *builder) lowerIf(v *minicc.IfStmt) {
 	if b.cur == nil {
 		b.cur = b.newBlock() // unreachable but keep structure
 	}
-	b.emit(Instr{Op: OpBranch, Uses: dedupLocs(b.locsIn(v.Cond)),
-		Calls: callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
+	b.emit(Instr{Op: OpBranch, Uses: b.usesOf(v.Cond, true),
+		Calls: b.callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
 	condBlk := b.cur
 
 	thenBlk := b.newBlock()
@@ -455,8 +553,8 @@ func (b *builder) lowerWhile(v *minicc.WhileStmt) {
 	head := b.newBlock()
 	b.linkTo(head.ID)
 	b.cur = head
-	b.emit(Instr{Op: OpBranch, Uses: dedupLocs(b.locsIn(v.Cond)),
-		Calls: callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
+	b.emit(Instr{Op: OpBranch, Uses: b.usesOf(v.Cond, true),
+		Calls: b.callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
 
 	body := b.newBlock()
 	exit := b.newBlock()
@@ -483,8 +581,8 @@ func (b *builder) lowerFor(v *minicc.ForStmt) {
 	b.linkTo(head.ID)
 	b.cur = head
 	if v.Cond != nil {
-		b.emit(Instr{Op: OpBranch, Uses: dedupLocs(b.locsIn(v.Cond)),
-			Calls: callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
+		b.emit(Instr{Op: OpBranch, Uses: b.usesOf(v.Cond, true),
+			Calls: b.callsIn(v.Cond), Expr: v.Cond, Pos: v.Pos})
 	}
 
 	body := b.newBlock()
@@ -522,7 +620,7 @@ func (b *builder) lowerSwitch(v *minicc.SwitchStmt) {
 	// Lower each case as: branch(tag == val) -> caseBody | next.
 	// Fallthrough between consecutive case bodies is preserved.
 	var prevBodyEnd *Block
-	tagUses := dedupLocs(b.locsIn(v.Tag))
+	tagUses := b.usesOf(v.Tag, true)
 	for _, c := range v.Cases {
 		var cond minicc.Expr
 		if !c.IsDefault && len(c.Vals) > 0 {
@@ -578,13 +676,49 @@ func (b *builder) lowerSwitch(v *minicc.SwitchStmt) {
 
 // locOf resolves an assignable expression to a location.
 func (b *builder) locOf(e minicc.Expr) Loc {
-	root, path, ok := minicc.MemberPath(e)
+	var root string
+	var ok bool
+	root, b.pathScratch, ok = minicc.AppendMemberPath(e, b.pathScratch[:0])
 	if !ok {
-		return Loc{Var: fmt.Sprintf("__tmp@%s", e.ExprPos())}
+		pos := e.ExprPos()
+		b.symBuf = append(b.symBuf[:0], "__tmp@"...)
+		b.symBuf = appendPos(b.symBuf, pos)
+		v := b.intern()
+		return Loc{Var: v, key: v}
 	}
-	l := Loc{Var: root, Path: strings.Join(path, ".")}
-	l.Canon = b.canonical(root, path)
-	return l
+	return b.makeLoc(root, b.pathScratch)
+}
+
+// appendPos renders pos exactly like minicc.Pos.String.
+func appendPos(buf []byte, pos minicc.Pos) []byte {
+	if pos.File != "" {
+		buf = append(buf, pos.File...)
+		buf = append(buf, ':')
+	}
+	buf = strconv.AppendInt(buf, int64(pos.Line), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(pos.Col), 10)
+	return buf
+}
+
+// makeLoc builds a location with interned Path, Canon, and cached key.
+func (b *builder) makeLoc(root string, path []string) Loc {
+	if len(path) == 0 {
+		return Loc{Var: root, key: root}
+	}
+	b.symBuf = b.symBuf[:0]
+	for i, seg := range path {
+		if i > 0 {
+			b.symBuf = append(b.symBuf, '.')
+		}
+		b.symBuf = append(b.symBuf, seg...)
+	}
+	pathStr := b.intern()
+	b.symBuf = append(b.symBuf[:0], root...)
+	b.symBuf = append(b.symBuf, '.')
+	b.symBuf = append(b.symBuf, pathStr...)
+	key := b.intern()
+	return Loc{Var: root, Path: pathStr, Canon: b.canonical(root, path), key: key}
 }
 
 // canonical resolves the final field of root.path... to its owning
@@ -610,61 +744,103 @@ func (b *builder) canonical(root string, path []string) string {
 			return ""
 		}
 		if i == len(path)-1 {
-			return def.Tag + "." + path[i]
+			b.symBuf = append(b.symBuf[:0], def.Tag...)
+			b.symBuf = append(b.symBuf, '.')
+			b.symBuf = append(b.symBuf, path[i]...)
+			return b.intern()
 		}
 		t = def.Fields[idx].Type
 	}
 	return ""
 }
 
-// locsIn collects every location read by e, including locations passed
-// to calls.
+// locsIn collects every location read by e into the builder's scratch
+// buffer, including locations passed to calls. The returned slice is
+// only valid until the next locsIn call; captureLocs copies it into
+// the Loc slab.
 func (b *builder) locsIn(e minicc.Expr) []Loc {
-	var out []Loc
+	b.locScratch = b.locScratch[:0]
 	minicc.WalkExpr(e, func(x minicc.Expr) bool {
 		switch v := x.(type) {
 		case *minicc.Ident:
-			out = append(out, Loc{Var: v.Name})
+			b.locScratch = append(b.locScratch, Loc{Var: v.Name, key: v.Name})
 			return true
 		case *minicc.Member:
-			root, path, ok := minicc.MemberPath(v)
+			var root string
+			var ok bool
+			root, b.pathScratch, ok = minicc.AppendMemberPath(v, b.pathScratch[:0])
 			if ok {
-				l := Loc{Var: root, Path: strings.Join(path, ".")}
-				l.Canon = b.canonical(root, path)
-				out = append(out, l)
+				b.locScratch = append(b.locScratch, b.makeLoc(root, b.pathScratch))
 				return false // don't double-count the root ident
 			}
 			return true
 		}
 		return true
 	})
-	return out
+	return b.locScratch
 }
 
-// callsIn lists the function names called anywhere inside e.
-func callsIn(e minicc.Expr) []string {
-	var out []string
+// usesOf collects e's read locations, optionally dedupes them in
+// scratch, and carves the result from the Loc slab.
+func (b *builder) usesOf(e minicc.Expr, dedup bool) []Loc {
+	return b.captureLocs(b.locsIn(e), dedup)
+}
+
+// captureLocs copies scratch locations into the slab arena, deduping
+// first (by key, preserving first occurrence) when asked. Use-lists
+// are tiny, so dedup is a linear scan over interned key strings
+// rather than a per-instruction map.
+func (b *builder) captureLocs(ls []Loc, dedup bool) []Loc {
+	if dedup && len(ls) >= 2 {
+		out := ls[:0]
+	scan:
+		for _, l := range ls {
+			k := l.Key()
+			for _, kept := range out {
+				if kept.Key() == k {
+					continue scan
+				}
+			}
+			out = append(out, l)
+		}
+		ls = out
+	}
+	if len(ls) == 0 {
+		return nil
+	}
+	if cap(b.locChunk)-len(b.locChunk) < len(ls) {
+		n := 256
+		if len(ls) > n {
+			n = len(ls)
+		}
+		b.locChunk = make([]Loc, 0, n)
+	}
+	start := len(b.locChunk)
+	b.locChunk = append(b.locChunk, ls...)
+	return b.locChunk[start:len(b.locChunk):len(b.locChunk)]
+}
+
+// callsIn lists the function names called anywhere inside e, carved
+// from the string slab.
+func (b *builder) callsIn(e minicc.Expr) []string {
+	b.callScratch = b.callScratch[:0]
 	minicc.WalkExpr(e, func(x minicc.Expr) bool {
 		if c, ok := x.(*minicc.Call); ok {
-			out = append(out, c.Fun)
+			b.callScratch = append(b.callScratch, c.Fun)
 		}
 		return true
 	})
-	return out
-}
-
-func dedupLocs(ls []Loc) []Loc {
-	if len(ls) < 2 {
-		return ls
+	if len(b.callScratch) == 0 {
+		return nil
 	}
-	seen := make(map[string]bool, len(ls))
-	out := ls[:0]
-	for _, l := range ls {
-		k := l.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, l)
+	if cap(b.callChunk)-len(b.callChunk) < len(b.callScratch) {
+		n := 128
+		if len(b.callScratch) > n {
+			n = len(b.callScratch)
 		}
+		b.callChunk = make([]string, 0, n)
 	}
-	return out
+	start := len(b.callChunk)
+	b.callChunk = append(b.callChunk, b.callScratch...)
+	return b.callChunk[start:len(b.callChunk):len(b.callChunk)]
 }

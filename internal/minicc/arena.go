@@ -1,0 +1,53 @@
+package minicc
+
+// astArena is the per-Parse bump allocator for AST nodes. Each node
+// type is carved from fixed-size chunks (one heap allocation per
+// arenaChunk nodes) instead of being allocated individually; a full
+// chunk is retired in place — never moved — so node pointers remain
+// valid for as long as anything references them. The arena has no
+// free operation: it lives exactly as long as the File that points
+// into it, and the garbage collector reclaims chunks wholesale when
+// the File goes away.
+type astArena struct {
+	idents    arena[Ident]
+	ints      arena[IntLit]
+	strs      arena[StrLit]
+	members   arena[Member]
+	indexes   arena[Index]
+	calls     arena[Call]
+	unaries   arena[Unary]
+	binaries  arena[Binary]
+	conds     arena[Cond]
+	casts     arena[Cast]
+	sizeofs   arena[SizeofExpr]
+	blocks    arena[Block]
+	decls     arena[DeclStmt]
+	exprs     arena[ExprStmt]
+	assigns   arena[AssignStmt]
+	ifs       arena[IfStmt]
+	whiles    arena[WhileStmt]
+	fors      arena[ForStmt]
+	returns   arena[ReturnStmt]
+	breaks    arena[BreakStmt]
+	continues arena[ContinueStmt]
+	switches  arena[SwitchStmt]
+	vars      arena[VarDecl]
+}
+
+// arenaChunk is the number of nodes per chunk: large enough to
+// amortize allocation ~256x on hot node types, small enough that a
+// tiny file wastes at most a few KB per type actually used.
+const arenaChunk = 256
+
+type arena[T any] struct {
+	chunk []T
+}
+
+// alloc carves a node from the arena and initializes it to v.
+func alloc[T any](a *arena[T], v T) *T {
+	if len(a.chunk) == cap(a.chunk) {
+		a.chunk = make([]T, 0, arenaChunk)
+	}
+	a.chunk = append(a.chunk, v)
+	return &a.chunk[len(a.chunk)-1]
+}

@@ -359,25 +359,37 @@ func (e *SizeofExpr) ExprPos() Pos { return e.Pos }
 // sb->s_feature_compat yields ("sb", ["s_feature_compat"], true).
 // Returns ok=false when the chain is not rooted at a plain identifier.
 func MemberPath(e Expr) (root string, path []string, ok bool) {
+	root, path, ok = AppendMemberPath(e, nil)
+	if !ok {
+		return "", nil, false
+	}
+	return root, path, true
+}
+
+// AppendMemberPath is MemberPath with a caller-supplied buffer: path
+// segments are appended to buf (usually buf[:0] of a reused scratch),
+// so a hot caller flattens chains without allocating. The returned
+// slice aliases buf's backing array whenever capacity allows.
+func AppendMemberPath(e Expr, buf []string) (root string, path []string, ok bool) {
 	switch v := e.(type) {
 	case *Ident:
-		return v.Name, nil, true
+		return v.Name, buf, true
 	case *Member:
-		root, path, ok = MemberPath(v.X)
+		root, buf, ok = AppendMemberPath(v.X, buf)
 		if !ok {
-			return "", nil, false
+			return "", buf, false
 		}
-		return root, append(path, v.Name), true
+		return root, append(buf, v.Name), true
 	case *Cast:
-		return MemberPath(v.X)
+		return AppendMemberPath(v.X, buf)
 	case *Unary:
 		if v.Op == TokStar || v.Op == TokAmp {
-			return MemberPath(v.X)
+			return AppendMemberPath(v.X, buf)
 		}
 	case *Index:
-		return MemberPath(v.X)
+		return AppendMemberPath(v.X, buf)
 	}
-	return "", nil, false
+	return "", buf, false
 }
 
 // WalkExpr calls fn for e and every sub-expression, pre-order. fn may

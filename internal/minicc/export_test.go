@@ -1,0 +1,8 @@
+package minicc
+
+// ReferenceTokenize runs the retained reference lexer (reflex_test.go)
+// over src, for the fuzz harness in package minicc_test to use as an
+// oracle against the optimized production lexer.
+func ReferenceTokenize(file, src string) ([]Token, error) {
+	return newRefLexer(file, src).tokenize()
+}

@@ -1,0 +1,77 @@
+// Fuzz targets for the optimized zero-copy frontend. FuzzLex holds the
+// production lexer to the retained reference implementation
+// (reflex_test.go): same error presence, byte-identical token streams
+// on success. FuzzParse asserts the parser never panics on arbitrary
+// input. Both are seeded with every corpus component plus directive,
+// macro, string, and operator edge cases.
+package minicc_test
+
+import (
+	"testing"
+
+	"fsdep/internal/corpus"
+	"fsdep/internal/minicc"
+)
+
+// fuzzSeeds returns the corpus sources plus hand-picked edge cases.
+func fuzzSeeds() []string {
+	seeds := []string{
+		"",
+		"int x = 1;",
+		"#define F 1\nint x = F;",
+		"#define /* F */ F(x) ((x)+1)\n",
+		"#define /*F(*/ F 41\nint x = F;",
+		"#define V 1 + \\\n 2\nint x = V;",
+		"#define EMPTY\nint x = EMPTY 3;",
+		"\"unterminated",
+		"/* never closed",
+		"'c' '\\n' '",
+		"int h = 0x7fffffffffffffffUL;",
+		"int big = 0xffffffffffffffff;",
+		"a <<= 1; a >>= 1; a->b.c[0] %= 2;",
+		"int f() { return 5 % 2; }",
+		"@ $ ` \x00",
+		"#include <stdio.h>\n#ifdef X\n#endif\nint y;",
+	}
+	for _, c := range corpus.Components() {
+		seeds = append(seeds, c.Source)
+	}
+	return seeds
+}
+
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := minicc.NewLexer("fuzz.c", src).Tokenize()
+		want, werr := minicc.ReferenceTokenize("fuzz.c", src)
+		if (err == nil) != (werr == nil) {
+			t.Fatalf("error divergence: optimized=%v reference=%v", err, werr)
+		}
+		if err != nil {
+			return
+		}
+		if len(toks) != len(want) {
+			t.Fatalf("token count %d, reference %d", len(toks), len(want))
+		}
+		for i := range toks {
+			if toks[i] != want[i] {
+				t.Fatalf("token %d = %+v, reference %+v", i, toks[i], want[i])
+			}
+		}
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Must never panic; errors are expected on arbitrary input.
+		file, err := minicc.Parse("fuzz.c", src)
+		if err == nil && file == nil {
+			t.Fatal("nil file without error")
+		}
+	})
+}

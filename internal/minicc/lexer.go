@@ -1,6 +1,7 @@
 package minicc
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -10,6 +11,12 @@ import (
 // /* */ comments and two preprocessor directive forms: object-like
 // #define macros (expanded during lexing) and #include lines (skipped —
 // the corpus is self-contained).
+//
+// Tokens are zero-copy: every Text field is a sub-slice of src (an
+// offset/length view sharing src's backing array); only string
+// literals containing escapes materialize new bytes. The lexer itself
+// allocates nothing per token on the hot path — the pending buffer
+// and the directive sub-lexer are reused for the lexer's lifetime.
 type Lexer struct {
 	file   string
 	src    string
@@ -18,10 +25,23 @@ type Lexer struct {
 	lineAt int // offset of current line start
 
 	// macros maps object-like macro names to their replacement token
-	// streams. Pre-populated macros may be supplied via NewLexerMacros.
+	// streams. Allocated lazily on the first #define.
 	macros map[string][]Token
 	// pending holds macro-expansion output awaiting delivery.
-	pending []Token
+	// pendHead indexes the next token to deliver; the buffer is
+	// reset (capacity kept) whenever it drains, so steady-state
+	// macro expansion allocates nothing.
+	pending  []Token
+	pendHead int
+	// sub is the reusable directive sub-lexer (nil until the first
+	// #define; recursion depth is bounded at one because replacement
+	// text cannot itself contain a directive that expands macros).
+	sub *Lexer
+	// replScratch/replChunk build macro replacement streams: tokens
+	// are lexed into the scratch, then carved from the chunk slab so
+	// a file's #defines share a handful of allocations.
+	replScratch []Token
+	replChunk   []Token
 
 	errs ErrorList
 }
@@ -29,9 +49,16 @@ type Lexer struct {
 // ErrorList accumulates lexical and syntactic diagnostics.
 type ErrorList []error
 
-// Add appends a positioned error.
+// Add appends a positioned error. The caller's format/args pass
+// through fmt exactly once; when no args are given the format string
+// is taken verbatim, so a literal '%' in a diagnostic (e.g. quoted
+// source text) survives unmangled.
 func (l *ErrorList) Add(pos Pos, format string, args ...any) {
-	*l = append(*l, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	*l = append(*l, errors.New(pos.String()+": "+msg))
 }
 
 // Err returns nil if the list is empty, otherwise an error joining all
@@ -53,10 +80,9 @@ func (l ErrorList) Err() error {
 // NewLexer returns a lexer over src, attributing positions to file.
 func NewLexer(file, src string) *Lexer {
 	return &Lexer{
-		file:   file,
-		src:    src,
-		line:   1,
-		macros: make(map[string][]Token),
+		file: file,
+		src:  src,
+		line: 1,
 	}
 }
 
@@ -103,9 +129,13 @@ func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 // Next returns the next token, expanding macros. At end of input it
 // returns a TokEOF token (repeatedly, if called again).
 func (lx *Lexer) Next() Token {
-	if len(lx.pending) > 0 {
-		t := lx.pending[0]
-		lx.pending = lx.pending[1:]
+	if lx.pendHead < len(lx.pending) {
+		t := lx.pending[lx.pendHead]
+		lx.pendHead++
+		if lx.pendHead == len(lx.pending) {
+			lx.pending = lx.pending[:0]
+			lx.pendHead = 0
+		}
 		return t
 	}
 	for {
@@ -127,17 +157,18 @@ func (lx *Lexer) Next() Token {
 			}
 			if repl, ok := lx.macros[name]; ok {
 				// Object-like macro expansion: re-position the
-				// replacement tokens at the use site.
+				// replacement tokens at the use site. Trailing
+				// tokens queue in the reusable pending buffer.
 				if len(repl) == 0 {
 					continue
 				}
-				out := make([]Token, len(repl))
-				for i, t := range repl {
+				for _, t := range repl[1:] {
 					t.Pos = pos
-					out[i] = t
+					lx.pending = append(lx.pending, t)
 				}
-				lx.pending = append(lx.pending, out[1:]...)
-				return out[0]
+				first := repl[0]
+				first.Pos = pos
+				return first
 			}
 			return Token{Kind: TokIdent, Text: name, Pos: pos}
 		}
@@ -157,7 +188,9 @@ func (lx *Lexer) Next() Token {
 // Tokenize consumes the whole input. It returns the token stream
 // (ending with TokEOF) and any accumulated lexical errors.
 func (lx *Lexer) Tokenize() ([]Token, error) {
-	var toks []Token
+	// Corpus C averages one token per ~6 bytes of source; pre-sizing
+	// to len/5 makes the common case a single allocation.
+	toks := make([]Token, 0, len(lx.src)/5+16)
 	for {
 		t := lx.Next()
 		toks = append(toks, t)
@@ -226,33 +259,78 @@ func (lx *Lexer) directive() {
 	if word != "define" {
 		return // #include, #ifdef etc.: corpus is self-contained
 	}
-	sub := NewLexer(lx.file, rest)
-	sub.line = pos.Line
+	if lx.sub == nil {
+		lx.sub = &Lexer{}
+	}
+	sub := lx.sub
+	*sub = Lexer{file: lx.file, src: rest, line: pos.Line,
+		pending: sub.pending[:0], errs: sub.errs[:0]}
 	name := sub.Next()
 	if name.Kind != TokIdent {
 		lx.errs.Add(pos, "#define expects a macro name, got %s", name)
 		return
 	}
-	if strings.HasPrefix(rest[strings.Index(rest, name.Text)+len(name.Text):], "(") {
+	// A macro is function-like exactly when a '(' immediately follows
+	// the name token — sub.off sits right past the name here. (Scanning
+	// rest for the first occurrence of the name text would misfire when
+	// the name also appears earlier, e.g. inside a comment.)
+	if sub.off < len(rest) && rest[sub.off] == '(' {
 		lx.errs.Add(pos, "#define %s: function-like macros are not supported", name.Text)
 		return
 	}
-	var repl []Token
+	lx.replScratch = lx.replScratch[:0]
 	for {
 		t := sub.Next()
 		if t.Kind == TokEOF {
 			break
 		}
-		repl = append(repl, t)
+		lx.replScratch = append(lx.replScratch, t)
 	}
 	lx.errs = append(lx.errs, sub.errs...)
+	var repl []Token
+	if n := len(lx.replScratch); n > 0 {
+		if cap(lx.replChunk)-len(lx.replChunk) < n {
+			size := 256
+			if n > size {
+				size = n
+			}
+			lx.replChunk = make([]Token, 0, size)
+		}
+		start := len(lx.replChunk)
+		lx.replChunk = append(lx.replChunk, lx.replScratch...)
+		repl = lx.replChunk[start:len(lx.replChunk):len(lx.replChunk)]
+	}
+	if lx.macros == nil {
+		lx.macros = make(map[string][]Token)
+	}
 	lx.macros[name.Text] = repl
 }
 
 // restOfDirectiveLine consumes to end of line, honouring backslash
-// continuations, and returns the consumed text.
+// continuations, and returns the consumed text. Lines without a
+// continuation — the overwhelmingly common case — return a zero-copy
+// sub-slice of src.
 func (lx *Lexer) restOfDirectiveLine() string {
+	start := lx.off
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == '\\' && lx.peekByteAt(1) == '\n' {
+			// Continuation: fall back to materializing the joined line.
+			return lx.restOfDirectiveLineSlow(start)
+		}
+		if c == '\n' {
+			end := lx.off
+			lx.advance()
+			return lx.src[start:end]
+		}
+		lx.advance()
+	}
+	return lx.src[start:lx.off]
+}
+
+func (lx *Lexer) restOfDirectiveLineSlow(start int) string {
 	var b strings.Builder
+	b.WriteString(lx.src[start:lx.off])
 	for lx.off < len(lx.src) {
 		c := lx.peekByte()
 		if c == '\\' && lx.peekByteAt(1) == '\n' {
@@ -317,7 +395,32 @@ func isHexDigit(c byte) bool {
 
 func (lx *Lexer) stringLit(pos Pos) Token {
 	lx.advance() // opening quote
+	start := lx.off
+	// Fast path: no escapes — the literal's value is a zero-copy
+	// sub-slice of src between the quotes.
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == '\n' {
+			break
+		}
+		if c == '\\' {
+			return lx.stringLitSlow(pos, start)
+		}
+		if c == '"' {
+			s := lx.src[start:lx.off]
+			lx.advance()
+			return Token{Kind: TokString, Text: s, Str: s, Pos: pos}
+		}
+		lx.advance()
+	}
+	lx.errs.Add(pos, "unterminated string literal")
+	s := lx.src[start:lx.off]
+	return Token{Kind: TokString, Text: s, Str: s, Pos: pos}
+}
+
+func (lx *Lexer) stringLitSlow(pos Pos, start int) Token {
 	var b strings.Builder
+	b.WriteString(lx.src[start:lx.off])
 	for {
 		if lx.off >= len(lx.src) || lx.peekByte() == '\n' {
 			lx.errs.Add(pos, "unterminated string literal")
@@ -371,6 +474,19 @@ func unescape(c byte) byte {
 	default:
 		return c
 	}
+}
+
+// singleOps maps a byte to its single-character operator kind; the
+// zero value (TokEOF) marks bytes that start no operator. Package
+// level so the hot operator path allocates nothing — as a per-call
+// map literal this table was half of all frontend allocations.
+var singleOps = [256]TokKind{
+	'(': TokLParen, ')': TokRParen, '{': TokLBrace, '}': TokRBrace,
+	'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
+	'.': TokDot, '?': TokQuestion, ':': TokColon, '=': TokAssign,
+	'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
+	'%': TokPercent, '&': TokAmp, '|': TokPipe, '^': TokCaret,
+	'~': TokTilde, '!': TokBang, '<': TokLt, '>': TokGt,
 }
 
 // operator lexes punctuation, longest match first.
@@ -436,16 +552,8 @@ func (lx *Lexer) operator(pos Pos) Token {
 	case "--":
 		return mk(TokMinusMinus, 2)
 	}
-	var single = map[byte]TokKind{
-		'(': TokLParen, ')': TokRParen, '{': TokLBrace, '}': TokRBrace,
-		'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
-		'.': TokDot, '?': TokQuestion, ':': TokColon, '=': TokAssign,
-		'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
-		'%': TokPercent, '&': TokAmp, '|': TokPipe, '^': TokCaret,
-		'~': TokTilde, '!': TokBang, '<': TokLt, '>': TokGt,
-	}
 	c := lx.peekByte()
-	if k, ok := single[c]; ok {
+	if k := singleOps[c]; k != TokEOF {
 		return mk(k, 1)
 	}
 	lx.errs.Add(pos, "unexpected character %q", string(rune(c)))

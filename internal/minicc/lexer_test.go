@@ -156,6 +156,58 @@ func TestLexFunctionLikeMacroRejected(t *testing.T) {
 	}
 }
 
+func TestLexFunctionLikeMacroAfterComment(t *testing.T) {
+	// Detection must key off the character right after the macro name
+	// token, not the first occurrence of the name text in the directive:
+	// here a comment mentions the bare name first, which used to mask
+	// the '(' after the real name and silently mis-parse the macro as
+	// object-like.
+	_, err := NewLexer("t.c", "#define /* F */ F(x) ((x)+1)\n").Tokenize()
+	if err == nil {
+		t.Fatal("expected error for function-like macro behind a comment")
+	}
+}
+
+func TestLexObjectMacroWithParenInComment(t *testing.T) {
+	// The mirror image: a comment containing `F(` before the name used
+	// to make first-occurrence detection reject this perfectly good
+	// object-like macro.
+	toks := lex(t, "#define /*F(*/ F 41\nint x = F;")
+	var vals []int64
+	for _, tok := range toks {
+		if tok.Kind == TokInt {
+			vals = append(vals, tok.Val)
+		}
+	}
+	if len(vals) != 1 || vals[0] != 41 {
+		t.Fatalf("expansion values = %v, want [41]", vals)
+	}
+}
+
+func TestErrorListAddLiteralPercent(t *testing.T) {
+	// Add must format its message exactly once: a no-arg diagnostic
+	// containing a literal % used to go through Sprintf a second time
+	// and come out as a %!v(MISSING)-style mangle.
+	var l ErrorList
+	msg := "mount option is 100" + string('%') + " unsupported"
+	l.Add(Pos{File: "t.c", Line: 3, Col: 7}, msg)
+	if got, want := l[0].Error(), "t.c:3:7: mount option is 100% unsupported"; got != want {
+		t.Fatalf("Add mangled literal %%:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLexErrorWithPercentInSource(t *testing.T) {
+	// A diagnostic quoting source text that contains % must survive
+	// verbatim end to end.
+	_, err := Parse("t.c", "int f() { int x = 5 %% ; return x; }")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if msg := err.Error(); strings.Contains(msg, "%!") {
+		t.Fatalf("diagnostic mangled literal %%: %q", msg)
+	}
+}
+
 func TestLexBackslashContinuation(t *testing.T) {
 	toks := lex(t, "#define V 1 + \\\n 2\nint x = V;")
 	var vals []int64

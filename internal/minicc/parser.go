@@ -16,6 +16,8 @@ type Parser struct {
 	// enums records enumerator constants as they are declared.
 	enums map[string]int64
 	file  *File
+	// ast is the per-Parse bump arena all AST nodes are carved from.
+	ast astArena
 }
 
 // Parse lexes and parses one mini-C translation unit.
@@ -280,7 +282,7 @@ func (p *Parser) parseFuncOrGlobal() {
 	}
 	// Global variable(s).
 	for {
-		g := &VarDecl{Name: name.Text, Type: t, Pos: name.Pos}
+		g := alloc(&p.ast.vars, VarDecl{Name: name.Text, Type: t, Pos: name.Pos})
 		for p.accept(TokLBracket) {
 			if !p.at(TokRBracket) {
 				p.parseExpr()
@@ -414,7 +416,7 @@ func (p *Parser) isTypeStart() bool {
 
 func (p *Parser) parseBlock() *Block {
 	pos := p.expect(TokLBrace).Pos
-	b := &Block{Pos: pos}
+	b := alloc(&p.ast.blocks, Block{Pos: pos})
 	for !p.at(TokRBrace) && !p.at(TokEOF) {
 		start := p.pos
 		s := p.parseStmt()
@@ -451,15 +453,15 @@ func (p *Parser) parseStmt() Stmt {
 			x = p.parseExpr()
 		}
 		p.expect(TokSemi)
-		return &ReturnStmt{X: x, Pos: pos}
+		return alloc(&p.ast.returns, ReturnStmt{X: x, Pos: pos})
 	case TokKwBreak:
 		pos := p.next().Pos
 		p.expect(TokSemi)
-		return &BreakStmt{Pos: pos}
+		return alloc(&p.ast.breaks, BreakStmt{Pos: pos})
 	case TokKwContinue:
 		pos := p.next().Pos
 		p.expect(TokSemi)
-		return &ContinueStmt{Pos: pos}
+		return alloc(&p.ast.continues, ContinueStmt{Pos: pos})
 	case TokSemi:
 		p.next()
 		return nil
@@ -490,7 +492,7 @@ func (p *Parser) parseLocalDecl() Stmt {
 		t.Ptr++
 	}
 	name := p.expect(TokIdent)
-	d := &VarDecl{Name: name.Text, Type: t, Pos: name.Pos}
+	d := alloc(&p.ast.vars, VarDecl{Name: name.Text, Type: t, Pos: name.Pos})
 	for p.accept(TokLBracket) {
 		if !p.at(TokRBracket) {
 			p.parseExpr()
@@ -503,7 +505,7 @@ func (p *Parser) parseLocalDecl() Stmt {
 	if p.at(TokComma) {
 		p.errs.Add(p.cur().Pos, "multiple declarators in one statement are not supported")
 	}
-	return &DeclStmt{Decl: d}
+	return alloc(&p.ast.decls, DeclStmt{Decl: d})
 }
 
 // parseSimpleStmt parses an assignment or expression statement (no
@@ -516,9 +518,9 @@ func (p *Parser) parseSimpleStmt() Stmt {
 		TokPercentEq, TokAmpEq, TokPipeEq, TokCaretEq, TokShlEq, TokShrEq:
 		op := p.next().Kind
 		rhs := p.parseExpr()
-		return &AssignStmt{LHS: lhs, Op: op, RHS: rhs, Pos: pos}
+		return alloc(&p.ast.assigns, AssignStmt{LHS: lhs, Op: op, RHS: rhs, Pos: pos})
 	}
-	return &ExprStmt{X: lhs, Pos: pos}
+	return alloc(&p.ast.exprs, ExprStmt{X: lhs, Pos: pos})
 }
 
 func (p *Parser) parseIf() Stmt {
@@ -535,7 +537,7 @@ func (p *Parser) parseIf() Stmt {
 			els = p.blockOrSingle()
 		}
 	}
-	return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}
+	return alloc(&p.ast.ifs, IfStmt{Cond: cond, Then: then, Else: els, Pos: pos})
 }
 
 // blockOrSingle parses a block, or wraps a single statement in one.
@@ -545,7 +547,7 @@ func (p *Parser) blockOrSingle() *Block {
 	}
 	pos := p.cur().Pos
 	s := p.parseStmt()
-	b := &Block{Pos: pos}
+	b := alloc(&p.ast.blocks, Block{Pos: pos})
 	if s != nil {
 		b.Stmts = []Stmt{s}
 	}
@@ -558,7 +560,7 @@ func (p *Parser) parseWhile() Stmt {
 	cond := p.parseExpr()
 	p.expect(TokRParen)
 	body := p.blockOrSingle()
-	return &WhileStmt{Cond: cond, Body: body, Pos: pos}
+	return alloc(&p.ast.whiles, WhileStmt{Cond: cond, Body: body, Pos: pos})
 }
 
 func (p *Parser) parseDoWhile() Stmt {
@@ -569,7 +571,7 @@ func (p *Parser) parseDoWhile() Stmt {
 	cond := p.parseExpr()
 	p.expect(TokRParen)
 	p.expect(TokSemi)
-	return &WhileStmt{Cond: cond, Body: body, PostCondition: true, Pos: pos}
+	return alloc(&p.ast.whiles, WhileStmt{Cond: cond, Body: body, PostCondition: true, Pos: pos})
 }
 
 func (p *Parser) parseFor() Stmt {
@@ -595,7 +597,7 @@ func (p *Parser) parseFor() Stmt {
 	}
 	p.expect(TokRParen)
 	body := p.blockOrSingle()
-	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Pos: pos}
+	return alloc(&p.ast.fors, ForStmt{Init: init, Cond: cond, Post: post, Body: body, Pos: pos})
 }
 
 func (p *Parser) parseSwitch() Stmt {
@@ -604,7 +606,7 @@ func (p *Parser) parseSwitch() Stmt {
 	tag := p.parseExpr()
 	p.expect(TokRParen)
 	p.expect(TokLBrace)
-	sw := &SwitchStmt{Tag: tag, Pos: pos}
+	sw := alloc(&p.ast.switches, SwitchStmt{Tag: tag, Pos: pos})
 	for !p.at(TokRBrace) && !p.at(TokEOF) {
 		var c SwitchCase
 		c.Pos = p.cur().Pos
@@ -656,7 +658,7 @@ func (p *Parser) parseCondExpr() Expr {
 		t := p.parseCondExpr()
 		p.expect(TokColon)
 		f := p.parseCondExpr()
-		return &Cond{C: c, T: t, F: f, Pos: c.ExprPos()}
+		return alloc(&p.ast.conds, Cond{C: c, T: t, F: f, Pos: c.ExprPos()})
 	}
 	return c
 }
@@ -697,7 +699,7 @@ func (p *Parser) parseBinary(minPrec int) Expr {
 		}
 		op := p.next()
 		rhs := p.parseBinary(prec + 1)
-		lhs = &Binary{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos}
+		lhs = alloc(&p.ast.binaries, Binary{Op: op.Kind, L: lhs, R: rhs, Pos: op.Pos})
 	}
 }
 
@@ -706,11 +708,11 @@ func (p *Parser) parseUnary() Expr {
 	case TokBang, TokMinus, TokTilde, TokStar, TokAmp:
 		op := p.next()
 		x := p.parseUnary()
-		return &Unary{Op: op.Kind, X: x, Pos: op.Pos}
+		return alloc(&p.ast.unaries, Unary{Op: op.Kind, X: x, Pos: op.Pos})
 	case TokPlusPlus, TokMinusMinus:
 		op := p.next()
 		x := p.parseUnary()
-		return &Unary{Op: op.Kind, X: x, Pos: op.Pos}
+		return alloc(&p.ast.unaries, Unary{Op: op.Kind, X: x, Pos: op.Pos})
 	case TokKwSizeof:
 		pos := p.next().Pos
 		if p.accept(TokLParen) {
@@ -725,10 +727,10 @@ func (p *Parser) parseUnary() Expr {
 				name = fmt.Sprintf("%T", e)
 			}
 			p.expect(TokRParen)
-			return &SizeofExpr{TypeName: name, Pos: pos}
+			return alloc(&p.ast.sizeofs, SizeofExpr{TypeName: name, Pos: pos})
 		}
 		x := p.parseUnary()
-		return &SizeofExpr{TypeName: fmt.Sprintf("%T", x), Pos: pos}
+		return alloc(&p.ast.sizeofs, SizeofExpr{TypeName: fmt.Sprintf("%T", x), Pos: pos})
 	case TokLParen:
 		// Either a cast or a parenthesized expression.
 		if p.isCastStart() {
@@ -739,7 +741,7 @@ func (p *Parser) parseUnary() Expr {
 			}
 			p.expect(TokRParen)
 			x := p.parseUnary()
-			return &Cast{To: t, X: x, Pos: pos}
+			return alloc(&p.ast.casts, Cast{To: t, X: x, Pos: pos})
 		}
 	}
 	return p.parsePostfix()
@@ -774,19 +776,19 @@ func (p *Parser) parsePostfix() Expr {
 		case TokDot:
 			pos := p.next().Pos
 			name := p.expect(TokIdent)
-			x = &Member{X: x, Name: name.Text, Pos: pos}
+			x = alloc(&p.ast.members, Member{X: x, Name: name.Text, Pos: pos})
 		case TokArrow:
 			pos := p.next().Pos
 			name := p.expect(TokIdent)
-			x = &Member{X: x, Name: name.Text, Arrow: true, Pos: pos}
+			x = alloc(&p.ast.members, Member{X: x, Name: name.Text, Arrow: true, Pos: pos})
 		case TokLBracket:
 			pos := p.next().Pos
 			i := p.parseExpr()
 			p.expect(TokRBracket)
-			x = &Index{X: x, I: i, Pos: pos}
+			x = alloc(&p.ast.indexes, Index{X: x, I: i, Pos: pos})
 		case TokPlusPlus, TokMinusMinus:
 			op := p.next()
-			x = &Unary{Op: op.Kind, X: x, Postfix: true, Pos: op.Pos}
+			x = alloc(&p.ast.unaries, Unary{Op: op.Kind, X: x, Postfix: true, Pos: op.Pos})
 		default:
 			return x
 		}
@@ -800,7 +802,7 @@ func (p *Parser) parsePrimary() Expr {
 		p.next()
 		if p.at(TokLParen) {
 			p.next()
-			call := &Call{Fun: t.Text, Pos: t.Pos}
+			call := alloc(&p.ast.calls, Call{Fun: t.Text, Pos: t.Pos})
 			if !p.at(TokRParen) {
 				for {
 					call.Args = append(call.Args, p.parseCondExpr())
@@ -813,15 +815,15 @@ func (p *Parser) parsePrimary() Expr {
 			return call
 		}
 		if v, ok := p.enums[t.Text]; ok {
-			return &IntLit{Val: v, Text: t.Text, Pos: t.Pos}
+			return alloc(&p.ast.ints, IntLit{Val: v, Text: t.Text, Pos: t.Pos})
 		}
-		return &Ident{Name: t.Text, Pos: t.Pos}
+		return alloc(&p.ast.idents, Ident{Name: t.Text, Pos: t.Pos})
 	case TokInt, TokChar:
 		p.next()
-		return &IntLit{Val: t.Val, Text: t.Text, Pos: t.Pos}
+		return alloc(&p.ast.ints, IntLit{Val: t.Val, Text: t.Text, Pos: t.Pos})
 	case TokString:
 		p.next()
-		return &StrLit{Val: t.Str, Pos: t.Pos}
+		return alloc(&p.ast.strs, StrLit{Val: t.Str, Pos: t.Pos})
 	case TokLParen:
 		p.next()
 		x := p.parseExpr()
@@ -830,7 +832,7 @@ func (p *Parser) parsePrimary() Expr {
 	}
 	p.errs.Add(t.Pos, "expected expression, got %s", t)
 	p.next()
-	return &IntLit{Val: 0, Text: "0", Pos: t.Pos}
+	return alloc(&p.ast.ints, IntLit{Val: 0, Text: "0", Pos: t.Pos})
 }
 
 // constFold evaluates a constant expression of integer literals,

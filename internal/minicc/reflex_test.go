@@ -1,0 +1,375 @@
+package minicc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// refLexer is the retained reference lexer: the straightforward,
+// allocation-heavy implementation the optimized zero-copy lexer
+// replaced, kept verbatim (plus the function-like-macro detection fix,
+// which the optimized lexer also carries) as the oracle for the fuzz
+// harness. FuzzLex asserts the production lexer and this one agree on
+// error presence and, on success, produce identical token streams.
+type refLexer struct {
+	file   string
+	src    string
+	off    int
+	line   int
+	lineAt int
+
+	macros  map[string][]Token
+	pending []Token
+
+	errs ErrorList
+}
+
+func newRefLexer(file, src string) *refLexer {
+	return &refLexer{file: file, src: src, line: 1, macros: make(map[string][]Token)}
+}
+
+func (lx *refLexer) pos() Pos {
+	return Pos{File: lx.file, Line: lx.line, Col: lx.off - lx.lineAt + 1}
+}
+
+func (lx *refLexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *refLexer) peekByteAt(i int) byte {
+	if lx.off+i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+i]
+}
+
+func (lx *refLexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.lineAt = lx.off
+	}
+	return c
+}
+
+func (lx *refLexer) next() Token {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t
+	}
+	for {
+		lx.skipSpaceAndComments()
+		if lx.off >= len(lx.src) {
+			return Token{Kind: TokEOF, Pos: lx.pos()}
+		}
+		pos := lx.pos()
+		c := lx.peekByte()
+
+		if c == '#' {
+			lx.directive()
+			continue
+		}
+		if isIdentStart(c) {
+			name := lx.ident()
+			if kw, ok := keywords[name]; ok {
+				return Token{Kind: kw, Text: name, Pos: pos}
+			}
+			if repl, ok := lx.macros[name]; ok {
+				if len(repl) == 0 {
+					continue
+				}
+				out := make([]Token, len(repl))
+				for i, t := range repl {
+					t.Pos = pos
+					out[i] = t
+				}
+				lx.pending = append(lx.pending, out[1:]...)
+				return out[0]
+			}
+			return Token{Kind: TokIdent, Text: name, Pos: pos}
+		}
+		if isDigit(c) {
+			return lx.number(pos)
+		}
+		switch c {
+		case '"':
+			return lx.stringLit(pos)
+		case '\'':
+			return lx.charLit(pos)
+		}
+		return lx.operator(pos)
+	}
+}
+
+func (lx *refLexer) tokenize() ([]Token, error) {
+	var toks []Token
+	for {
+		t := lx.next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			break
+		}
+	}
+	return toks, lx.errs.Err()
+}
+
+func (lx *refLexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errs.Add(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *refLexer) ident() string {
+	start := lx.off
+	for lx.off < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.advance()
+	}
+	return lx.src[start:lx.off]
+}
+
+func (lx *refLexer) directive() {
+	pos := lx.pos()
+	lx.advance() // '#'
+	for lx.off < len(lx.src) && (lx.peekByte() == ' ' || lx.peekByte() == '\t') {
+		lx.advance()
+	}
+	word := ""
+	if isIdentStart(lx.peekByte()) {
+		word = lx.ident()
+	}
+	rest := lx.restOfDirectiveLine()
+	if word != "define" {
+		return
+	}
+	sub := newRefLexer(lx.file, rest)
+	sub.line = pos.Line
+	name := sub.next()
+	if name.Kind != TokIdent {
+		lx.errs.Add(pos, "#define expects a macro name, got %s", name)
+		return
+	}
+	if sub.off < len(rest) && rest[sub.off] == '(' {
+		lx.errs.Add(pos, "#define %s: function-like macros are not supported", name.Text)
+		return
+	}
+	var repl []Token
+	for {
+		t := sub.next()
+		if t.Kind == TokEOF {
+			break
+		}
+		repl = append(repl, t)
+	}
+	lx.errs = append(lx.errs, sub.errs...)
+	lx.macros[name.Text] = repl
+}
+
+func (lx *refLexer) restOfDirectiveLine() string {
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == '\\' && lx.peekByteAt(1) == '\n' {
+			lx.advance()
+			lx.advance()
+			b.WriteByte(' ')
+			continue
+		}
+		if c == '\n' {
+			lx.advance()
+			break
+		}
+		b.WriteByte(lx.advance())
+	}
+	return b.String()
+}
+
+func (lx *refLexer) number(pos Pos) Token {
+	start := lx.off
+	base := 10
+	if lx.peekByte() == '0' && (lx.peekByteAt(1) == 'x' || lx.peekByteAt(1) == 'X') {
+		base = 16
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	text := lx.src[start:lx.off]
+	digits := text
+	if base == 16 {
+		digits = text[2:]
+	}
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			lx.advance()
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseInt(digits, base, 64)
+	if err != nil {
+		if u, uerr := strconv.ParseUint(digits, base, 64); uerr == nil {
+			v = int64(u)
+		} else {
+			lx.errs.Add(pos, "bad integer literal %q: %v", text, err)
+		}
+	}
+	return Token{Kind: TokInt, Text: text, Val: v, Pos: pos}
+}
+
+func (lx *refLexer) stringLit(pos Pos) Token {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.off >= len(lx.src) || lx.peekByte() == '\n' {
+			lx.errs.Add(pos, "unterminated string literal")
+			break
+		}
+		c := lx.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' && lx.off < len(lx.src) {
+			b.WriteByte(unescape(lx.advance()))
+			continue
+		}
+		b.WriteByte(c)
+	}
+	s := b.String()
+	return Token{Kind: TokString, Text: s, Str: s, Pos: pos}
+}
+
+func (lx *refLexer) charLit(pos Pos) Token {
+	lx.advance() // opening quote
+	var v int64
+	if lx.off < len(lx.src) {
+		c := lx.advance()
+		if c == '\\' && lx.off < len(lx.src) {
+			v = int64(unescape(lx.advance()))
+		} else {
+			v = int64(c)
+		}
+	}
+	if lx.off < len(lx.src) && lx.peekByte() == '\'' {
+		lx.advance()
+	} else {
+		lx.errs.Add(pos, "unterminated character literal")
+	}
+	return Token{Kind: TokChar, Text: string(rune(v)), Val: v, Pos: pos}
+}
+
+func (lx *refLexer) operator(pos Pos) Token {
+	three := ""
+	if lx.off+3 <= len(lx.src) {
+		three = lx.src[lx.off : lx.off+3]
+	}
+	two := ""
+	if lx.off+2 <= len(lx.src) {
+		two = lx.src[lx.off : lx.off+2]
+	}
+	mk := func(k TokKind, n int) Token {
+		text := lx.src[lx.off : lx.off+n]
+		for i := 0; i < n; i++ {
+			lx.advance()
+		}
+		return Token{Kind: k, Text: text, Pos: pos}
+	}
+	switch three {
+	case "<<=":
+		return mk(TokShlEq, 3)
+	case ">>=":
+		return mk(TokShrEq, 3)
+	}
+	switch two {
+	case "->":
+		return mk(TokArrow, 2)
+	case "==":
+		return mk(TokEqEq, 2)
+	case "!=":
+		return mk(TokNotEq, 2)
+	case "<=":
+		return mk(TokLe, 2)
+	case ">=":
+		return mk(TokGe, 2)
+	case "&&":
+		return mk(TokAndAnd, 2)
+	case "||":
+		return mk(TokOrOr, 2)
+	case "<<":
+		return mk(TokShl, 2)
+	case ">>":
+		return mk(TokShr, 2)
+	case "+=":
+		return mk(TokPlusEq, 2)
+	case "-=":
+		return mk(TokMinusEq, 2)
+	case "*=":
+		return mk(TokStarEq, 2)
+	case "/=":
+		return mk(TokSlashEq, 2)
+	case "%=":
+		return mk(TokPercentEq, 2)
+	case "&=":
+		return mk(TokAmpEq, 2)
+	case "|=":
+		return mk(TokPipeEq, 2)
+	case "^=":
+		return mk(TokCaretEq, 2)
+	case "++":
+		return mk(TokPlusPlus, 2)
+	case "--":
+		return mk(TokMinusMinus, 2)
+	}
+	var single = map[byte]TokKind{
+		'(': TokLParen, ')': TokRParen, '{': TokLBrace, '}': TokRBrace,
+		'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
+		'.': TokDot, '?': TokQuestion, ':': TokColon, '=': TokAssign,
+		'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
+		'%': TokPercent, '&': TokAmp, '|': TokPipe, '^': TokCaret,
+		'~': TokTilde, '!': TokBang, '<': TokLt, '>': TokGt,
+	}
+	c := lx.peekByte()
+	if k, ok := single[c]; ok {
+		return mk(k, 1)
+	}
+	lx.errs.Add(pos, "unexpected character %q", string(rune(c)))
+	lx.advance()
+	return lx.next()
+}

@@ -18,7 +18,10 @@
 // member access).
 package minicc
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // TokKind enumerates lexical token kinds.
 type TokKind uint8
@@ -169,12 +172,19 @@ type Pos struct {
 	Col int
 }
 
-// String renders the position as file:line:col.
+// String renders the position as file:line:col. Hand-rolled rather
+// than fmt.Sprintf: derivation stringifies a position per comparison
+// site, and this keeps it to a single allocation.
 func (p Pos) String() string {
-	if p.File == "" {
-		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	b := make([]byte, 0, len(p.File)+12)
+	if p.File != "" {
+		b = append(b, p.File...)
+		b = append(b, ':')
 	}
-	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+	b = strconv.AppendInt(b, int64(p.Line), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(p.Col), 10)
+	return string(b)
 }
 
 // IsValid reports whether the position has been set.

@@ -83,6 +83,29 @@ func (s SeedSet) IDs() []int {
 	return out
 }
 
+// ForEach calls f for each member in ascending order without
+// materializing a slice — the allocation-free form of IDs for hot
+// loops.
+func (s SeedSet) ForEach(f func(int)) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(i*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// First returns the smallest member, or -1 if the set is empty.
+func (s SeedSet) First() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // Clear empties the set while keeping its backing array, so hot loops
 // can reuse one scratch set instead of allocating per iteration.
 // Trailing zero words are semantically inert for every consumer

@@ -227,10 +227,10 @@ func runSigOf(opts Options, seeds []Seed) string {
 
 // appendSet renders a seed set into the signature builder.
 func appendSet(b *strings.Builder, s SeedSet) {
-	for _, id := range s.IDs() {
+	s.ForEach(func(id int) {
 		b.WriteByte(',')
 		b.WriteString(strconv.Itoa(id))
-	}
+	})
 }
 
 // inputSig builds the visit key for st's function: the run prefix plus

@@ -659,9 +659,9 @@ func (a *analysis) analyzeFunc(idx int) {
 				}
 				if st.union(info.dst.id, *flow) {
 					changed = true
-					for _, id := range flow.IDs() {
+					flow.ForEach(func(id int) {
 						a.addTrace(id, in.Pos)
-					}
+					})
 					if cur := st.at(info.dst.id); cur.Len() >= 2 {
 						mk := fn.Name + "\x00" + info.dstKey
 						mcur := a.res.Multi[mk]

@@ -154,6 +154,10 @@ func assertCorpusShape(b *testing.B, outs []*core.Result) {
 // dependency derivation. The cold/warm ns-per-op ratio is the speedup
 // the memo layer buys repeated-scenario extraction.
 func BenchmarkExtractionColdVsWarm(b *testing.B) {
+	// The compiled-program cache would answer "cold" recompiles from
+	// memory and compress the ratio this benchmark reports; disable it
+	// so cold stays truly cold.
+	defer core.SetProgramCacheCapacity(core.SetProgramCacheCapacity(0))
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			analyzeAllCorpus(b, corpus.Components())
@@ -189,6 +193,7 @@ func BenchmarkAnalyzeAllCorpusCached(b *testing.B) {
 // whole-scenario records, compiling and running nothing. The ratio is
 // the warm-start speedup (acceptance floor: 5x).
 func BenchmarkColdVsDiskWarm(b *testing.B) {
+	defer core.SetProgramCacheCapacity(core.SetProgramCacheCapacity(0))
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
@@ -235,6 +240,7 @@ func BenchmarkColdVsDiskWarm(b *testing.B) {
 // (alternating trailing newlines) changes content without changing the
 // extraction, so both variants keep the corpus shape assertion.
 func BenchmarkIncrementalOneComponent(b *testing.B) {
+	defer core.SetProgramCacheCapacity(core.SetProgramCacheCapacity(0))
 	const edited = "resize2fs"
 	rev := func(i int) string {
 		if i%2 == 0 {
@@ -302,6 +308,7 @@ func conHandleCkUnion(b *testing.B, comps map[string]*core.Component) *depmodel.
 // itself runs once outside the timer as a shape check (1 silent
 // corruption, as in §4.3).
 func BenchmarkConHandleCkExtractColdVsWarm(b *testing.B) {
+	defer core.SetProgramCacheCapacity(core.SetProgramCacheCapacity(0))
 	b.Run("cold", func(b *testing.B) {
 		var union *depmodel.Set
 		for i := 0; i < b.N; i++ {

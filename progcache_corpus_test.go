@@ -1,0 +1,72 @@
+// Compiled-program cache guarantees: a Component whose Compile is
+// answered by the process-wide program cache must produce output
+// byte-identical to one that runs the full frontend, and repeated cold
+// sessions over identical sources must actually hit the cache.
+package fsdep
+
+import (
+	"bytes"
+	"testing"
+
+	"fsdep/internal/core"
+	"fsdep/internal/corpus"
+	"fsdep/internal/ir"
+)
+
+// TestProgramCacheHitByteIdentical mirrors
+// TestCachedAnalyzeAllByteIdentical one layer down: the baseline runs
+// with the program cache disabled (every component pays the full
+// lex+parse+lower), then two passes with the cache enabled — the first
+// fills it (miss+insert path), the second is answered from it (hit
+// path). All three must agree byte-for-byte, per scenario.
+func TestProgramCacheHitByteIdentical(t *testing.T) {
+	prev := core.SetProgramCacheCapacity(0)
+	baseline := corpusJSON(t, 1) // cache disabled: true frontend runs
+	core.SetProgramCacheCapacity(prev)
+	defer core.SetProgramCacheCapacity(prev)
+
+	for pass, label := range []string{"fill", "hit"} {
+		hits0, _ := core.ProgramCacheStats()
+		blobs := corpusJSON(t, 1) // fresh Components each call
+		for i := range baseline {
+			if !bytes.Equal(baseline[i], blobs[i]) {
+				t.Errorf("%s pass, scenario %d: cached-program JSON differs from uncached run", label, i)
+			}
+		}
+		hits1, _ := core.ProgramCacheStats()
+		if pass == 1 && hits1 == hits0 {
+			t.Error("second cold session produced no program-cache hits")
+		}
+	}
+}
+
+// TestProgramCacheDumpIdentical checks the IR itself, not just the
+// derived dependencies: for each corpus component, the program served
+// from the cache must dump identically to one compiled with the cache
+// disabled.
+func TestProgramCacheDumpIdentical(t *testing.T) {
+	prev := core.SetProgramCacheCapacity(0)
+	defer core.SetProgramCacheCapacity(prev)
+
+	uncached := map[string]string{}
+	for name, c := range corpus.Components() {
+		p, err := c.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		uncached[name] = ir.DumpProgram(p)
+	}
+
+	core.SetProgramCacheCapacity(prev)
+	for pass := 0; pass < 2; pass++ { // fill, then hit
+		for name, c := range corpus.Components() {
+			p, err := c.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ir.DumpProgram(p); got != uncached[name] {
+				t.Errorf("pass %d: %s: cached program dump differs from uncached compile", pass, name)
+			}
+		}
+	}
+}

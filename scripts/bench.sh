@@ -7,11 +7,14 @@
 #
 #   --smoke   run each benchmark exactly once (-benchtime=1x); fast
 #             shape check for CI, numbers are not representative
-#   --gate    after the run, compare ns/op against the committed
-#             baseline: any benchmark slower or faster than the
-#             baseline by more than the tolerance (default 20%, set
-#             BENCH_TOLERANCE_PCT to override), or missing from the
-#             fresh run entirely, fails the script. New benchmarks
+#   --gate    after the run, compare against the committed baseline:
+#             any benchmark slower or faster than the baseline ns/op
+#             by more than the tolerance (default 20%, set
+#             BENCH_TOLERANCE_PCT to override), or allocating more
+#             than the baseline allocs/op plus the allocation
+#             tolerance (default 10%, BENCH_ALLOC_TOLERANCE_PCT — a
+#             ceiling: allocating less always passes), or missing from
+#             the fresh run entirely, fails the script. New benchmarks
 #             absent from the baseline pass.
 #   output    path for the JSON summary (default: BENCH_0.json)
 #
@@ -82,10 +85,10 @@ echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2
 if [ -n "$gate" ]; then
 	# Summary lines look like:
 	#   "BenchmarkName": {"ns_per_op": 123, "allocs_per_op": 45}
-	awk -v tol="${BENCH_TOLERANCE_PCT:-20}" '
+	awk -v tol="${BENCH_TOLERANCE_PCT:-20}" -v atol="${BENCH_ALLOC_TOLERANCE_PCT:-10}" '
 	function parse(line) {
-		# Returns via globals pname/pns; empty pname means no match.
-		pname = ""; pns = ""
+		# Returns via globals pname/pns/pallocs; empty pname = no match.
+		pname = ""; pns = ""; pallocs = ""
 		if (line !~ /ns_per_op/) return
 		split(line, q, "\"")
 		pname = q[2]
@@ -93,9 +96,13 @@ if [ -n "$gate" ]; then
 		sub(/.*"ns_per_op": */, "", rest)
 		sub(/[,}].*/, "", rest)
 		pns = rest + 0
+		rest = line
+		sub(/.*"allocs_per_op": */, "", rest)
+		sub(/[,}].*/, "", rest)
+		pallocs = rest + 0
 	}
-	FNR == NR { parse($0); if (pname != "") base[pname] = pns; next }
-	{ parse($0); if (pname != "") cur[pname] = pns }
+	FNR == NR { parse($0); if (pname != "") { base[pname] = pns; basea[pname] = pallocs }; next }
+	{ parse($0); if (pname != "") { cur[pname] = pns; cura[pname] = pallocs } }
 	END {
 		bad = 0
 		for (name in base) {
@@ -111,26 +118,37 @@ if [ -n "$gate" ]; then
 					name, cur[name], lo, hi, base[name], tol
 				bad++
 			}
+			# Allocation ceiling: a one-sided gate, since allocs/op is
+			# deterministic — creeping back up past the baseline (plus
+			# slack for amortized first-iteration costs at low counts)
+			# means an allocation win silently regressed.
+			ahi = basea[name] * (1 + atol / 100)
+			if (cura[name] > ahi) {
+				printf "GATE: %s allocs/op %.0f above ceiling %.0f (baseline %.0f, +%s%%)\n",
+					name, cura[name], ahi, basea[name], atol
+				bad++
+			}
 		}
 		if (bad) {
-			printf "bench gate: %d benchmark(s) outside the ±%s%% envelope\n", bad, tol
+			printf "bench gate: %d benchmark(s) outside the envelope (ns ±%s%%, allocs +%s%%)\n", bad, tol, atol
 			exit 1
 		}
-		printf "bench gate: all benchmarks within ±%s%% of baseline\n", tol
+		printf "bench gate: all benchmarks within ns ±%s%% and allocs +%s%% of baseline\n", tol, atol
 	}
 	' "$gate" "$out" >&2
 
 	# Parallel-efficiency gate: on machines with enough cores, the
-	# sweep-scaling ladder's widest rung must actually beat workers=1.
-	# A configuration that allocates per trial (or serializes on shared
-	# state) passes the ±tolerance single-thread gate while regressing
-	# scaling — this check fails it. Skipped below 4 cores, where the
-	# ladder has no headroom to measure. BENCH_PAR_FLOOR overrides the
-	# required speedup (default 1.5x).
+	# sweep-scaling ladder's and the Table-5 extraction's widest rung
+	# must actually beat workers=1. A configuration that allocates per
+	# trial (or serializes on shared state) passes the ±tolerance
+	# single-thread gate while regressing scaling — this check fails
+	# it. Skipped below 4 cores, where the ladder has no headroom to
+	# measure. BENCH_PAR_FLOOR overrides the required speedup
+	# (default 1.5x).
 	cores="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 	if [ "$cores" -ge 4 ]; then
 		awk -v floor="${BENCH_PAR_FLOOR:-1.5}" '
-		/"BenchmarkSweepScaling\// && /ns_per_op/ {
+		/"Benchmark(SweepScaling|ParallelExtraction)\// && /ns_per_op/ {
 			split($0, q, "\"")
 			name = q[2]
 			sub(/^BenchmarkSweepScaling\//, "", name)
