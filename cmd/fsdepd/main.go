@@ -9,14 +9,21 @@
 // Usage:
 //
 //	fsdepd [-addr HOST:PORT] [-cache-dir DIR] [-mode intra|inter] [-parallel N]
-//	       [-max-store-bytes N] [-warm] [-url-file FILE]
+//	       [-max-store-bytes N] [-max-inflight N] [-warm] [-scrub] [-url-file FILE]
 //
 // -addr accepts ":0" to bind an ephemeral port; the chosen URL is
 // printed on stderr and, with -url-file, written to a file so scripts
 // (and the CI smoke test) can discover it. -max-store-bytes bounds the
 // on-disk store with LRU eviction, checked at startup and once a
 // minute. -warm runs the full corpus analysis before serving, so the
-// first query is already hot.
+// first query is already hot. -scrub re-validates every store record
+// before serving and removes the ones a crash or bit-rot corrupted
+// (the same pass is available while serving via POST /v1/scrub).
+//
+// Robustness: the server carries read/write timeouts so a stalled
+// client can't pin a connection forever, and sheds load beyond
+// -max-inflight concurrently served requests with 503 + Retry-After
+// instead of queueing without bound.
 //
 // Consistency: uploads take the single-writer lock — in-flight queries
 // complete against the previous analysis generation, later queries see
@@ -59,7 +66,9 @@ func main() {
 	mode := flag.String("mode", "intra", "taint mode: intra (paper prototype) or inter (extension)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "number of analysis workers")
 	maxStoreBytes := flag.Int64("max-store-bytes", 0, "evict least-recently-used records beyond this store size (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "shed requests beyond this many in flight with 503 (0 = default)")
 	warm := flag.Bool("warm", false, "run the full corpus analysis before serving")
+	scrub := flag.Bool("scrub", false, "re-validate every store record before serving, removing corrupt ones")
 	urlFile := flag.String("url-file", "", "write the daemon's base URL to this file once listening")
 	flag.Parse()
 
@@ -79,6 +88,14 @@ func main() {
 	store, err := depstore.Open(*cacheDir)
 	if err != nil {
 		cliutil.Failf("fsdepd", err)
+	}
+	if *scrub {
+		rep, err := store.Scrub(depstore.ScrubOptions{})
+		if err != nil {
+			cliutil.Failf("fsdepd", err)
+		}
+		fmt.Fprintf(os.Stderr, "fsdepd: scrub: %d scanned, %d valid, %d removed (%d corrupt, %d version-skew, %d kind-mismatch)\n",
+			rep.Scanned, rep.Valid, rep.Removed, rep.Corrupt, rep.VersionSkew, rep.KindMismatch)
 	}
 	evict(store, *maxStoreBytes)
 
@@ -109,7 +126,18 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Handler: service.NewServer(analysis, store, corpus.Score, "ext4").Handler()}
+	sv := service.NewServer(analysis, store, corpus.Score, "ext4")
+	sv.SetMaxInFlight(*maxInflight)
+	srv := &http.Server{
+		Handler: sv.Handler(),
+		// A stalled or malicious client gets a bounded slice of the
+		// daemon, never a pinned connection: headers must arrive fast,
+		// whole requests and responses within an analysis-sized budget.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -1,0 +1,117 @@
+package checkpoint_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsdep/internal/checkpoint"
+	"fsdep/internal/faultfs"
+)
+
+// trialResult is a stand-in sweep trial payload.
+type trialResult struct {
+	Trial   int    `json:"trial"`
+	Outcome string `json:"outcome"`
+}
+
+// runSweep runs trials [0, n) through the journal at path and returns
+// the rendered results plus how many replayed vs ran.
+func runSweep(t *testing.T, path string, n int, ran *int) string {
+	t.Helper()
+	j, err := checkpoint.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	out := ""
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("trial-%d", i)
+		res, err := checkpoint.Do(j, key, func() (trialResult, error) {
+			*ran++
+			return trialResult{Trial: i, Outcome: "benign"}, nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		out += fmt.Sprintf("%d=%s\n", res.Trial, res.Outcome)
+	}
+	return out
+}
+
+// TestResumeAfterInjectedTornAppend is the crash-mid-append story told
+// with faultfs instead of a hand-mangled file: the journal's bytes are
+// rewritten through a torn-write handle — a planned host crash during
+// the final append — and the resumed sweep must truncate the torn
+// tail, replay every complete trial, re-run only the torn one, and
+// produce byte-identical output to an uninterrupted sweep.
+func TestResumeAfterInjectedTornAppend(t *testing.T) {
+	const trials = 4
+	// The uninterrupted sweep: the byte-identity oracle.
+	var oracleRan int
+	oracle := runSweep(t, filepath.Join(t.TempDir(), "oracle.jsonl"), trials, &oracleRan)
+	if oracleRan != trials {
+		t.Fatalf("oracle ran %d trials, want %d", oracleRan, trials)
+	}
+
+	sawTornTail := false
+	for seed := uint64(1); seed <= 5; seed++ {
+		// A sweep that finished trials 0-2 cleanly...
+		dir := t.TempDir()
+		path := filepath.Join(dir, "sweep.jsonl")
+		var ran int
+		runSweep(t, path, trials-1, &ran)
+		complete, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ...and died mid-append of trial 3: replay that crash by pushing
+		// the completed journal (write 1) plus the in-flight line (write
+		// 2, torn) through a faultfs handle.
+		ffs := faultfs.New(faultfs.Plan{TornWrites: []uint64{2}, Seed: seed})
+		tmp, err := ffs.CreateTemp(dir, "crash-*.jsonl")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tmp.Write(complete); err != nil {
+			t.Fatal(err)
+		}
+		line := []byte(`{"k":"trial-3","v":{"trial":3,"outcome":"benign"}}` + "\n")
+		if _, err := tmp.Write(line); !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("seed %d: torn append error = %v, want ErrInjected", seed, err)
+		}
+		if err := tmp.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp.Name(), path); err != nil {
+			t.Fatal(err)
+		}
+		crashed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(crashed) > len(complete) {
+			sawTornTail = true
+		}
+		// The resume: torn tail truncated, trials 0-2 replayed, only the
+		// torn trial re-runs, output byte-identical to the oracle.
+		ran = 0
+		got := runSweep(t, path, trials, &ran)
+		if got != oracle {
+			t.Fatalf("seed %d: resumed sweep diverged:\nwant %q\ngot  %q", seed, oracle, got)
+		}
+		if ran != 1 {
+			t.Errorf("seed %d: resume re-ran %d trials, want only the torn one", seed, ran)
+		}
+		// And the healed journal replays fully on the next resume.
+		ran = 0
+		if got := runSweep(t, path, trials, &ran); got != oracle || ran != 0 {
+			t.Errorf("seed %d: second resume ran %d trials (output match %v), want pure replay", seed, ran, got == oracle)
+		}
+	}
+	if !sawTornTail {
+		t.Error("no seed produced a non-empty torn tail — the test never exercised truncation")
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"time"
 
 	"fsdep/internal/checkpoint"
 	"fsdep/internal/core"
@@ -80,11 +82,59 @@ func OpenStore(tool, dir, storeURL string) *depstore.Store {
 	return openStore(os.Stderr, tool, dir, storeURL)
 }
 
+// envDuration reads a duration knob; a malformed value warns and falls
+// back to the client default rather than failing the run.
+func envDuration(w io.Writer, tool, name string) (time.Duration, bool) {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0, false
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d <= 0 {
+		fmt.Fprintf(w, "%s: ignoring %s=%q: want a positive duration like 500ms\n", tool, name, v)
+		return 0, false
+	}
+	return d, true
+}
+
+// storeConfigFromEnv assembles the remote client's recovery settings
+// from the FSDEP_STORE_* environment knobs (unset = client defaults):
+//
+//	FSDEP_STORE_TIMEOUT   per-attempt deadline        (duration, e.g. 2s)
+//	FSDEP_STORE_RETRIES   retries per request         (int, 0 disables)
+//	FSDEP_STORE_BACKOFF   base retry backoff          (duration, e.g. 50ms)
+//	FSDEP_STORE_COOLDOWN  breaker open→half-open wait (duration, e.g. 3s)
+//
+// Environment variables rather than flags because every CLI shares
+// them and they tune plumbing, not analysis.
+func storeConfigFromEnv(w io.Writer, tool string) remote.Config {
+	var cfg remote.Config
+	if d, ok := envDuration(w, tool, "FSDEP_STORE_TIMEOUT"); ok {
+		cfg.RequestTimeout = d
+	}
+	if v := os.Getenv("FSDEP_STORE_RETRIES"); v != "" {
+		if n, err := strconv.Atoi(v); err != nil || n < 0 {
+			fmt.Fprintf(w, "%s: ignoring FSDEP_STORE_RETRIES=%q: want a non-negative integer\n", tool, v)
+		} else if n == 0 {
+			cfg.MaxRetries = -1 // the config's explicit "no retries"
+		} else {
+			cfg.MaxRetries = n
+		}
+	}
+	if d, ok := envDuration(w, tool, "FSDEP_STORE_BACKOFF"); ok {
+		cfg.BackoffBase = d
+	}
+	if d, ok := envDuration(w, tool, "FSDEP_STORE_COOLDOWN"); ok {
+		cfg.Cooldown = d
+	}
+	return cfg
+}
+
 // openStore is OpenStore with the warning stream injected for tests.
 func openStore(w io.Writer, tool, dir, storeURL string) *depstore.Store {
 	var rem depstore.Remote
 	if storeURL != "" {
-		c := remote.New(storeURL)
+		c := remote.NewWithConfig(storeURL, storeConfigFromEnv(w, tool))
 		if err := c.Ping(); err != nil {
 			fmt.Fprintf(w, "%s: remote store unreachable, continuing without it: %v\n", tool, err)
 		} else {
@@ -122,11 +172,16 @@ func PrintCacheStats(tool string, comps map[string]*core.Component, store *depst
 		tool, cs.SummaryHits, cs.SummaryMisses)
 	if store != nil {
 		st := store.Stats()
-		fmt.Fprintf(os.Stderr, "%s: disk store: %d hits, %d misses, %d invalidations, %d writes\n",
-			tool, st.Hits, st.Misses, st.Invalidations, st.Writes)
+		fmt.Fprintf(os.Stderr, "%s: disk store: %d hits, %d misses, %d invalidations, %d writes, %d write-back errors\n",
+			tool, st.Hits, st.Misses, st.Invalidations, st.Writes, st.WriteBackErrors)
 		if store.HasRemote() {
 			fmt.Fprintf(os.Stderr, "%s: remote store: %d hits, %d misses, %d writes, %d errors\n",
 				tool, st.RemoteHits, st.RemoteMisses, st.RemoteWrites, st.RemoteErrors)
+			if c, ok := store.Remote().(*remote.Client); ok {
+				bs := c.Stats()
+				fmt.Fprintf(os.Stderr, "%s: remote breaker: %s; %d retries, %d opens, %d probes, %d recloses, %d short-circuits\n",
+					tool, bs.State, bs.Retries, bs.Opens, bs.Probes, bs.Recloses, bs.ShortCircuits)
+			}
 		}
 	}
 }

@@ -110,6 +110,39 @@ func TestOpenStoreRemoteOnlyByRequest(t *testing.T) {
 	}
 }
 
+func TestStoreConfigFromEnv(t *testing.T) {
+	t.Setenv("FSDEP_STORE_TIMEOUT", "2s")
+	t.Setenv("FSDEP_STORE_RETRIES", "5")
+	t.Setenv("FSDEP_STORE_BACKOFF", "25ms")
+	t.Setenv("FSDEP_STORE_COOLDOWN", "7s")
+	var buf strings.Builder
+	cfg := storeConfigFromEnv(&buf, "tool")
+	if cfg.RequestTimeout.Seconds() != 2 || cfg.MaxRetries != 5 ||
+		cfg.BackoffBase.Milliseconds() != 25 || cfg.Cooldown.Seconds() != 7 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("valid knobs warned: %q", buf.String())
+	}
+	// Zero retries is a deliberate "no retries", not the default.
+	t.Setenv("FSDEP_STORE_RETRIES", "0")
+	if cfg := storeConfigFromEnv(&buf, "tool"); cfg.MaxRetries >= 0 {
+		t.Errorf("FSDEP_STORE_RETRIES=0 → MaxRetries %d, want explicit no-retries (<0)", cfg.MaxRetries)
+	}
+	// Malformed values warn and fall back to the client defaults.
+	t.Setenv("FSDEP_STORE_TIMEOUT", "fast")
+	t.Setenv("FSDEP_STORE_RETRIES", "-3")
+	buf.Reset()
+	cfg = storeConfigFromEnv(&buf, "tool")
+	if cfg.RequestTimeout != 0 || cfg.MaxRetries != 0 {
+		t.Errorf("malformed knobs applied: %+v", cfg)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FSDEP_STORE_TIMEOUT") || !strings.Contains(out, "FSDEP_STORE_RETRIES") {
+		t.Errorf("missing warnings for malformed knobs: %q", out)
+	}
+}
+
 func TestOpenStoreRemoteOnlyRequestedButDaemonGone(t *testing.T) {
 	ts := pingServer(t)
 	url := ts.URL

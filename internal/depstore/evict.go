@@ -56,7 +56,7 @@ func (s *Store) Evict(maxBytes int64) (int, error) {
 		if total <= maxBytes {
 			break
 		}
-		if err := os.Remove(r.path); err != nil && !os.IsNotExist(err) {
+		if err := s.fsys.Remove(r.path); err != nil && !os.IsNotExist(err) {
 			return evicted, err
 		}
 		total -= r.size
@@ -73,14 +73,22 @@ func (s *Store) Evict(maxBytes int64) (int, error) {
 func (s *Store) scan() ([]recordInfo, int64, error) {
 	var recs []recordInfo
 	var total int64
-	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+	err := s.fsys.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			if os.IsNotExist(err) {
 				return nil // raced with an eviction or rename
 			}
 			return err
 		}
-		if d.IsDir() || !strings.HasSuffix(d.Name(), ".rec") {
+		if d.IsDir() {
+			if path == filepath.Join(s.dir, QuarantineDir) {
+				// Quarantined records are post-mortem evidence, not cache
+				// contents; they don't compete for the LRU budget.
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".rec") {
 			return nil
 		}
 		info, err := d.Info()

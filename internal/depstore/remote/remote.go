@@ -11,60 +11,402 @@
 // each side — the payload's own consumers re-validate everything, so a
 // byte-mangling proxy degrades to a miss, never a wrong answer.
 //
+// # Recovery model
+//
 // A remote tier must never make a CLI slower than running cold when
-// the daemon is gone, so the client trips a breaker after a few
-// consecutive transport failures and answers everything as a miss from
-// then on; a single success (e.g. the daemon came back) resets it.
+// the daemon is gone, and it must never stay cold once the daemon is
+// back. The client therefore layers three mechanisms:
+//
+//   - per-attempt context deadlines (Config.RequestTimeout), so one
+//     hung connection costs a bounded slice of the run, not 30s;
+//   - bounded retries with deterministic exponential backoff plus
+//     seeded jitter for transient failures (transport errors, 5xx,
+//     and 503 load-shed answers, whose Retry-After is honored);
+//   - a three-state circuit breaker: Threshold consecutive failures
+//     open it (everything short-circuits to miss), a Cooldown later it
+//     half-opens and lets exactly one probe through, and a successful
+//     probe re-closes it — the daemon coming back heals the client
+//     without a restart.
+//
+// All timing flows through an injectable Clock, so the chaos tests
+// replay every retry, cooldown, and probe without a single wall-clock
+// sleep.
 package remote
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"fsdep/internal/prng"
 )
 
-// breakerThreshold is the number of consecutive transport failures
-// after which the client stops contacting the daemon.
-const breakerThreshold = 3
+// ErrUnavailable reports a request the breaker short-circuited: the
+// daemon has been failing and the cooldown has not elapsed. It is the
+// "clean typed error" a wedged daemon produces — never a hang, never a
+// partial answer.
+var ErrUnavailable = errors.New("remote: daemon unavailable (circuit open)")
 
 // maxPayload bounds a single record read; matches the server's upload
 // bound so a healthy round-trip never truncates.
 const maxPayload = 64 << 20
 
-// Client is an HTTP depstore.Remote against a running fsdepd.
-// Safe for concurrent use.
+// Clock abstracts time for the retry and breaker machinery. The chaos
+// tests substitute a fake that advances instantly, so no test ever
+// wall-blocks on a backoff or cooldown.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Config tunes the client's recovery machinery. Zero fields take the
+// defaults noted on each.
+type Config struct {
+	// RequestTimeout bounds each individual attempt (default 5s).
+	RequestTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried before
+	// the request gives up (default 2, so at most 3 attempts).
+	MaxRetries int
+	// BackoffBase seeds the exponential backoff between attempts:
+	// attempt k waits base<<k, half fixed and half jitter (default
+	// 50ms).
+	BackoffBase time.Duration
+	// BackoffMax caps any single backoff, including a server-requested
+	// Retry-After (default 2s).
+	BackoffMax time.Duration
+	// Threshold is how many consecutive failed requests open the
+	// breaker (default 3).
+	Threshold int
+	// Cooldown is how long an open breaker waits before half-opening
+	// for a probe (default 3s).
+	Cooldown time.Duration
+	// Seed drives the backoff jitter; each request derives its own
+	// prng.Derive sub-stream, so a single-threaded run replays exactly
+	// (0 = prng.DefaultSeed).
+	Seed uint64
+	// Clock substitutes the time source (nil = wall clock).
+	Clock Clock
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = wallClock{}
+	}
+	return c
+}
+
+// breaker states.
+type breakerState uint8
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// String names the state the way -stats prints it.
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "state(?)"
+	}
+}
+
+// Stats is a snapshot of the client's recovery counters, surfaced by
+// every CLI's -stats flag.
+type Stats struct {
+	// State is "closed", "open", or "half-open".
+	State string
+	// Retries counts retry attempts (beyond each request's first).
+	Retries uint64
+	// Failures counts failed attempts, including failed retries.
+	Failures uint64
+	// Opens counts closed→open trips.
+	Opens uint64
+	// Probes counts half-open probe attempts.
+	Probes uint64
+	// Recloses counts half-open→closed recoveries.
+	Recloses uint64
+	// ShortCircuits counts requests answered locally because the
+	// breaker was open.
+	ShortCircuits uint64
+}
+
+// Client is an HTTP depstore.Remote against a running fsdepd: a
+// recovering client per the package's recovery model. Safe for
+// concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
+	cfg  Config
 
-	// fails counts consecutive transport (not 404) failures; at
-	// breakerThreshold the client short-circuits to miss.
-	fails atomic.Int64
+	mu        sync.Mutex
+	state     breakerState
+	fails     int       // consecutive failed requests while closed
+	openUntil time.Time // when an open breaker may half-open
+	probing   bool      // a half-open probe is in flight
+
+	reqs          atomic.Uint64 // request counter, salts the jitter stream
+	retries       atomic.Uint64
+	failures      atomic.Uint64
+	opens         atomic.Uint64
+	probes        atomic.Uint64
+	recloses      atomic.Uint64
+	shortCircuits atomic.Uint64
 }
 
 // New returns a client for the daemon at baseURL (e.g.
-// "http://127.0.0.1:7070"). The URL is validated by Ping, not here.
+// "http://127.0.0.1:7070") with default recovery settings. The URL is
+// validated by Ping, not here.
 func New(baseURL string) *Client {
+	return NewWithConfig(baseURL, Config{})
+}
+
+// NewWithConfig returns a client with explicit recovery settings.
+func NewWithConfig(baseURL string, cfg Config) *Client {
 	return &Client{
 		base: strings.TrimRight(baseURL, "/"),
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		// No global client timeout: each attempt carries its own context
+		// deadline, so a slow request can be retried promptly instead of
+		// wedging the whole call for one long timeout.
+		hc:  &http.Client{},
+		cfg: cfg.withDefaults(),
 	}
 }
 
 // Base returns the daemon base URL the client was built with.
 func (c *Client) Base() string { return c.base }
 
+// Stats returns a snapshot of the recovery counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	state := c.state
+	c.mu.Unlock()
+	return Stats{
+		State:         state.String(),
+		Retries:       c.retries.Load(),
+		Failures:      c.failures.Load(),
+		Opens:         c.opens.Load(),
+		Probes:        c.probes.Load(),
+		Recloses:      c.recloses.Load(),
+		ShortCircuits: c.shortCircuits.Load(),
+	}
+}
+
+// tripped reports whether the breaker is not closed (kept for tests
+// and callers that only need a boolean health signal).
+func (c *Client) tripped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state != stateClosed
+}
+
+// admit decides whether a request may talk to the daemon. When the
+// breaker is open past its cooldown the request is admitted as the
+// half-open probe; while a probe is in flight every other request
+// short-circuits, so a dead daemon costs the fleet one probe per
+// cooldown, not a thundering herd.
+func (c *Client) admit() (probe, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case stateClosed:
+		return false, true
+	case stateOpen:
+		if c.cfg.Clock.Now().Before(c.openUntil) {
+			c.shortCircuits.Add(1)
+			return false, false
+		}
+		c.state = stateHalfOpen
+		c.probing = true
+		c.probes.Add(1)
+		return true, true
+	default: // stateHalfOpen
+		if c.probing {
+			c.shortCircuits.Add(1)
+			return false, false
+		}
+		c.probing = true
+		c.probes.Add(1)
+		return true, true
+	}
+}
+
+// settle records a request's outcome in the breaker.
+func (c *Client) settle(probe, success bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if probe {
+		c.probing = false
+	}
+	if success {
+		c.fails = 0
+		if c.state != stateClosed {
+			c.state = stateClosed
+			c.recloses.Add(1)
+		}
+		return
+	}
+	if c.state == stateHalfOpen {
+		// Failed probe: back to open for another cooldown.
+		c.state = stateOpen
+		c.openUntil = c.cfg.Clock.Now().Add(c.cfg.Cooldown)
+		return
+	}
+	c.fails++
+	if c.fails >= c.cfg.Threshold {
+		c.state = stateOpen
+		c.openUntil = c.cfg.Clock.Now().Add(c.cfg.Cooldown)
+		c.opens.Add(1)
+	}
+}
+
+// attemptOutcome classifies one HTTP attempt.
+type attemptOutcome struct {
+	resp       *http.Response // nil on transport failure
+	err        error
+	retryable  bool
+	retryAfter time.Duration // server-requested wait (503 Retry-After)
+}
+
+// doAttempt runs one bounded-deadline attempt of req (rebuilt per
+// attempt, since a Body can only be read once).
+func (c *Client) doAttempt(method, url string, payload []byte) attemptOutcome {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
+	defer cancel()
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return attemptOutcome{err: err} // malformed URL: not retryable
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return attemptOutcome{err: err, retryable: true}
+	}
+	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+		out := attemptOutcome{
+			err:       fmt.Errorf("remote: %s: %s", url, resp.Status),
+			retryable: true,
+		}
+		if ra, rerr := strconv.Atoi(resp.Header.Get("Retry-After")); rerr == nil && ra > 0 {
+			out.retryAfter = time.Duration(ra) * time.Second
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return out
+	}
+	return attemptOutcome{resp: resp}
+}
+
+// backoff returns the wait before retry attempt k (0-based), half
+// deterministic exponential and half jitter drawn from rng, honoring
+// (and capping) a server-requested Retry-After.
+func (c *Client) backoff(k int, retryAfter time.Duration, rng *prng.Source) time.Duration {
+	d := c.cfg.BackoffBase << uint(k)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(rng.Uint64n(uint64(half)+1))
+}
+
+// do runs one logical request with breaker admission and bounded
+// retries. A half-open probe gets a single attempt: the point of
+// half-open is to sample the daemon's health, not to hammer it. The
+// returned response (if any) is ready to read; the caller owns Body.
+func (c *Client) do(method, url string, payload []byte) (*http.Response, error) {
+	probe, ok := c.admit()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnavailable, c.base)
+	}
+	attempts := 1 + c.cfg.MaxRetries
+	if probe {
+		attempts = 1
+	}
+	rng := prng.New(prng.Derive(c.cfg.Seed, c.reqs.Add(1)))
+	var lastErr error
+	for k := 0; k < attempts; k++ {
+		if k > 0 {
+			c.retries.Add(1)
+		}
+		out := c.doAttempt(method, url, payload)
+		if out.err == nil {
+			c.settle(probe, true)
+			return out.resp, nil
+		}
+		c.failures.Add(1)
+		lastErr = out.err
+		if !out.retryable || k == attempts-1 {
+			break
+		}
+		c.cfg.Clock.Sleep(c.backoff(k, out.retryAfter, rng))
+	}
+	c.settle(probe, false)
+	return nil, lastErr
+}
+
 // Ping verifies the daemon is reachable and speaks the store protocol.
+// It participates in the breaker like any other request, so a
+// successful ping re-closes a tripped client.
 func (c *Client) Ping() error {
 	if _, err := url.ParseRequestURI(c.base); err != nil {
 		return fmt.Errorf("remote: invalid store URL %q: %w", c.base, err)
 	}
-	resp, err := c.hc.Get(c.base + "/v1/ping")
+	resp, err := c.do(http.MethodGet, c.base+"/v1/ping", nil)
 	if err != nil {
 		return fmt.Errorf("remote: %w", err)
 	}
@@ -76,77 +418,47 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// tripped reports whether the breaker is open.
-func (c *Client) tripped() bool { return c.fails.Load() >= breakerThreshold }
-
-func (c *Client) noteFailure() {
-	// Saturate instead of growing without bound so one success after an
-	// outage closes the breaker promptly.
-	if c.fails.Load() < breakerThreshold {
-		c.fails.Add(1)
-	}
-}
-
-func (c *Client) noteSuccess() { c.fails.Store(0) }
-
 func (c *Client) recordURL(kind, key string) string {
 	return c.base + "/v1/store/" + url.PathEscape(kind) + "/" + url.PathEscape(key)
 }
 
 // Get fetches the payload under (kind, key) from the daemon. Any
-// failure — transport error, non-200 status, oversized body — is a
-// miss, matching the depstore contract that a cache tier never turns
-// into an error source.
+// failure — breaker open, transport error after retries, non-200
+// status, oversized body — is a miss, matching the depstore contract
+// that a cache tier never turns into an error source.
 func (c *Client) Get(kind, key string) ([]byte, bool) {
-	if c.tripped() {
-		return nil, false
-	}
-	resp, err := c.hc.Get(c.recordURL(kind, key))
+	resp, err := c.do(http.MethodGet, c.recordURL(kind, key), nil)
 	if err != nil {
-		c.noteFailure()
 		return nil, false
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		if resp.StatusCode == http.StatusNotFound {
-			c.noteSuccess() // the daemon answered; a miss is a healthy answer
-		} else {
-			c.noteFailure()
-		}
+		// Any non-5xx answer (404 above all) is the daemon speaking: a
+		// miss is a healthy answer, already settled as a success.
 		return nil, false
 	}
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload+1))
 	if err != nil || int64(len(payload)) > maxPayload {
-		c.noteFailure()
 		return nil, false
 	}
-	c.noteSuccess()
 	return payload, true
 }
 
 // Put pushes the payload under (kind, key) to the daemon. Errors are
 // returned for the caller's counters but must not fail an analysis.
 func (c *Client) Put(kind, key string, payload []byte) error {
-	if c.tripped() {
-		return fmt.Errorf("remote: %s unreachable (breaker open)", c.base)
+	if payload == nil {
+		payload = []byte{}
 	}
-	req, err := http.NewRequest(http.MethodPut, c.recordURL(kind, key), bytes.NewReader(payload))
+	resp, err := c.do(http.MethodPut, c.recordURL(kind, key), payload)
 	if err != nil {
-		return fmt.Errorf("remote: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/octet-stream")
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		c.noteFailure()
 		return fmt.Errorf("remote: %w", err)
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, resp.Body)
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		c.noteFailure()
 		return fmt.Errorf("remote: PUT %s/%s: %s", kind, key, resp.Status)
 	}
-	c.noteSuccess()
 	return nil
 }

@@ -38,8 +38,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -86,18 +86,20 @@ type Remote interface {
 // StoreStats counts store outcomes. Invalidations are records that
 // existed locally but were refused (corrupt, checksum mismatch,
 // version skew). Misses count lookups no tier could answer. The
-// Remote* counters track the fall-through tier, and Evictions counts
-// records deleted by Evict.
+// Remote* counters track the fall-through tier, WriteBackErrors counts
+// remote hits that could not be cached locally (e.g. a read-only cache
+// directory), and Evictions counts records deleted by Evict.
 type StoreStats struct {
-	Hits          uint64
-	Misses        uint64
-	Invalidations uint64
-	Writes        uint64
-	RemoteHits    uint64
-	RemoteMisses  uint64
-	RemoteWrites  uint64
-	RemoteErrors  uint64
-	Evictions     uint64
+	Hits            uint64
+	Misses          uint64
+	Invalidations   uint64
+	Writes          uint64
+	RemoteHits      uint64
+	RemoteMisses    uint64
+	RemoteWrites    uint64
+	RemoteErrors    uint64
+	WriteBackErrors uint64
+	Evictions       uint64
 }
 
 // Store is a record cache with a local on-disk tier, an optional
@@ -106,16 +108,41 @@ type StoreStats struct {
 type Store struct {
 	dir    string // "" = no local tier (remote-only)
 	remote Remote
+	fsys   FS
+	noSync bool
+	// dirsReady caches fan-out directories already created and synced,
+	// so the steady-state Put pays one map load instead of a MkdirAll
+	// plus a directory-fsync chain.
+	dirsReady sync.Map // dir path -> struct{}
 
-	hits         uint64
-	misses       uint64
-	invalid      uint64
-	writes       uint64
-	remoteHits   uint64
-	remoteMisses uint64
-	remoteWrites uint64
-	remoteErrs   uint64
-	evictions    uint64
+	hits          uint64
+	misses        uint64
+	invalid       uint64
+	writes        uint64
+	remoteHits    uint64
+	remoteMisses  uint64
+	remoteWrites  uint64
+	remoteErrs    uint64
+	writeBackErrs uint64
+	evictions     uint64
+}
+
+// Options configures OpenWith. The zero value is invalid (a store
+// needs at least one tier).
+type Options struct {
+	// Dir roots the local on-disk tier ("" = no local tier).
+	Dir string
+	// Remote is the fall-through tier consulted on local miss (nil =
+	// none).
+	Remote Remote
+	// FS overrides the filesystem the local tier runs on; nil means the
+	// real one (OSFS). Tests inject internal/faultfs here.
+	FS FS
+	// NoSync skips the fsync-before-rename and directory-fsync steps of
+	// each commit. A crash can then leave a renamed-but-empty record —
+	// refused on read, so never served, but the cached work is lost.
+	// Reserved for benchmarks and throwaway stores.
+	NoSync bool
 }
 
 // Open creates (if needed) and opens a local-only store rooted at dir.
@@ -133,29 +160,44 @@ func Open(dir string) (*Store, error) {
 // none), falling through to remote (optional, nil for none) on local
 // miss. At least one tier is required.
 func OpenTiered(dir string, remote Remote) (*Store, error) {
-	if dir == "" && remote == nil {
+	return OpenWith(Options{Dir: dir, Remote: remote})
+}
+
+// OpenWith opens a store per the given options. See OpenTiered for the
+// tier semantics.
+func OpenWith(o Options) (*Store, error) {
+	if o.Dir == "" && o.Remote == nil {
 		return nil, fmt.Errorf("depstore: empty cache directory")
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := o.FS
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	if o.Dir != "" {
+		if err := fsys.MkdirAll(o.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("depstore: opening cache: %w", err)
 		}
 		// Probe writability: MkdirAll succeeds on an existing directory
 		// whether or not this process can create files in it, and Put
 		// errors are deliberately swallowed by callers (the store is a
 		// cache), so an unwritable directory must be refused here.
-		probe, err := os.CreateTemp(dir, ".probe-*.tmp")
+		probe, err := fsys.CreateTemp(o.Dir, ".probe-*.tmp")
 		if err != nil {
 			return nil, fmt.Errorf("depstore: cache directory not writable: %w", err)
 		}
 		probe.Close()
-		os.Remove(probe.Name())
+		fsys.Remove(probe.Name())
 	}
-	return &Store{dir: dir, remote: remote}, nil
+	return &Store{dir: o.Dir, remote: o.Remote, fsys: fsys, noSync: o.NoSync}, nil
 }
 
 // Dir returns the store's local root directory ("" when remote-only).
 func (s *Store) Dir() string { return s.dir }
+
+// Remote returns the store's fall-through tier (nil when none). It
+// exists so callers that attached a stateful remote — the recovering
+// HTTP client — can report its breaker and retry counters.
+func (s *Store) Remote() Remote { return s.remote }
 
 // HasLocal reports whether the store has an on-disk tier.
 func (s *Store) HasLocal() bool { return s.dir != "" }
@@ -166,15 +208,16 @@ func (s *Store) HasRemote() bool { return s.remote != nil }
 // Stats returns the store's counters.
 func (s *Store) Stats() StoreStats {
 	return StoreStats{
-		Hits:          atomic.LoadUint64(&s.hits),
-		Misses:        atomic.LoadUint64(&s.misses),
-		Invalidations: atomic.LoadUint64(&s.invalid),
-		Writes:        atomic.LoadUint64(&s.writes),
-		RemoteHits:    atomic.LoadUint64(&s.remoteHits),
-		RemoteMisses:  atomic.LoadUint64(&s.remoteMisses),
-		RemoteWrites:  atomic.LoadUint64(&s.remoteWrites),
-		RemoteErrors:  atomic.LoadUint64(&s.remoteErrs),
-		Evictions:     atomic.LoadUint64(&s.evictions),
+		Hits:            atomic.LoadUint64(&s.hits),
+		Misses:          atomic.LoadUint64(&s.misses),
+		Invalidations:   atomic.LoadUint64(&s.invalid),
+		Writes:          atomic.LoadUint64(&s.writes),
+		RemoteHits:      atomic.LoadUint64(&s.remoteHits),
+		RemoteMisses:    atomic.LoadUint64(&s.remoteMisses),
+		RemoteWrites:    atomic.LoadUint64(&s.remoteWrites),
+		RemoteErrors:    atomic.LoadUint64(&s.remoteErrs),
+		WriteBackErrors: atomic.LoadUint64(&s.writeBackErrs),
+		Evictions:       atomic.LoadUint64(&s.evictions),
 	}
 }
 
@@ -235,8 +278,12 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 			atomic.AddUint64(&s.remoteHits, 1)
 			if s.dir != "" {
 				// Best-effort write-back; a failure just leaves the next
-				// lookup remote again.
-				_ = s.localPut(kind, key, payload)
+				// lookup remote again — but it is counted, so a read-only
+				// cache directory shows up in -stats instead of silently
+				// paying a remote round-trip per lookup forever.
+				if err := s.localPut(kind, key, payload); err != nil {
+					atomic.AddUint64(&s.writeBackErrs, 1)
+				}
 			}
 			return payload, true
 		}
@@ -251,13 +298,13 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 // here; the final miss (if no other tier answers) is counted by Get.
 func (s *Store) localGet(kind, key string) ([]byte, bool) {
 	path := s.path(kind, key)
-	raw, err := os.ReadFile(path)
+	raw, err := s.fsys.ReadFile(path)
 	if err != nil {
 		legacy := s.legacyPath(kind, key)
 		if legacy == path {
 			return nil, false
 		}
-		if raw, err = os.ReadFile(legacy); err != nil {
+		if raw, err = s.fsys.ReadFile(legacy); err != nil {
 			return nil, false
 		}
 		path = legacy
@@ -287,7 +334,7 @@ func (s *Store) localGet(kind, key string) ([]byte, bool) {
 	// of it. Best-effort: a record replaced under us just keeps the
 	// replacement's own (newer) timestamp.
 	now := time.Now()
-	_ = os.Chtimes(path, now, now)
+	_ = s.fsys.Chtimes(path, now, now)
 	return payload, true
 }
 
@@ -331,27 +378,65 @@ func (s *Store) localPut(kind, key string, payload []byte) error {
 	blob = append(blob, payload...)
 	dst := s.path(kind, key)
 	dir := filepath.Dir(dst)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.ensureDir(dir); err != nil {
 		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
 	}
-	tmp, err := os.CreateTemp(dir, "."+kind+"-*.tmp")
+	tmp, err := s.fsys.CreateTemp(dir, "."+kind+"-*.tmp")
 	if err != nil {
 		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
 	}
 	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
+		s.fsys.Remove(tmp.Name())
 		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
+	}
+	// Fsync before the rename: without it, a host crash shortly after
+	// commit can leave the rename durable but the data not — a
+	// renamed-but-empty (or torn) record. Such a record is refused on
+	// read, never served, but the cached work is silently gone; syncing
+	// closes the window. NoSync trades that window back for speed.
+	if !s.noSync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			s.fsys.Remove(tmp.Name())
+			return fmt.Errorf("depstore: syncing %s record: %w", kind, err)
+		}
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		s.fsys.Remove(tmp.Name())
 		return fmt.Errorf("depstore: writing %s record: %w", kind, err)
 	}
-	if err := os.Rename(tmp.Name(), dst); err != nil {
-		os.Remove(tmp.Name())
+	if err := s.fsys.Rename(tmp.Name(), dst); err != nil {
+		s.fsys.Remove(tmp.Name())
 		return fmt.Errorf("depstore: committing %s record: %w", kind, err)
 	}
 	atomic.AddUint64(&s.writes, 1)
+	return nil
+}
+
+// ensureDir creates (and, on first creation, fsyncs) one fan-out
+// directory. Newly created directory entries are only durable once
+// their parent directory is synced, so the first Put into each shard
+// syncs the chain from the new leaf up to the store root; after that
+// the steady-state cost is a single map load.
+func (s *Store) ensureDir(dir string) error {
+	if _, ok := s.dirsReady.Load(dir); ok {
+		return nil
+	}
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if !s.noSync {
+		for d := dir; ; d = filepath.Dir(d) {
+			if err := s.fsys.SyncDir(d); err != nil {
+				return err
+			}
+			if d == s.dir || d == filepath.Dir(d) {
+				break
+			}
+		}
+	}
+	s.dirsReady.Store(dir, struct{}{})
 	return nil
 }
 

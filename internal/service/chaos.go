@@ -1,0 +1,165 @@
+// Plan-driven chaos middleware for the HTTP surface — faultfs's
+// discipline one layer up. Where faultfs fails the store's filesystem
+// operations, Chaos fails the daemon's *wire*: a matching request can
+// be delayed, answered with an injected error status, dropped
+// mid-connection, or have its response body truncated. Rules fire at
+// planned 1-based per-rule request indices, so a chaos test replays
+// exactly; there is no randomness here at all — a test that wants
+// jitter derives indices from a prng.Source itself.
+//
+// Chaos is wired behind Server.SetChaos and is nil (zero overhead) in
+// production; fsdepd never enables it. Its job is to let the chaos
+// suite prove the client-side claims — retries ride out injected 5xx,
+// truncation degrades to a miss rather than corrupt data, drops trip
+// and later re-close the breaker — against the real route table.
+
+package service
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rule injects faults into requests whose path starts with PathPrefix.
+// Indices are 1-based counts of matching requests, per rule.
+type Rule struct {
+	// PathPrefix selects requests ("" matches everything).
+	PathPrefix string
+	// Latency is added to requests listed in LatencyOps, or to every
+	// matching request when LatencyOps is empty.
+	Latency    time.Duration
+	LatencyOps []uint64
+	// FailOps answer with FailStatus (default 500) and no handler run.
+	// A 503 carries Retry-After: 1, matching the load-shed contract.
+	FailOps    []uint64
+	FailStatus int
+	// DropOps abort the connection before any response bytes — the
+	// daemon dying between accept and answer.
+	DropOps []uint64
+	// TruncateOps run the handler but forward only TruncateBytes
+	// (default 16) of its response before aborting the connection — a
+	// crash mid-write on the wire.
+	TruncateOps   []uint64
+	TruncateBytes int
+}
+
+// ruleState is a compiled Rule plus its match counter.
+type ruleState struct {
+	rule    Rule
+	latency map[uint64]bool
+	fail    map[uint64]bool
+	drop    map[uint64]bool
+	trunc   map[uint64]bool
+	n       uint64
+}
+
+func indexSet(idxs []uint64) map[uint64]bool {
+	m := make(map[uint64]bool, len(idxs))
+	for _, i := range idxs {
+		m[i] = true
+	}
+	return m
+}
+
+// Chaos is a fault plan over the route table. Safe for concurrent use.
+type Chaos struct {
+	mu    sync.Mutex
+	rules []*ruleState
+	// Sleep substitutes the latency sleeper (nil = time.Sleep), so
+	// latency plans don't wall-block deterministic tests.
+	Sleep func(time.Duration)
+}
+
+// NewChaos compiles a fault plan.
+func NewChaos(rules ...Rule) *Chaos {
+	c := &Chaos{}
+	for _, r := range rules {
+		c.rules = append(c.rules, &ruleState{
+			rule:    r,
+			latency: indexSet(r.LatencyOps),
+			fail:    indexSet(r.FailOps),
+			drop:    indexSet(r.DropOps),
+			trunc:   indexSet(r.TruncateOps),
+		})
+	}
+	return c
+}
+
+func (c *Chaos) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Wrap applies the plan around next. The first rule demanding a
+// terminal action (fail, drop, truncate) wins; latency from every
+// matching rule accumulates first.
+func (c *Chaos) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for _, rs := range c.rules {
+			if !strings.HasPrefix(r.URL.Path, rs.rule.PathPrefix) {
+				continue
+			}
+			c.mu.Lock()
+			rs.n++
+			n := rs.n
+			delay := rs.rule.Latency > 0 && (len(rs.latency) == 0 || rs.latency[n])
+			failNow, dropNow, truncNow := rs.fail[n], rs.drop[n], rs.trunc[n]
+			c.mu.Unlock()
+			if delay {
+				c.sleep(rs.rule.Latency)
+			}
+			switch {
+			case failNow:
+				status := rs.rule.FailStatus
+				if status == 0 {
+					status = http.StatusInternalServerError
+				}
+				if status == http.StatusServiceUnavailable {
+					w.Header().Set("Retry-After", "1")
+				}
+				http.Error(w, "chaos: injected failure", status)
+				return
+			case dropNow:
+				panic(http.ErrAbortHandler)
+			case truncNow:
+				budget := rs.rule.TruncateBytes
+				if budget <= 0 {
+					budget = 16
+				}
+				next.ServeHTTP(&truncWriter{ResponseWriter: w, budget: budget}, r)
+				// Abort without the terminal chunk: the client sees a
+				// short body and a transport error, never a clean EOF it
+				// could mistake for a complete answer.
+				panic(http.ErrAbortHandler)
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// truncWriter forwards only the first budget bytes of the response
+// body, silently swallowing the rest so the handler runs to completion
+// believing it answered.
+type truncWriter struct {
+	http.ResponseWriter
+	budget int
+}
+
+func (t *truncWriter) Write(p []byte) (int, error) {
+	if t.budget > 0 {
+		k := len(p)
+		if k > t.budget {
+			k = t.budget
+		}
+		if _, err := t.ResponseWriter.Write(p[:k]); err != nil {
+			return 0, err
+		}
+		t.budget -= k
+	}
+	return len(p), nil
+}

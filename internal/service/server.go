@@ -9,12 +9,19 @@
 //	POST /v1/run                     trigger a full ({"degraded":false}) or degraded run
 //	POST /v1/components/{name}       upload/replace a component's source → incremental re-run
 //	GET  /v1/stats                   engine + store counters
+//	POST /v1/scrub                   re-validate every store record, drop/quarantine bad ones
 //	GET  /v1/store/{kind}/{key}      raw record payload (remote tier read)
 //	PUT  /v1/store/{kind}/{key}      raw record payload (remote tier write)
 //
 // The store endpoints carry naked payload bytes: envelope framing and
 // checksums remain a per-disk concern, and every payload is
 // re-validated by its consumer, so the wire adds no trust.
+//
+// Load shedding: Handler bounds concurrently served requests (default
+// defaultMaxInFlight, tune with SetMaxInFlight); excess requests are
+// answered 503 with Retry-After: 1 instead of queueing, so an
+// overloaded daemon degrades to "retry later" — which the remote
+// client's backoff honors — rather than to unbounded latency.
 
 package service
 
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fsdep/internal/conhandleck"
@@ -36,6 +45,10 @@ import (
 // payloads).
 const maxUpload = 64 << 20
 
+// defaultMaxInFlight bounds concurrently served requests when
+// SetMaxInFlight was not called.
+const defaultMaxInFlight = 64
+
 // ScoreFunc partitions dependencies into true/false positives against
 // an ecosystem's ground truth (corpus.Score for Ext4). Nil disables
 // scoring in responses.
@@ -44,21 +57,46 @@ type ScoreFunc func([]depmodel.Dependency) (tp, fp []depmodel.Dependency)
 // Server is the HTTP surface. Construct with NewServer and mount
 // Handler on an http.Server.
 type Server struct {
-	a         *Analysis
-	store     *depstore.Store
-	score     ScoreFunc
-	ecosystem string
-	start     time.Time
+	a           *Analysis
+	store       *depstore.Store
+	score       ScoreFunc
+	ecosystem   string
+	start       time.Time
+	maxInFlight int
+	chaos       *Chaos
+
+	shed      atomic.Uint64
+	scrubMu   sync.Mutex
+	lastScrub *depstore.ScrubReport
 }
 
 // NewServer wires the analysis, the record store served to remote
 // clients (may be nil: store endpoints answer 503), the ground-truth
 // scorer (may be nil), and the ecosystem label used in responses.
 func NewServer(a *Analysis, store *depstore.Store, score ScoreFunc, ecosystem string) *Server {
-	return &Server{a: a, store: store, score: score, ecosystem: ecosystem, start: time.Now()}
+	return &Server{
+		a: a, store: store, score: score, ecosystem: ecosystem,
+		start: time.Now(), maxInFlight: defaultMaxInFlight,
+	}
 }
 
-// Handler returns the route table.
+// SetMaxInFlight bounds concurrently served requests (≤0 restores the
+// default). Call before Handler.
+func (s *Server) SetMaxInFlight(n int) {
+	if n <= 0 {
+		n = defaultMaxInFlight
+	}
+	s.maxInFlight = n
+}
+
+// SetChaos installs a wire-fault plan around the route table (nil
+// disables — the production state; fsdepd never sets one). Call before
+// Handler.
+func (s *Server) SetChaos(c *Chaos) { s.chaos = c }
+
+// Handler returns the route table wrapped in the in-flight limiter
+// (outermost, so shedding costs no handler work) and, when configured,
+// the chaos middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/ping", s.handlePing)
@@ -69,9 +107,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/components/{name}", s.handleUpload)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/scrub", s.handleScrub)
 	mux.HandleFunc("GET /v1/store/{kind}/{key}", s.handleStoreGet)
 	mux.HandleFunc("PUT /v1/store/{kind}/{key}", s.handleStorePut)
-	return mux
+	var h http.Handler = mux
+	if s.chaos != nil {
+		h = s.chaos.Wrap(h)
+	}
+	return s.limit(h)
+}
+
+// limit sheds load beyond maxInFlight with 503 + Retry-After instead
+// of queueing: a saturated daemon stays responsive about being
+// saturated, and the remote client's backoff turns the answer into a
+// bounded wait.
+func (s *Server) limit(next http.Handler) http.Handler {
+	sem := make(chan struct{}, s.maxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			s.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]string{"error": "overloaded: in-flight request limit reached"})
+		}
+	})
 }
 
 // writeJSON renders one response; encoding errors at this point can
@@ -338,8 +401,36 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleScrub re-validates every record in the daemon's store,
+// removing (or, with {"quarantine":true}, preserving under
+// quarantine/) the ones that fail, and answers with the report. The
+// report also surfaces in /v1/stats until the next scrub.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no store attached"})
+		return
+	}
+	var req struct {
+		Quarantine bool `json:"quarantine"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		errorJSON(w, fmt.Errorf("%w: %v", ErrBadSource, err))
+		return
+	}
+	rep, err := s.store.Scrub(depstore.ScrubOptions{Quarantine: req.Quarantine})
+	if err != nil {
+		errorJSON(w, err)
+		return
+	}
+	s.scrubMu.Lock()
+	s.lastScrub = &rep
+	s.scrubMu.Unlock()
+	writeJSON(w, http.StatusOK, rep)
+}
+
 // statsResponse flattens the layered counters; the CI smoke step greps
-// these keys, so their names are load-bearing.
+// these keys, so their names are load-bearing (new keys are fine,
+// renames are not).
 type statsResponse struct {
 	Ecosystem     string `json:"ecosystem"`
 	UptimeSeconds int64  `json:"uptime_seconds"`
@@ -360,7 +451,13 @@ type statsResponse struct {
 		Invalidations uint64 `json:"invalidations"`
 		Writes        uint64 `json:"writes"`
 		Evictions     uint64 `json:"evictions"`
+		WriteBackErrs uint64 `json:"write_back_errors"`
 	} `json:"store,omitempty"`
+	Service struct {
+		InFlightLimit int    `json:"in_flight_limit"`
+		Shed          uint64 `json:"shed"`
+	} `json:"service"`
+	Scrub *depstore.ScrubReport `json:"scrub,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -385,14 +482,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Invalidations uint64 `json:"invalidations"`
 			Writes        uint64 `json:"writes"`
 			Evictions     uint64 `json:"evictions"`
+			WriteBackErrs uint64 `json:"write_back_errors"`
 		}{
 			Hits:          st.Store.Hits,
 			Misses:        st.Store.Misses,
 			Invalidations: st.Store.Invalidations,
 			Writes:        st.Store.Writes,
 			Evictions:     st.Store.Evictions,
+			WriteBackErrs: st.Store.WriteBackErrors,
 		}
 	}
+	resp.Service.InFlightLimit = s.maxInFlight
+	resp.Service.Shed = s.shed.Load()
+	s.scrubMu.Lock()
+	resp.Scrub = s.lastScrub
+	s.scrubMu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 

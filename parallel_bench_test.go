@@ -194,10 +194,12 @@ func BenchmarkAnalyzeAllCorpusCached(b *testing.B) {
 // the warm-start speedup (acceptance floor: 5x).
 func BenchmarkColdVsDiskWarm(b *testing.B) {
 	defer core.SetProgramCacheCapacity(core.SetProgramCacheCapacity(0))
+	// NoSync: the bench measures analysis + store writes, not the
+	// durability fsyncs the production default pays.
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			store, err := depstore.Open(b.TempDir())
+			store, err := depstore.OpenWith(depstore.Options{Dir: b.TempDir(), NoSync: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -208,7 +210,7 @@ func BenchmarkColdVsDiskWarm(b *testing.B) {
 	})
 	b.Run("warm", func(b *testing.B) {
 		dir := b.TempDir()
-		store, err := depstore.Open(dir)
+		store, err := depstore.OpenWith(depstore.Options{Dir: dir, NoSync: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +218,7 @@ func BenchmarkColdVsDiskWarm(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			s, err := depstore.Open(dir)
+			s, err := depstore.OpenWith(depstore.Options{Dir: dir, NoSync: true})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -5,18 +5,30 @@
 # Usage:
 #   scripts/bench.sh [--smoke] [--gate BASELINE.json] [output.json]
 #
-#   --smoke   run each benchmark exactly once (-benchtime=1x); fast
-#             shape check for CI, numbers are not representative
+#   --smoke   run each benchmark exactly once (-benchtime=1x -count=1);
+#             fast shape check for CI, numbers are not representative
 #   --gate    after the run, compare against the committed baseline:
-#             any benchmark slower or faster than the baseline ns/op
-#             by more than the tolerance (default 20%, set
-#             BENCH_TOLERANCE_PCT to override), or allocating more
-#             than the baseline allocs/op plus the allocation
-#             tolerance (default 10%, BENCH_ALLOC_TOLERANCE_PCT — a
-#             ceiling: allocating less always passes), or missing from
-#             the fresh run entirely, fails the script. New benchmarks
+#             any benchmark slower than the baseline ns/op by more
+#             than the tolerance (default 20%, BENCH_TOLERANCE_PCT),
+#             or faster by more than the fast-side tolerance (default
+#             50%, BENCH_FAST_TOLERANCE_PCT — wide enough for cache
+#             and noisy-neighbour drift, tight enough to catch a
+#             benchmark that silently stopped doing its work, which
+#             typically drops several-fold), or allocating more than
+#             the baseline allocs/op plus the allocation tolerance
+#             (default 10%, BENCH_ALLOC_TOLERANCE_PCT — a ceiling:
+#             allocating less always passes), or missing from the
+#             fresh run entirely, fails the script. New benchmarks
 #             absent from the baseline pass.
 #   output    path for the JSON summary (default: BENCH_0.json)
+#
+# Each benchmark runs BENCH_COUNT times (default 3) and the summary
+# keeps the per-benchmark minimum ns/op and allocs/op: the minimum is
+# the run least disturbed by scheduler noise and noisy neighbours, so
+# gating min-vs-min compares the machine's actual capability instead
+# of whichever run drew the worst interference. A single noisy run
+# regularly swings heavyweight parallel benchmarks past ±20% in either
+# direction; minima are stable.
 #
 # The suite's benchmarks assert the paper's headline figures, so this
 # run doubles as a reproduction pass; a benchmark failure fails the
@@ -26,6 +38,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 benchtime=""
+count="${BENCH_COUNT:-3}"
 out="BENCH_0.json"
 gate=""
 expect_gate=0
@@ -36,7 +49,10 @@ for arg in "$@"; do
 		continue
 	fi
 	case "$arg" in
-	--smoke) benchtime="-benchtime=1x" ;;
+	--smoke)
+		benchtime="-benchtime=1x"
+		count=1
+		;;
 	--gate) expect_gate=1 ;;
 	-*)
 		echo "unknown flag: $arg" >&2
@@ -58,12 +74,11 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 # shellcheck disable=SC2086 # benchtime is intentionally word-split
-go test -run '^$' -bench . -benchmem -count=1 $benchtime ./... | tee "$raw"
+go test -run '^$' -bench . -benchmem -count="$count" $benchtime ./... | tee "$raw"
 
-# Benchmark result lines look like:
+# Benchmark result lines look like (one per -count repetition):
 #   BenchmarkName-8  386  3048734 ns/op  1958769 B/op  17251 allocs/op
 awk '
-BEGIN { print "{"; n = 0 }
 /^Benchmark/ && /ns\/op/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -74,10 +89,24 @@ BEGIN { print "{"; n = 0 }
 	}
 	if (ns == "") next
 	if (allocs == "") allocs = 0
-	if (n++) printf ",\n"
-	printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s}", name, ns, allocs
+	if (!(name in minns)) {
+		order[++n] = name
+		minns[name] = ns + 0
+		mina[name] = allocs + 0
+	} else {
+		if (ns + 0 < minns[name]) minns[name] = ns + 0
+		if (allocs + 0 < mina[name]) mina[name] = allocs + 0
+	}
 }
-END { print "\n}" }
+END {
+	print "{"
+	for (i = 1; i <= n; i++) {
+		name = order[i]
+		printf "  \"%s\": {\"ns_per_op\": %d, \"allocs_per_op\": %d}%s\n",
+			name, minns[name], mina[name], (i < n) ? "," : ""
+	}
+	print "}"
+}
 ' "$raw" >"$out"
 
 echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2
@@ -85,7 +114,7 @@ echo "wrote $out ($(grep -c ns_per_op "$out") benchmarks)" >&2
 if [ -n "$gate" ]; then
 	# Summary lines look like:
 	#   "BenchmarkName": {"ns_per_op": 123, "allocs_per_op": 45}
-	awk -v tol="${BENCH_TOLERANCE_PCT:-20}" -v atol="${BENCH_ALLOC_TOLERANCE_PCT:-10}" '
+	awk -v tol="${BENCH_TOLERANCE_PCT:-20}" -v ftol="${BENCH_FAST_TOLERANCE_PCT:-50}" -v atol="${BENCH_ALLOC_TOLERANCE_PCT:-10}" '
 	function parse(line) {
 		# Returns via globals pname/pns/pallocs; empty pname = no match.
 		pname = ""; pns = ""; pallocs = ""
@@ -111,11 +140,11 @@ if [ -n "$gate" ]; then
 				bad++
 				continue
 			}
-			lo = base[name] * (1 - tol / 100)
+			lo = base[name] * (1 - ftol / 100)
 			hi = base[name] * (1 + tol / 100)
 			if (cur[name] < lo || cur[name] > hi) {
-				printf "GATE: %s ns/op %.0f outside %.0f..%.0f (baseline %.0f, ±%s%%)\n",
-					name, cur[name], lo, hi, base[name], tol
+				printf "GATE: %s ns/op %.0f outside %.0f..%.0f (baseline %.0f, -%s%%..+%s%%)\n",
+					name, cur[name], lo, hi, base[name], ftol, tol
 				bad++
 			}
 			# Allocation ceiling: a one-sided gate, since allocs/op is
@@ -130,10 +159,10 @@ if [ -n "$gate" ]; then
 			}
 		}
 		if (bad) {
-			printf "bench gate: %d benchmark(s) outside the envelope (ns ±%s%%, allocs +%s%%)\n", bad, tol, atol
+			printf "bench gate: %d benchmark(s) outside the envelope (ns -%s%%..+%s%%, allocs +%s%%)\n", bad, ftol, tol, atol
 			exit 1
 		}
-		printf "bench gate: all benchmarks within ns ±%s%% and allocs +%s%% of baseline\n", tol, atol
+		printf "bench gate: all benchmarks within ns -%s%%..+%s%% and allocs +%s%% of baseline\n", ftol, tol, atol
 	}
 	' "$gate" "$out" >&2
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Process-level chaos smoke for the service tier. The in-process chaos
+# suite (internal/service, internal/faultfs) proves the deterministic
+# fault arcs; this script proves the same contract across real process
+# boundaries: a daemon that is killed, corrupted, and restarted must
+# never change a client's stdout — the remote store is a cache, not a
+# correctness dependency — and a -scrub restart must heal the damage.
+#
+# Usage: scripts/chaos_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+cache="$work/cache"
+dpid=""
+cleanup() {
+  [ -n "$dpid" ] && kill -9 "$dpid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build -o "$work/fsdep" ./cmd/fsdep
+go build -o "$work/fsdepd" ./cmd/fsdepd
+
+start_daemon() {
+  : >"$work/url"
+  "$work/fsdepd" -addr 127.0.0.1:0 -cache-dir "$cache" -url-file "$work/url" "$@" 2>"$work/daemon.err" &
+  dpid=$!
+  for _ in $(seq 1 50); do [ -s "$work/url" ] && break; sleep 0.2; done
+  [ -s "$work/url" ] || { echo "chaos_smoke: daemon never published its URL" >&2; cat "$work/daemon.err" >&2; exit 1; }
+  url=$(cat "$work/url")
+}
+
+# The oracle: a storeless run's stdout.
+"$work/fsdep" -cache-dir "" >"$work/base.out" 2>/dev/null
+
+# Healthy daemon: client warms it, stdout identical to the oracle.
+start_daemon
+"$work/fsdep" -cache-dir "" -store-url "$url" -stats >"$work/r1.out" 2>"$work/r1.err"
+diff "$work/base.out" "$work/r1.out"
+
+# Kill the daemon outright (no graceful shutdown) and run the client
+# against the dead URL with tight recovery knobs: it must warn, degrade
+# to a cold run, and still answer byte-identically.
+kill -9 "$dpid"; wait "$dpid" 2>/dev/null || true; dpid=""
+FSDEP_STORE_TIMEOUT=1s FSDEP_STORE_RETRIES=1 FSDEP_STORE_BACKOFF=10ms \
+  "$work/fsdep" -cache-dir "" -store-url "$url" -stats >"$work/r2.out" 2>"$work/r2.err"
+diff "$work/base.out" "$work/r2.out"
+grep -q 'remote store unreachable' "$work/r2.err" || {
+  echo "chaos_smoke: dead daemon produced no unreachable warning" >&2; cat "$work/r2.err" >&2; exit 1; }
+
+# Corrupt one record in the daemon's store the way a crashed host
+# would: truncate it mid-file.
+rec=$(find "$cache" -name '*.rec' | head -1)
+[ -n "$rec" ] || { echo "chaos_smoke: the warmed store holds no records" >&2; exit 1; }
+head -c 17 "$rec" >"$rec.torn" && mv "$rec.torn" "$rec"
+
+# Restart over the same store with a -scrub pass: the damage is
+# reported and removed, and a recovered client run is byte-identical
+# again with the breaker closed.
+start_daemon -scrub
+grep -q 'scrub:' "$work/daemon.err" || { echo "chaos_smoke: restart reported no scrub" >&2; exit 1; }
+grep -q 'scrub: .* 1 removed' "$work/daemon.err" || {
+  echo "chaos_smoke: scrub did not remove the corrupted record" >&2; cat "$work/daemon.err" >&2; exit 1; }
+"$work/fsdep" -cache-dir "" -store-url "$url" -stats >"$work/r3.out" 2>"$work/r3.err"
+diff "$work/base.out" "$work/r3.out"
+grep -q 'remote breaker: closed' "$work/r3.err" || {
+  echo "chaos_smoke: recovered client's breaker is not closed" >&2; cat "$work/r3.err" >&2; exit 1; }
+
+# The serving-time scrub endpoint answers with a clean report now.
+curl -sf -X POST "$url/v1/scrub" -d '{}' >"$work/scrub.json"
+python3 - "$work/scrub.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["scanned"] >= 1 and rep["removed"] == 0, rep
+EOF
+
+kill "$dpid"; wait "$dpid" 2>/dev/null || true; dpid=""
+echo "chaos_smoke: OK (kill, corrupt, scrub, recover — stdout byte-identical throughout)"
