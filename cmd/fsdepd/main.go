@@ -85,7 +85,10 @@ func main() {
 		cliutil.Usagef("fsdepd", "-cache-dir is required: the daemon exists to own a shared record store")
 	}
 
-	store, err := depstore.Open(*cacheDir)
+	// The hot tier matters most here: the daemon re-serves the same
+	// record set to every warm client, so after the first client the
+	// answers come from memory, not the disk open/checksum path.
+	store, err := depstore.OpenWith(depstore.Options{Dir: *cacheDir, HotRecords: depstore.DefaultHotRecords})
 	if err != nil {
 		cliutil.Failf("fsdepd", err)
 	}

@@ -144,12 +144,15 @@ func openStore(w io.Writer, tool, dir, storeURL string) *depstore.Store {
 	if dir == "" && rem == nil {
 		return nil // caching disabled (or remote-only requested and the daemon is gone)
 	}
-	s, err := depstore.OpenTiered(dir, rem)
+	// Every CLI store carries the in-memory hot tier: repeated warm Gets
+	// (and remote-only runs re-reading what the prefetch pulled) skip
+	// the disk open/checksum path.
+	s, err := depstore.OpenWith(depstore.Options{Dir: dir, Remote: rem, HotRecords: depstore.DefaultHotRecords})
 	if err != nil {
 		if rem != nil {
 			// The local tier is broken but the daemon answers: keep the
 			// remote tier so the fleet cache still works.
-			if s2, err2 := depstore.OpenTiered("", rem); err2 == nil {
+			if s2, err2 := depstore.OpenWith(depstore.Options{Remote: rem, HotRecords: depstore.DefaultHotRecords}); err2 == nil {
 				fmt.Fprintf(w, "%s: local cache unusable, using remote store only: %v\n", tool, err)
 				return s2
 			}
@@ -172,13 +175,20 @@ func PrintCacheStats(tool string, comps map[string]*core.Component, store *depst
 		tool, cs.SummaryHits, cs.SummaryMisses)
 	if store != nil {
 		st := store.Stats()
-		fmt.Fprintf(os.Stderr, "%s: disk store: %d hits, %d misses, %d invalidations, %d writes, %d write-back errors\n",
-			tool, st.Hits, st.Misses, st.Invalidations, st.Writes, st.WriteBackErrors)
+		fmt.Fprintf(os.Stderr, "%s: disk store: %d hits (%d hot), %d misses, %d invalidations, %d writes, %d write-back errors\n",
+			tool, st.Hits, st.HotHits, st.Misses, st.Invalidations, st.Writes, st.WriteBackErrors)
 		if store.HasRemote() {
-			fmt.Fprintf(os.Stderr, "%s: remote store: %d hits, %d misses, %d writes, %d errors\n",
-				tool, st.RemoteHits, st.RemoteMisses, st.RemoteWrites, st.RemoteErrors)
+			fmt.Fprintf(os.Stderr, "%s: remote store: %d hits (%d prefetched), %d misses, %d writes, %d errors\n",
+				tool, st.RemoteHits, st.Prefetched, st.RemoteMisses, st.RemoteWrites, st.RemoteErrors)
 			if c, ok := store.Remote().(*remote.Client); ok {
 				bs := c.Stats()
+				// The "round trips" clause is parsed by the CI daemon smoke
+				// (warm remote-only clients must finish in <=3), so its
+				// format is load-bearing like "engine runs" above.
+				fmt.Fprintf(os.Stderr, "%s: remote wire: %d requests, %d round trips, %d batches, %d batch records, %d deduped\n",
+					tool, bs.Requests, bs.RoundTrips, bs.Batches, bs.BatchRecords, bs.Dedups)
+				fmt.Fprintf(os.Stderr, "%s: remote bytes: %d raw, %d compressed\n",
+					tool, bs.RawBytes, bs.WireBytes)
 				fmt.Fprintf(os.Stderr, "%s: remote breaker: %s; %d retries, %d opens, %d probes, %d recloses, %d short-circuits\n",
 					tool, bs.State, bs.Retries, bs.Opens, bs.Probes, bs.Recloses, bs.ShortCircuits)
 			}

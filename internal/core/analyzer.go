@@ -328,6 +328,14 @@ func AnalyzeAll(comps map[string]*Component, scenarios []Scenario, opts Options,
 		}); err != nil {
 			return nil, err
 		}
+	} else if opts.Store.HasRemote() {
+		// Warm-start prefetch: pull the run's whole record manifest from
+		// the remote tier in one bulk round trip before any scenario asks
+		// for it. A no-op against batch-less daemons — the per-record
+		// fall-through below stays byte-identical — and skipped outright
+		// for local-only stores, which would pay the manifest build for
+		// nothing.
+		opts.Store.Prefetch(PrefetchRefs(comps, scenarios, opts))
 	}
 	res, err := sched.Map(sopts, scenarios, func(_ int, sc Scenario) (*Result, error) {
 		return Analyze(comps, sc, opts)
@@ -336,6 +344,11 @@ func AnalyzeAll(comps map[string]*Component, scenarios []Scenario, opts Options,
 		return nil, err
 	}
 	FlushSummaries(opts.Store, unique)
+	if opts.Store != nil {
+		// Push the run's deferred record uploads in bulk (after the
+		// summary flush, which enqueues the last of them).
+		opts.Store.FlushRemote()
+	}
 	return res, nil
 }
 

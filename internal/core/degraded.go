@@ -111,6 +111,12 @@ func AnalyzeAllDegraded(comps map[string]*Component, scenarios []Scenario, opts 
 			})
 		}
 	}
+	// Bulk-prefetch the taint and summary records the healthy components
+	// will read (scenario records ride along unused — degraded runs skip
+	// that fast path — a few spare bytes for one round trip).
+	if opts.Store != nil && opts.Store.HasRemote() {
+		opts.Store.Prefetch(PrefetchRefs(comps, scenarios, opts))
+	}
 	results, err := sched.Map(sopts, scenarios, func(_ int, sc Scenario) (*Result, error) {
 		return analyzeScenario(comps, sc, opts, quarantined)
 	})
@@ -130,6 +136,9 @@ func AnalyzeAllDegraded(comps map[string]*Component, scenarios []Scenario, opts 
 		}
 	}
 	FlushSummaries(opts.Store, unique)
+	if opts.Store != nil {
+		opts.Store.FlushRemote()
+	}
 	return run, nil
 }
 

@@ -104,6 +104,13 @@ func (s *Session) Run() ([]*Result, error) {
 			stale = append(stale, i)
 		}
 	}
+	if s.opts.Store != nil && s.opts.Store.HasRemote() && len(stale) > 0 {
+		staleScs := make([]Scenario, len(stale))
+		for j, i := range stale {
+			staleScs[j] = s.scenarios[i]
+		}
+		s.opts.Store.Prefetch(PrefetchRefs(s.comps, staleScs, s.opts))
+	}
 	outs, err := sched.Map(s.sopts, stale, func(_ int, i int) (*Result, error) {
 		return analyzeScenario(s.comps, s.scenarios[i], s.opts, nil)
 	})
@@ -113,6 +120,9 @@ func (s *Session) Run() ([]*Result, error) {
 	for j, i := range stale {
 		s.results[i] = outs[j]
 		s.fresh[i] = true
+	}
+	if s.opts.Store != nil {
+		s.opts.Store.FlushRemote()
 	}
 	return append([]*Result(nil), s.results...), nil
 }
@@ -162,6 +172,7 @@ func (s *Session) Close() {
 		}
 	}
 	FlushSummaries(s.opts.Store, unique)
+	s.opts.Store.FlushRemote()
 }
 
 // dependentsLocked computes the transitive CCD dependents of name from

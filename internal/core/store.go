@@ -95,6 +95,43 @@ func FlushSummaries(store *depstore.Store, comps []*Component) {
 	}
 }
 
+// PrefetchRefs enumerates every store record a run over the given
+// scenarios could read — whole-scenario extractions, component summary
+// tables, and memoized taint results — deduplicated, in deterministic
+// scenario order. All keys derive from content hashes and options
+// alone, no compilation, so a warm start can hand the full manifest to
+// Store.Prefetch and pull the corpus in one bulk round trip before
+// analysis begins. Scenarios referencing unknown components contribute
+// what they can; the cold path reports the error.
+func PrefetchRefs(comps map[string]*Component, scenarios []Scenario, opts Options) []depstore.Ref {
+	var refs []depstore.Ref
+	seen := make(map[depstore.Ref]bool)
+	add := func(kind, key string) {
+		ref := depstore.Ref{Kind: kind, Key: key}
+		if !seen[ref] {
+			seen[ref] = true
+			refs = append(refs, ref)
+		}
+	}
+	for _, sc := range scenarios {
+		if key, ok := scenarioKey(comps, sc, opts); ok {
+			add(depstore.KindScenario, key)
+		}
+		for _, name := range sc.Components {
+			comp, ok := comps[name]
+			if !ok {
+				continue
+			}
+			add(depstore.KindSummaries, summariesKey(comp))
+			if funcs := sc.Funcs[name]; len(funcs) > 0 {
+				add(depstore.KindTaint, depstore.Key(comp.ContentHash(),
+					taintSig(opts.Mode, opts.MaxIter, opts.Sanitizers, funcs)))
+			}
+		}
+	}
+	return refs
+}
+
 // scenarioKey derives the content address of a whole-scenario
 // extraction. It covers everything the strict result depends on: the
 // analysis options, the scenario's name and component pipeline, each

@@ -35,7 +35,9 @@ package remote
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -47,6 +49,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fsdep/internal/depstore"
+	"fsdep/internal/depstore/wire"
 	"fsdep/internal/prng"
 )
 
@@ -59,6 +63,10 @@ var ErrUnavailable = errors.New("remote: daemon unavailable (circuit open)")
 // maxPayload bounds a single record read; matches the server's upload
 // bound so a healthy round-trip never truncates.
 const maxPayload = 64 << 20
+
+// maxBatchBytes bounds a bulk response body (the compressed stream as
+// read off the wire); matches the server's decompressed batch bound.
+const maxBatchBytes = 1 << 30
 
 // Clock abstracts time for the retry and breaker machinery. The chaos
 // tests substitute a fake that advances instantly, so no test ever
@@ -172,6 +180,25 @@ type Stats struct {
 	// ShortCircuits counts requests answered locally because the
 	// breaker was open.
 	ShortCircuits uint64
+	// Requests counts logical store requests (Get/Put/Ping/batch
+	// calls), deduplicated Gets excluded.
+	Requests uint64
+	// RoundTrips counts actual HTTP exchanges, retries included — the
+	// number the batch protocol exists to shrink.
+	RoundTrips uint64
+	// Batches counts completed bulk transfers (batch-get and
+	// batch-put); BatchRecords counts the records they carried.
+	Batches      uint64
+	BatchRecords uint64
+	// Dedups counts concurrent identical Gets coalesced by the
+	// singleflight layer: callers that waited on another caller's
+	// in-flight fetch instead of issuing their own.
+	Dedups uint64
+	// RawBytes and WireBytes count the bulk transfers' framed stream
+	// size before and after transport compression; their ratio is the
+	// gzip win the -stats line reports.
+	RawBytes  uint64
+	WireBytes uint64
 }
 
 // Client is an HTTP depstore.Remote against a running fsdepd: a
@@ -195,6 +222,32 @@ type Client struct {
 	probes        atomic.Uint64
 	recloses      atomic.Uint64
 	shortCircuits atomic.Uint64
+	roundTrips    atomic.Uint64
+	batches       atomic.Uint64
+	batchRecords  atomic.Uint64
+	dedups        atomic.Uint64
+	rawBytes      atomic.Uint64
+	wireBytes     atomic.Uint64
+
+	// batchUnsupported latches when the daemon answers a batch endpoint
+	// with 404/405: it predates the protocol, so further batch calls
+	// fail fast locally and the store falls back to per-record traffic.
+	batchUnsupported atomic.Bool
+
+	// flights coalesces concurrent identical Gets: parallel sweep
+	// workers missing on the same key share one HTTP fetch instead of
+	// each paying their own round trip.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+}
+
+// flight is one in-progress singleflight fetch. Waiters block on wg
+// and then read the shared result (payloads are read-only by the
+// depstore contract, so sharing the slice is sound).
+type flight struct {
+	wg      sync.WaitGroup
+	payload []byte
+	ok      bool
 }
 
 // New returns a client for the daemon at baseURL (e.g.
@@ -211,8 +264,9 @@ func NewWithConfig(baseURL string, cfg Config) *Client {
 		// No global client timeout: each attempt carries its own context
 		// deadline, so a slow request can be retried promptly instead of
 		// wedging the whole call for one long timeout.
-		hc:  &http.Client{},
-		cfg: cfg.withDefaults(),
+		hc:      &http.Client{},
+		cfg:     cfg.withDefaults(),
+		flights: make(map[string]*flight),
 	}
 }
 
@@ -232,6 +286,13 @@ func (c *Client) Stats() Stats {
 		Probes:        c.probes.Load(),
 		Recloses:      c.recloses.Load(),
 		ShortCircuits: c.shortCircuits.Load(),
+		Requests:      c.reqs.Load(),
+		RoundTrips:    c.roundTrips.Load(),
+		Batches:       c.batches.Load(),
+		BatchRecords:  c.batchRecords.Load(),
+		Dedups:        c.dedups.Load(),
+		RawBytes:      c.rawBytes.Load(),
+		WireBytes:     c.wireBytes.Load(),
 	}
 }
 
@@ -303,17 +364,31 @@ func (c *Client) settle(probe, success bool) {
 	}
 }
 
+// httpResult is one completed HTTP exchange: status, headers, and the
+// fully read body. Bodies are slurped inside the attempt — while the
+// attempt's context deadline is still alive — because reading them
+// after do returns would race the context cancellation and tear large
+// responses mid-stream.
+type httpResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
 // attemptOutcome classifies one HTTP attempt.
 type attemptOutcome struct {
-	resp       *http.Response // nil on transport failure
+	res        *httpResult // nil on transport failure
 	err        error
 	retryable  bool
 	retryAfter time.Duration // server-requested wait (503 Retry-After)
 }
 
 // doAttempt runs one bounded-deadline attempt of req (rebuilt per
-// attempt, since a Body can only be read once).
-func (c *Client) doAttempt(method, url string, payload []byte) attemptOutcome {
+// attempt, since a Body can only be read once). hdr entries are set on
+// top of the defaults, so a batch call can carry its content type and
+// compression negotiation. maxBody bounds the response slurp; a body
+// that exceeds it fails the attempt.
+func (c *Client) doAttempt(method, url string, payload []byte, hdr map[string]string, maxBody int64) attemptOutcome {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.RequestTimeout)
 	defer cancel()
 	var body io.Reader
@@ -327,10 +402,15 @@ func (c *Client) doAttempt(method, url string, payload []byte) attemptOutcome {
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	c.roundTrips.Add(1)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return attemptOutcome{err: err, retryable: true}
 	}
+	defer resp.Body.Close()
 	if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
 		out := attemptOutcome{
 			err:       fmt.Errorf("remote: %s: %s", url, resp.Status),
@@ -340,10 +420,18 @@ func (c *Client) doAttempt(method, url string, payload []byte) attemptOutcome {
 			out.retryAfter = time.Duration(ra) * time.Second
 		}
 		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
 		return out
 	}
-	return attemptOutcome{resp: resp}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBody+1))
+	if err != nil {
+		// The exchange started but the body tore: same class as a
+		// transport failure, worth a retry.
+		return attemptOutcome{err: err, retryable: true}
+	}
+	if int64(len(data)) > maxBody {
+		return attemptOutcome{err: fmt.Errorf("remote: %s: response exceeds %d bytes", url, maxBody)}
+	}
+	return attemptOutcome{res: &httpResult{status: resp.StatusCode, header: resp.Header, body: data}}
 }
 
 // backoff returns the wait before retry attempt k (0-based), half
@@ -367,8 +455,8 @@ func (c *Client) backoff(k int, retryAfter time.Duration, rng *prng.Source) time
 // do runs one logical request with breaker admission and bounded
 // retries. A half-open probe gets a single attempt: the point of
 // half-open is to sample the daemon's health, not to hammer it. The
-// returned response (if any) is ready to read; the caller owns Body.
-func (c *Client) do(method, url string, payload []byte) (*http.Response, error) {
+// returned result carries the fully read body.
+func (c *Client) do(method, url string, payload []byte, hdr map[string]string, maxBody int64) (*httpResult, error) {
 	probe, ok := c.admit()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnavailable, c.base)
@@ -383,10 +471,10 @@ func (c *Client) do(method, url string, payload []byte) (*http.Response, error) 
 		if k > 0 {
 			c.retries.Add(1)
 		}
-		out := c.doAttempt(method, url, payload)
+		out := c.doAttempt(method, url, payload, hdr, maxBody)
 		if out.err == nil {
 			c.settle(probe, true)
-			return out.resp, nil
+			return out.res, nil
 		}
 		c.failures.Add(1)
 		lastErr = out.err
@@ -406,14 +494,12 @@ func (c *Client) Ping() error {
 	if _, err := url.ParseRequestURI(c.base); err != nil {
 		return fmt.Errorf("remote: invalid store URL %q: %w", c.base, err)
 	}
-	resp, err := c.do(http.MethodGet, c.base+"/v1/ping", nil)
+	res, err := c.do(http.MethodGet, c.base+"/v1/ping", nil, nil, 4096)
 	if err != nil {
 		return fmt.Errorf("remote: %w", err)
 	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote: %s/v1/ping: %s", c.base, resp.Status)
+	if res.status != http.StatusOK {
+		return fmt.Errorf("remote: %s/v1/ping: HTTP %d", c.base, res.status)
 	}
 	return nil
 }
@@ -426,23 +512,44 @@ func (c *Client) recordURL(kind, key string) string {
 // failure — breaker open, transport error after retries, non-200
 // status, oversized body — is a miss, matching the depstore contract
 // that a cache tier never turns into an error source.
+//
+// Concurrent Gets for the same (kind, key) are coalesced: the first
+// caller fetches, the rest wait and share its answer. Parallel sweep
+// workers missing on one hot key used to each pay their own HTTP
+// round trip; now the fleet pays one.
 func (c *Client) Get(kind, key string) ([]byte, bool) {
-	resp, err := c.do(http.MethodGet, c.recordURL(kind, key), nil)
+	fkey := kind + "\x00" + key
+	c.flightMu.Lock()
+	if f, ok := c.flights[fkey]; ok {
+		c.flightMu.Unlock()
+		f.wg.Wait()
+		c.dedups.Add(1)
+		return f.payload, f.ok
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	c.flights[fkey] = f
+	c.flightMu.Unlock()
+	f.payload, f.ok = c.fetch(kind, key)
+	c.flightMu.Lock()
+	delete(c.flights, fkey)
+	c.flightMu.Unlock()
+	f.wg.Done()
+	return f.payload, f.ok
+}
+
+// fetch is the un-deduplicated record GET behind Get.
+func (c *Client) fetch(kind, key string) ([]byte, bool) {
+	res, err := c.do(http.MethodGet, c.recordURL(kind, key), nil, nil, maxPayload)
 	if err != nil {
 		return nil, false
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
+	if res.status != http.StatusOK {
 		// Any non-5xx answer (404 above all) is the daemon speaking: a
 		// miss is a healthy answer, already settled as a success.
 		return nil, false
 	}
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxPayload+1))
-	if err != nil || int64(len(payload)) > maxPayload {
-		return nil, false
-	}
-	return payload, true
+	return res.body, true
 }
 
 // Put pushes the payload under (kind, key) to the daemon. Errors are
@@ -451,14 +558,161 @@ func (c *Client) Put(kind, key string, payload []byte) error {
 	if payload == nil {
 		payload = []byte{}
 	}
-	resp, err := c.do(http.MethodPut, c.recordURL(kind, key), payload)
+	res, err := c.do(http.MethodPut, c.recordURL(kind, key), payload, nil, 4096)
 	if err != nil {
 		return fmt.Errorf("remote: %w", err)
 	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("remote: PUT %s/%s: %s", kind, key, resp.Status)
+	if res.status != http.StatusNoContent && res.status != http.StatusOK {
+		return fmt.Errorf("remote: PUT %s/%s: HTTP %d", kind, key, res.status)
 	}
 	return nil
+}
+
+// batchManifest is the JSON body of a batch-get request: the refs the
+// client wants, in one round trip.
+type batchManifest struct {
+	Refs []batchRef `json:"refs"`
+}
+
+type batchRef struct {
+	Kind string `json:"kind"`
+	Key  string `json:"key"`
+}
+
+// countingReader counts the bytes that pass through it, so the client
+// can report raw vs on-the-wire sizes for the compression win.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// noteBatchUnsupported latches the daemon as batch-less. The latch is
+// sticky for the client's lifetime: CLI processes are short-lived, and
+// a daemon does not un-learn an endpoint, so one 404 is proof enough.
+func (c *Client) noteBatchUnsupported() {
+	c.batchUnsupported.Store(true)
+}
+
+// BatchGet fetches many refs in one round trip via POST
+// /v1/store/batch-get, negotiating gzip transport compression. It
+// returns ok=false — with zero records — whenever the batch answer
+// cannot be fully trusted: daemon predates the protocol (latched so
+// later calls fail fast locally), breaker open, transport failure, or
+// a truncated/corrupted stream. The caller falls back to per-record
+// Gets; a damaged batch can never poison a store.
+func (c *Client) BatchGet(refs []depstore.Ref) (map[depstore.Ref][]byte, bool) {
+	if len(refs) == 0 {
+		return map[depstore.Ref][]byte{}, true
+	}
+	if c.batchUnsupported.Load() {
+		return nil, false
+	}
+	manifest := batchManifest{Refs: make([]batchRef, len(refs))}
+	for i, ref := range refs {
+		manifest.Refs[i] = batchRef{Kind: ref.Kind, Key: ref.Key}
+	}
+	body, err := json.Marshal(&manifest)
+	if err != nil {
+		return nil, false
+	}
+	// Setting Accept-Encoding by hand disables net/http's transparent
+	// decompression, so the response body is the actual wire bytes —
+	// countable — and the gzip layer is ours to unwrap.
+	res, err := c.do(http.MethodPost, c.base+"/v1/store/batch-get", body, map[string]string{
+		"Content-Type":    "application/json",
+		"Accept-Encoding": "gzip",
+	}, maxBatchBytes)
+	if err != nil {
+		return nil, false
+	}
+	switch res.status {
+	case http.StatusOK:
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		c.noteBatchUnsupported()
+		return nil, false
+	default:
+		return nil, false
+	}
+	stream := io.Reader(bytes.NewReader(res.body))
+	if res.header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(stream)
+		if err != nil {
+			return nil, false
+		}
+		defer gz.Close()
+		stream = gz
+	}
+	rawCount := &countingReader{r: stream}
+	recs, err := wire.ReadAll(rawCount, 0)
+	if err != nil {
+		// Truncated or corrupted stream: admit nothing. The HTTP
+		// exchange itself succeeded, so the breaker stays settled — this
+		// is a payload defect, not daemon health.
+		return nil, false
+	}
+	c.batches.Add(1)
+	c.batchRecords.Add(uint64(len(recs)))
+	c.rawBytes.Add(uint64(rawCount.n))
+	c.wireBytes.Add(uint64(len(res.body)))
+	out := make(map[depstore.Ref][]byte, len(recs))
+	for _, rec := range recs {
+		if !rec.Missing {
+			out[depstore.Ref{Kind: rec.Kind, Key: rec.Key}] = rec.Payload
+		}
+	}
+	return out, true
+}
+
+// BatchPut uploads many records in one gzip-compressed round trip via
+// POST /v1/store/batch-put. It returns whether the records were
+// delivered; on false the caller's per-record fallback still holds the
+// records safe (the remote tier is a cache of a cache).
+func (c *Client) BatchPut(recs []depstore.BatchRecord) bool {
+	if len(recs) == 0 {
+		return true
+	}
+	if c.batchUnsupported.Load() {
+		return false
+	}
+	wrecs := make([]wire.Record, len(recs))
+	for i, rec := range recs {
+		wrecs[i] = wire.Record{Kind: rec.Kind, Key: rec.Key, Payload: rec.Payload}
+	}
+	var framed bytes.Buffer
+	if err := wire.Write(&framed, wrecs); err != nil {
+		return false
+	}
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	if _, err := gz.Write(framed.Bytes()); err != nil {
+		return false
+	}
+	if err := gz.Close(); err != nil {
+		return false
+	}
+	res, err := c.do(http.MethodPost, c.base+"/v1/store/batch-put", zipped.Bytes(), map[string]string{
+		"Content-Encoding": "gzip",
+	}, 4096)
+	if err != nil {
+		return false
+	}
+	switch res.status {
+	case http.StatusNoContent, http.StatusOK:
+		c.batches.Add(1)
+		c.batchRecords.Add(uint64(len(recs)))
+		c.rawBytes.Add(uint64(framed.Len()))
+		c.wireBytes.Add(uint64(zipped.Len()))
+		return true
+	case http.StatusNotFound, http.StatusMethodNotAllowed:
+		c.noteBatchUnsupported()
+		return false
+	default:
+		return false
+	}
 }

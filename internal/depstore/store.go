@@ -83,6 +83,35 @@ type Remote interface {
 	Put(kind, key string, payload []byte) error
 }
 
+// Ref addresses one record: a (kind, key) pair.
+type Ref struct {
+	Kind string
+	Key  string
+}
+
+// BatchRecord is one record of a bulk transfer: a Ref plus its
+// payload.
+type BatchRecord struct {
+	Ref
+	Payload []byte
+}
+
+// BatchRemote is a Remote that additionally speaks the bulk framed
+// protocol (internal/depstore/wire): many records per round trip.
+// Both methods report ok=false when the batch path is unavailable —
+// the remote end predates the protocol, or the transfer failed — and
+// the caller falls back to per-record calls; a false return must admit
+// nothing (the wire layer guarantees a damaged stream yields zero
+// records). The canonical implementation is internal/depstore/remote.
+type BatchRemote interface {
+	Remote
+	// BatchGet fetches the given refs in one round trip. The returned
+	// map holds only the records the remote had.
+	BatchGet(refs []Ref) (map[Ref][]byte, bool)
+	// BatchPut uploads the given records in one round trip.
+	BatchPut(recs []BatchRecord) bool
+}
+
 // StoreStats counts store outcomes. Invalidations are records that
 // existed locally but were refused (corrupt, checksum mismatch,
 // version skew). Misses count lookups no tier could answer. The
@@ -100,6 +129,11 @@ type StoreStats struct {
 	RemoteErrors    uint64
 	WriteBackErrors uint64
 	Evictions       uint64
+	// HotHits counts Gets answered by the in-memory hot tier (a subset
+	// of Hits).
+	HotHits uint64
+	// Prefetched counts records pulled in by bulk Prefetch calls.
+	Prefetched uint64
 }
 
 // Store is a record cache with a local on-disk tier, an optional
@@ -110,10 +144,29 @@ type Store struct {
 	remote Remote
 	fsys   FS
 	noSync bool
+	// hot is the bounded in-memory record LRU in front of the disk tier
+	// (nil = disabled; see Options.HotRecords).
+	hot *hotTier
 	// dirsReady caches fan-out directories already created and synced,
 	// so the steady-state Put pays one map load instead of a MkdirAll
 	// plus a directory-fsync chain.
 	dirsReady sync.Map // dir path -> struct{}
+
+	// pending buffers remote uploads when the remote speaks the batch
+	// protocol, so a cold analysis pushes its records in a few bulk
+	// round trips (threshold flushes plus FlushRemote at run
+	// boundaries) instead of one HTTP call per record.
+	pendingMu sync.Mutex
+	pending   []BatchRecord
+
+	// negative remembers refs a completed bulk prefetch proved absent
+	// from the remote, so the run's cold misses skip the per-record
+	// remote round trip they would otherwise each pay. Entries clear on
+	// Put (the record exists now). Records appearing remotely mid-run
+	// via another client are missed until the next prefetch — sound for
+	// a cache: the consequence is one engine run, not a wrong answer.
+	negMu    sync.Mutex
+	negative map[Ref]struct{}
 
 	hits          uint64
 	misses        uint64
@@ -125,6 +178,8 @@ type Store struct {
 	remoteErrs    uint64
 	writeBackErrs uint64
 	evictions     uint64
+	hotHits       uint64
+	prefetched    uint64
 }
 
 // Options configures OpenWith. The zero value is invalid (a store
@@ -143,6 +198,11 @@ type Options struct {
 	// refused on read, so never served, but the cached work is lost.
 	// Reserved for benchmarks and throwaway stores.
 	NoSync bool
+	// HotRecords bounds the in-memory hot-record LRU in front of the
+	// disk tier (0 = disabled). The CLIs and the daemon pass
+	// DefaultHotRecords; tests that exercise on-disk corruption and
+	// eviction leave it off so disk state stays authoritative.
+	HotRecords int
 }
 
 // Open creates (if needed) and opens a local-only store rooted at dir.
@@ -188,7 +248,11 @@ func OpenWith(o Options) (*Store, error) {
 		probe.Close()
 		fsys.Remove(probe.Name())
 	}
-	return &Store{dir: o.Dir, remote: o.Remote, fsys: fsys, noSync: o.NoSync}, nil
+	s := &Store{dir: o.Dir, remote: o.Remote, fsys: fsys, noSync: o.NoSync}
+	if o.HotRecords > 0 {
+		s.hot = newHotTier(o.HotRecords)
+	}
+	return s, nil
 }
 
 // Dir returns the store's local root directory ("" when remote-only).
@@ -218,6 +282,8 @@ func (s *Store) Stats() StoreStats {
 		RemoteErrors:    atomic.LoadUint64(&s.remoteErrs),
 		WriteBackErrors: atomic.LoadUint64(&s.writeBackErrs),
 		Evictions:       atomic.LoadUint64(&s.evictions),
+		HotHits:         atomic.LoadUint64(&s.hotHits),
+		Prefetched:      atomic.LoadUint64(&s.prefetched),
 	}
 }
 
@@ -267,15 +333,29 @@ func (s *Store) legacyPath(kind, key string) string {
 // place (the LRU signal for Evict); a remote hit is written back to
 // the local tier so the next lookup is local.
 func (s *Store) Get(kind, key string) ([]byte, bool) {
+	if s.hot != nil {
+		if payload, ok := s.hot.get(kind, key); ok {
+			atomic.AddUint64(&s.hits, 1)
+			atomic.AddUint64(&s.hotHits, 1)
+			return payload, true
+		}
+	}
 	if s.dir != "" {
 		if payload, ok := s.localGet(kind, key); ok {
 			atomic.AddUint64(&s.hits, 1)
+			s.hotAdd(kind, key, payload)
 			return payload, true
 		}
 	}
 	if s.remote != nil {
+		if s.knownAbsent(kind, key) {
+			atomic.AddUint64(&s.remoteMisses, 1)
+			atomic.AddUint64(&s.misses, 1)
+			return nil, false
+		}
 		if payload, ok := s.remote.Get(kind, key); ok {
 			atomic.AddUint64(&s.remoteHits, 1)
+			s.hotAdd(kind, key, payload)
 			if s.dir != "" {
 				// Best-effort write-back; a failure just leaves the next
 				// lookup remote again — but it is counted, so a read-only
@@ -291,6 +371,42 @@ func (s *Store) Get(kind, key string) ([]byte, bool) {
 	}
 	atomic.AddUint64(&s.misses, 1)
 	return nil, false
+}
+
+// hotAdd admits a validated payload into the hot tier, if enabled.
+func (s *Store) hotAdd(kind, key string, payload []byte) {
+	if s.hot != nil {
+		s.hot.add(kind, key, payload)
+	}
+}
+
+// knownAbsent reports whether a bulk prefetch proved (kind, key)
+// missing from the remote this run.
+func (s *Store) knownAbsent(kind, key string) bool {
+	s.negMu.Lock()
+	defer s.negMu.Unlock()
+	if s.negative == nil {
+		return false
+	}
+	_, absent := s.negative[Ref{Kind: kind, Key: key}]
+	return absent
+}
+
+// noteAbsent records prefetch-proven remote misses; notePresent clears
+// one (the record was just written, the proof is stale).
+func (s *Store) noteAbsent(ref Ref) {
+	s.negMu.Lock()
+	if s.negative == nil {
+		s.negative = make(map[Ref]struct{})
+	}
+	s.negative[ref] = struct{}{}
+	s.negMu.Unlock()
+}
+
+func (s *Store) notePresent(kind, key string) {
+	s.negMu.Lock()
+	delete(s.negative, Ref{Kind: kind, Key: key})
+	s.negMu.Unlock()
 }
 
 // localGet reads and validates one on-disk record, trying the sharded
@@ -345,11 +461,16 @@ func (s *Store) localGet(kind, key string) ([]byte, bool) {
 // Put errors are reportable but never fatal to an analysis: the store
 // is a cache.
 func (s *Store) Put(kind, key string, payload []byte) error {
+	s.hotAdd(kind, key, payload)
+	s.notePresent(kind, key)
 	var err error
 	if s.dir != "" {
 		err = s.localPut(kind, key, payload)
 	}
 	if s.remote != nil {
+		if s.deferRemotePut(kind, key, payload) {
+			return err
+		}
 		if rerr := s.remote.Put(kind, key, payload); rerr != nil {
 			atomic.AddUint64(&s.remoteErrs, 1)
 			if err == nil && s.dir == "" {
@@ -360,6 +481,127 @@ func (s *Store) Put(kind, key string, payload []byte) error {
 		}
 	}
 	return err
+}
+
+// putFlushThreshold is the pending-upload count that triggers a
+// mid-run bulk flush, bounding both queue memory and the blast radius
+// of a crash (at most one threshold's worth of un-pushed records; the
+// local tier already holds them all).
+const putFlushThreshold = 64
+
+// deferRemotePut enqueues a remote upload for bulk transfer instead of
+// issuing it now. Deferral requires a batch-speaking remote still in
+// good standing plus another tier (local disk or hot memory) that can
+// answer read-after-write in the interim; otherwise the caller falls
+// back to the immediate per-record push.
+func (s *Store) deferRemotePut(kind, key string, payload []byte) bool {
+	br, ok := s.remote.(BatchRemote)
+	if !ok || (s.dir == "" && s.hot == nil) {
+		return false
+	}
+	s.pendingMu.Lock()
+	s.pending = append(s.pending, BatchRecord{Ref: Ref{Kind: kind, Key: key}, Payload: payload})
+	var flush []BatchRecord
+	if len(s.pending) >= putFlushThreshold {
+		flush = s.pending
+		s.pending = nil
+	}
+	s.pendingMu.Unlock()
+	if flush != nil {
+		s.pushBatch(br, flush)
+	}
+	return true
+}
+
+// FlushRemote pushes any pending deferred uploads to the remote tier.
+// Analyses call it at run boundaries (after summaries are flushed);
+// it is a no-op for stores with nothing pending.
+func (s *Store) FlushRemote() {
+	br, ok := s.remote.(BatchRemote)
+	if !ok {
+		return
+	}
+	s.pendingMu.Lock()
+	flush := s.pending
+	s.pending = nil
+	s.pendingMu.Unlock()
+	if len(flush) > 0 {
+		s.pushBatch(br, flush)
+	}
+}
+
+// pushBatch uploads one pending batch, falling back to per-record
+// pushes when the bulk path cannot deliver — a batch-less daemon (the
+// client latches that case, so later flushes skip straight here
+// without an HTTP probe) or a transport failure. Per-record pushes
+// ride the usual retry/breaker machinery, so a dead daemon costs a
+// breaker trip, not a hang.
+func (s *Store) pushBatch(br BatchRemote, recs []BatchRecord) {
+	if br.BatchPut(recs) {
+		atomic.AddUint64(&s.remoteWrites, uint64(len(recs)))
+		return
+	}
+	for _, rec := range recs {
+		if err := br.Put(rec.Kind, rec.Key, rec.Payload); err != nil {
+			atomic.AddUint64(&s.remoteErrs, 1)
+		} else {
+			atomic.AddUint64(&s.remoteWrites, 1)
+		}
+	}
+}
+
+// Prefetch bulk-fetches the given refs into the local tiers ahead of
+// an analysis, so a warm start against a remote store pays one round
+// trip instead of one per record. Refs already present locally are
+// skipped (and admitted to the hot tier); the rest travel in a single
+// BatchGet. A remote that cannot serve the batch (older daemon,
+// transport failure) degrades silently — the analysis simply falls
+// back to per-record fetches on miss, byte-identical either way.
+func (s *Store) Prefetch(refs []Ref) {
+	if s.remote == nil || len(refs) == 0 {
+		return
+	}
+	br, ok := s.remote.(BatchRemote)
+	if !ok {
+		return
+	}
+	missing := make([]Ref, 0, len(refs))
+	for _, ref := range refs {
+		if s.hot != nil {
+			if _, ok := s.hot.get(ref.Kind, ref.Key); ok {
+				continue
+			}
+		}
+		if s.dir != "" {
+			if payload, ok := s.localGet(ref.Kind, ref.Key); ok {
+				s.hotAdd(ref.Kind, ref.Key, payload)
+				continue
+			}
+		}
+		missing = append(missing, ref)
+	}
+	if len(missing) == 0 {
+		return
+	}
+	got, ok := br.BatchGet(missing)
+	if !ok {
+		return
+	}
+	for _, ref := range missing {
+		if _, have := got[ref]; !have {
+			s.noteAbsent(ref)
+		}
+	}
+	for ref, payload := range got {
+		atomic.AddUint64(&s.remoteHits, 1)
+		atomic.AddUint64(&s.prefetched, 1)
+		s.hotAdd(ref.Kind, ref.Key, payload)
+		if s.dir != "" {
+			if err := s.localPut(ref.Kind, ref.Key, payload); err != nil {
+				atomic.AddUint64(&s.writeBackErrs, 1)
+			}
+		}
+	}
 }
 
 func (s *Store) localPut(kind, key string, payload []byte) error {

@@ -12,10 +12,16 @@
 //	POST /v1/scrub                   re-validate every store record, drop/quarantine bad ones
 //	GET  /v1/store/{kind}/{key}      raw record payload (remote tier read)
 //	PUT  /v1/store/{kind}/{key}      raw record payload (remote tier write)
+//	POST /v1/store/batch-get         bulk read: JSON ref manifest → framed record stream
+//	POST /v1/store/batch-put         bulk write: framed record stream
 //
-// The store endpoints carry naked payload bytes: envelope framing and
-// checksums remain a per-disk concern, and every payload is
-// re-validated by its consumer, so the wire adds no trust.
+// The per-record store endpoints carry naked payload bytes: envelope
+// framing and checksums remain a per-disk concern, and every payload
+// is re-validated by its consumer, so the wire adds no trust. The
+// batch endpoints speak internal/depstore/wire's framed stream —
+// per-frame checksums, validated end-to-end before a single record is
+// admitted — with gzip transport compression negotiated via the
+// standard Accept-Encoding/Content-Encoding headers.
 //
 // Load shedding: Handler bounds concurrently served requests (default
 // defaultMaxInFlight, tune with SetMaxInFlight); excess requests are
@@ -26,11 +32,13 @@
 package service
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,11 +47,17 @@ import (
 	"fsdep/internal/core"
 	"fsdep/internal/depmodel"
 	"fsdep/internal/depstore"
+	"fsdep/internal/depstore/wire"
 )
 
 // maxUpload bounds request bodies (component sources and store
 // payloads).
 const maxUpload = 64 << 20
+
+// maxBatchBytes bounds a decompressed batch stream's cumulative
+// payload, so a compressed bomb cannot balloon in memory past what the
+// store could plausibly hold.
+const maxBatchBytes = 1 << 30
 
 // defaultMaxInFlight bounds concurrently served requests when
 // SetMaxInFlight was not called.
@@ -68,6 +82,13 @@ type Server struct {
 	shed      atomic.Uint64
 	scrubMu   sync.Mutex
 	lastScrub *depstore.ScrubReport
+
+	// Bulk-protocol counters, surfaced in /v1/stats' service section.
+	batchGets      atomic.Uint64
+	batchPuts      atomic.Uint64
+	batchRecords   atomic.Uint64
+	batchRawBytes  atomic.Uint64 // framed stream bytes before compression
+	batchWireBytes atomic.Uint64 // bytes actually on the wire
 }
 
 // NewServer wires the analysis, the record store served to remote
@@ -110,6 +131,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/scrub", s.handleScrub)
 	mux.HandleFunc("GET /v1/store/{kind}/{key}", s.handleStoreGet)
 	mux.HandleFunc("PUT /v1/store/{kind}/{key}", s.handleStorePut)
+	mux.HandleFunc("POST /v1/store/batch-get", s.handleBatchGet)
+	mux.HandleFunc("POST /v1/store/batch-put", s.handleBatchPut)
 	var h http.Handler = mux
 	if s.chaos != nil {
 		h = s.chaos.Wrap(h)
@@ -456,6 +479,14 @@ type statsResponse struct {
 	Service struct {
 		InFlightLimit int    `json:"in_flight_limit"`
 		Shed          uint64 `json:"shed"`
+		// Bulk store protocol counters: completed bulk transfers, the
+		// records they carried, and the framed bytes before/after
+		// transport compression.
+		BatchGets      uint64 `json:"batch_gets"`
+		BatchPuts      uint64 `json:"batch_puts"`
+		BatchRecords   uint64 `json:"batch_records"`
+		BatchRawBytes  uint64 `json:"batch_raw_bytes"`
+		BatchWireBytes uint64 `json:"batch_wire_bytes"`
 	} `json:"service"`
 	Scrub *depstore.ScrubReport `json:"scrub,omitempty"`
 }
@@ -494,6 +525,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	resp.Service.InFlightLimit = s.maxInFlight
 	resp.Service.Shed = s.shed.Load()
+	resp.Service.BatchGets = s.batchGets.Load()
+	resp.Service.BatchPuts = s.batchPuts.Load()
+	resp.Service.BatchRecords = s.batchRecords.Load()
+	resp.Service.BatchRawBytes = s.batchRawBytes.Load()
+	resp.Service.BatchWireBytes = s.batchWireBytes.Load()
 	s.scrubMu.Lock()
 	resp.Scrub = s.lastScrub
 	s.scrubMu.Unlock()
@@ -562,6 +598,163 @@ func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// batchManifest is the batch-get request body: the refs the client
+// wants in one round trip.
+type batchManifest struct {
+	Refs []struct {
+		Kind string `json:"kind"`
+		Key  string `json:"key"`
+	} `json:"refs"`
+}
+
+// countingWriter counts bytes written through it (the wire side of the
+// raw-vs-compressed stats).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// acceptsGzip reports whether the request negotiates gzip response
+// compression.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		if i := strings.IndexByte(enc, ';'); i >= 0 {
+			enc = strings.TrimSpace(enc[:i])
+		}
+		if enc == "gzip" {
+			return true
+		}
+	}
+	return false
+}
+
+// handleBatchGet answers a ref manifest with one framed record stream:
+// every requested ref appears exactly once, as a payload frame or an
+// explicit miss, so the client needs no follow-up round trips to
+// distinguish "absent" from "not answered". The response is
+// gzip-compressed when the client negotiates it.
+func (s *Server) handleBatchGet(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no store attached"})
+		return
+	}
+	var manifest batchManifest
+	if err := decodeBody(r, &manifest); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(manifest.Refs) > wire.MaxRecords {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("manifest exceeds %d refs", wire.MaxRecords)})
+		return
+	}
+	for _, ref := range manifest.Refs {
+		if !validRecordRef(ref.Kind, ref.Key) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed record reference"})
+			return
+		}
+	}
+	recs := make([]wire.Record, len(manifest.Refs))
+	served := 0
+	for i, ref := range manifest.Refs {
+		recs[i] = wire.Record{Kind: ref.Kind, Key: ref.Key}
+		if payload, ok := s.store.Get(ref.Kind, ref.Key); ok {
+			recs[i].Payload = payload
+			served++
+		} else {
+			recs[i].Missing = true
+		}
+	}
+	s.batchGets.Add(1)
+	s.batchRecords.Add(uint64(served))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	wireCount := &countingWriter{w: w}
+	out := io.Writer(wireCount)
+	var gz *gzip.Writer
+	if acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz = gzip.NewWriter(wireCount)
+		out = gz
+	}
+	w.WriteHeader(http.StatusOK)
+	rawCount := &countingWriter{w: out}
+	// Write errors past this point mean the client went away or the
+	// stream tore mid-flight; the framing's trailer and checksums make
+	// the client refuse the partial stream, so there is nothing useful
+	// to do here but stop.
+	if err := wire.Write(rawCount, recs); err == nil && gz != nil {
+		_ = gz.Close()
+	}
+	s.batchRawBytes.Add(uint64(rawCount.n))
+	s.batchWireBytes.Add(uint64(wireCount.n))
+}
+
+// handleBatchPut ingests one framed record stream. The whole stream is
+// parsed and validated — framing, per-frame checksums, record
+// references — before the first record is stored, so a truncated or
+// corrupted upload admits nothing.
+func (s *Server) handleBatchPut(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no store attached"})
+		return
+	}
+	body := io.Reader(http.MaxBytesReader(w, r.Body, maxBatchBytes))
+	wireCount := &countingReader{r: body}
+	stream := io.Reader(wireCount)
+	if strings.EqualFold(r.Header.Get("Content-Encoding"), "gzip") {
+		gz, err := gzip.NewReader(stream)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed gzip body"})
+			return
+		}
+		defer gz.Close()
+		stream = gz
+	}
+	rawCount := &countingReader{r: stream}
+	recs, err := wire.ReadAll(rawCount, maxBatchBytes)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	for _, rec := range recs {
+		if rec.Missing || !validRecordRef(rec.Kind, rec.Key) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "malformed record in batch"})
+			return
+		}
+	}
+	for _, rec := range recs {
+		if err := s.store.Put(rec.Kind, rec.Key, rec.Payload); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	s.batchPuts.Add(1)
+	s.batchRecords.Add(uint64(len(recs)))
+	s.batchRawBytes.Add(uint64(rawCount.n))
+	s.batchWireBytes.Add(uint64(wireCount.n))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// countingReader counts bytes read through it (the ingest side of the
+// raw-vs-compressed stats).
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
 }
 
 // decodeBody parses an optional JSON body; an empty body decodes to
